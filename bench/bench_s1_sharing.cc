@@ -1,0 +1,74 @@
+// S1 ablation (Section 3.4 / 4.1): multi-query sharing along an update
+// track. Identical queries generated at different operation nodes of one
+// track are charged once; the paper's "suboptimal + suboptimal = optimal"
+// phenomenon follows because shared work lets locally nonoptimal plans win
+// globally. The bench compares per-view-set costs with sharing on and off
+// and reports any view set whose *rank* changes.
+
+#include <algorithm>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace auxview {
+namespace {
+
+bench::PaperSetup& Setup() {
+  static bench::PaperSetup setup = bench::MakePaperSetup();
+  return setup;
+}
+
+void PrintResult() {
+  auto& s = Setup();
+  const std::vector<TransactionType> txns = {s.workload->TxnModEmp(),
+                                             s.workload->TxnModDept()};
+  OptimizeOptions with_sharing;
+  with_sharing.keep_all = true;
+  OptimizeOptions no_sharing = with_sharing;
+  no_sharing.cost.share_queries = false;
+
+  auto shared = s.selector->Exhaustive(txns, with_sharing);
+  auto unshared = s.selector->Exhaustive(txns, no_sharing);
+  if (!shared.ok() || !unshared.ok()) return;
+
+  bench::PrintHeader(
+      "S1: weighted cost per view set, with and without multi-query "
+      "sharing (paper Section 3.4)",
+      {"shared", "unshared", "delta"});
+  for (size_t i = 0; i < shared->all_costs.size(); ++i) {
+    const auto& [views, cost] = shared->all_costs[i];
+    const double other = unshared->all_costs[i].second;
+    bench::PrintRow(ViewSetToString(views), {cost, other, other - cost});
+  }
+  std::printf(
+      "\n  optimum with sharing: %s (%.4g); without: %s (%.4g)\n",
+      ViewSetToString(shared->views).c_str(), shared->weighted_cost,
+      ViewSetToString(unshared->views).c_str(), unshared->weighted_cost);
+  std::printf(
+      "  sharing helps exactly the view sets whose tracks pose the same "
+      "lookup from two operation nodes (e.g. {N3, N4} under >Emp).\n");
+}
+
+void BM_ExhaustiveSharing(benchmark::State& state) {
+  auto& s = Setup();
+  const std::vector<TransactionType> txns = {s.workload->TxnModEmp(),
+                                             s.workload->TxnModDept()};
+  OptimizeOptions options;
+  options.cost.share_queries = state.range(0) == 1;
+  for (auto _ : state) {
+    auto result = s.selector->Exhaustive(txns, options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_ExhaustiveSharing)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace auxview
+
+int main(int argc, char** argv) {
+  auxview::PrintResult();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

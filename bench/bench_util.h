@@ -1,0 +1,107 @@
+#ifndef AUXVIEW_BENCH_BENCH_UTIL_H_
+#define AUXVIEW_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the reproduction benchmarks: building the paper's
+// ProblemDept DAG and locating the groups the paper names N1..N6
+// (Figure 2).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auxview.h"
+
+namespace auxview {
+namespace bench {
+
+/// The paper's named equivalence nodes in the ProblemDept DAG.
+struct PaperGroups {
+  GroupId n1 = -1;  // Select (root)
+  GroupId n2 = -1;  // the Select's input (Aggregate/Join alternatives)
+  GroupId n3 = -1;  // Aggregate(Emp BY DName) — SumOfSals
+  GroupId n4 = -1;  // Join(Emp, Dept)
+  GroupId emp = -1;
+  GroupId dept = -1;
+};
+
+inline PaperGroups FindPaperGroups(const Memo& memo) {
+  PaperGroups out;
+  out.n1 = memo.root();
+  for (GroupId g : memo.LiveGroups()) {
+    const MemoGroup& grp = memo.group(g);
+    if (grp.is_leaf) {
+      if (grp.table == "Emp") out.emp = g;
+      if (grp.table == "Dept") out.dept = g;
+      continue;
+    }
+    for (int eid : grp.exprs) {
+      const MemoExpr& e = memo.expr(eid);
+      if (e.dead) continue;
+      if (e.kind() == OpKind::kAggregate &&
+          e.op->group_by() == std::vector<std::string>{"DName"}) {
+        out.n3 = g;
+      }
+      if (e.kind() == OpKind::kAggregate && e.op->group_by().size() == 2) {
+        out.n2 = g;
+      }
+      if (e.kind() == OpKind::kJoin) {
+        bool leaf_join = true;
+        for (GroupId in : e.inputs) {
+          if (!memo.group(memo.Find(in)).is_leaf) leaf_join = false;
+        }
+        if (leaf_join) out.n4 = g;
+      }
+    }
+  }
+  return out;
+}
+
+/// Built ProblemDept environment shared by the T1-T4 benches.
+struct PaperSetup {
+  std::unique_ptr<EmpDeptWorkload> workload;
+  std::unique_ptr<Memo> memo;
+  std::unique_ptr<ViewSelector> selector;
+  PaperGroups groups;
+};
+
+inline PaperSetup MakePaperSetup() {
+  PaperSetup setup;
+  setup.workload = std::make_unique<EmpDeptWorkload>(EmpDeptConfig{});
+  auto tree = setup.workload->ProblemDeptTree();
+  if (!tree.ok()) {
+    std::fprintf(stderr, "tree: %s\n", tree.status().ToString().c_str());
+    std::abort();
+  }
+  auto memo = BuildExpandedMemo(*tree, setup.workload->catalog());
+  if (!memo.ok()) {
+    std::fprintf(stderr, "memo: %s\n", memo.status().ToString().c_str());
+    std::abort();
+  }
+  setup.memo = std::make_unique<Memo>(std::move(memo).value());
+  setup.selector = std::make_unique<ViewSelector>(
+      setup.memo.get(), &setup.workload->catalog());
+  setup.groups = FindPaperGroups(*setup.memo);
+  return setup;
+}
+
+/// Prints a row of a fixed-width table.
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values) {
+  std::printf("  %-34s", label.c_str());
+  for (double v : values) std::printf(" %10.4g", v);
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& columns) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("  %-34s", "");
+  for (const std::string& c : columns) std::printf(" %10s", c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace auxview
+
+#endif  // AUXVIEW_BENCH_BENCH_UTIL_H_

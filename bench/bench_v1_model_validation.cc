@@ -1,0 +1,122 @@
+// V1: cost-model validation. The storage engine charges page I/Os with the
+// same unit model the optimizer estimates with (Section 3.6's hash-index
+// model); this bench runs real maintenance streams and compares counted
+// I/Os per transaction against the optimizer's per-transaction estimates
+// for each view set, plus a throughput benchmark of the runtime engine.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace auxview {
+namespace {
+
+struct V1Setup {
+  std::unique_ptr<EmpDeptWorkload> workload;
+  std::unique_ptr<Memo> memo;
+  std::unique_ptr<ViewSelector> selector;
+  bench::PaperGroups groups;
+};
+
+V1Setup& Setup() {
+  static V1Setup* setup = [] {
+    auto* s = new V1Setup;
+    EmpDeptConfig config;
+    config.num_depts = 200;  // smaller than the paper for bench speed;
+    config.emps_per_dept = 10;  // same 10-employee fan-in -> same costs
+    s->workload = std::make_unique<EmpDeptWorkload>(config);
+    auto tree = s->workload->ProblemDeptTree();
+    auto memo = BuildExpandedMemo(*tree, s->workload->catalog());
+    s->memo = std::make_unique<Memo>(std::move(memo).value());
+    s->selector = std::make_unique<ViewSelector>(s->memo.get(),
+                                                 &s->workload->catalog());
+    s->groups = bench::FindPaperGroups(*s->memo);
+    return s;
+  }();
+  return *setup;
+}
+
+void PrintResult() {
+  auto& s = Setup();
+  const auto& g = s.groups;
+  bench::PrintHeader(
+      "V1: estimated vs counted page I/Os per transaction "
+      "(30-transaction streams; 200 depts x 10 emps)",
+      {"est", "measured", "err"});
+  for (const ViewSet& extra :
+       std::vector<ViewSet>{{}, {g.n3}, {g.n4}, {g.n3, g.n4}}) {
+    for (const TransactionType& txn :
+         {s.workload->TxnModEmp(), s.workload->TxnModDept()}) {
+      ViewSet views = extra;
+      views.insert(g.n1);
+      auto plan = s.selector->BestTrack(views, txn);
+      if (!plan.ok()) continue;
+
+      Database db;
+      if (!s.workload->Populate(&db).ok()) continue;
+      ViewManager manager(s.memo.get(), &s.workload->catalog(), &db);
+      if (!manager.Materialize(views).ok()) continue;
+      TxnGenerator gen(17);
+      db.counter().Reset();
+      const int kSteps = 30;
+      bool ok = true;
+      for (int i = 0; i < kSteps && ok; ++i) {
+        auto concrete = gen.Generate(txn, db);
+        ok = concrete.ok() &&
+             manager.ApplyTransaction(*concrete, txn, plan->track).ok();
+      }
+      if (!ok) continue;
+      const double measured =
+          static_cast<double>(db.counter().total()) / kSteps;
+      bench::PrintRow(ViewSetToString(extra) + "  " + txn.name,
+                      {plan->cost.total(), measured,
+                       measured - plan->cost.total()});
+    }
+  }
+  std::printf(
+      "  (err != 0 can arise from estimation vs data skew; the model and "
+      "the engine share the same unit costs.)\n");
+}
+
+void BM_MaintainTransaction(benchmark::State& state) {
+  auto& s = Setup();
+  const auto& g = s.groups;
+  ViewSet views = {g.n1};
+  if (state.range(0) == 1) views.insert(g.n3);
+  const TransactionType txn = s.workload->TxnModEmp();
+  auto plan = s.selector->BestTrack(views, txn);
+  Database db;
+  (void)s.workload->Populate(&db);
+  ViewManager manager(s.memo.get(), &s.workload->catalog(), &db);
+  (void)manager.Materialize(views);
+  TxnGenerator gen(23);
+  for (auto _ : state) {
+    auto concrete = gen.Generate(txn, db);
+    benchmark::DoNotOptimize(
+        manager.ApplyTransaction(*concrete, txn, plan->track).ok());
+  }
+  state.SetLabel(state.range(0) == 1 ? "with SumOfSals" : "no extra views");
+}
+BENCHMARK(BM_MaintainTransaction)->Arg(0)->Arg(1);
+
+void BM_MaterializeViews(benchmark::State& state) {
+  auto& s = Setup();
+  const ViewSet views = {s.groups.n1, s.groups.n3, s.groups.n4};
+  Database db;
+  (void)s.workload->Populate(&db);
+  for (auto _ : state) {
+    ViewManager manager(s.memo.get(), &s.workload->catalog(), &db);
+    benchmark::DoNotOptimize(manager.Materialize(views).ok());
+  }
+}
+BENCHMARK(BM_MaterializeViews)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace auxview
+
+int main(int argc, char** argv) {
+  auxview::PrintResult();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "algebra/builder.h"
+
+namespace auxview {
+
+Scalar::Ptr Col(const std::string& name) { return Scalar::Column(name); }
+Scalar::Ptr Lit(int64_t v) { return Scalar::Literal(Value::Int64(v)); }
+Scalar::Ptr Lit(double v) { return Scalar::Literal(Value::Double(v)); }
+Scalar::Ptr Lit(const char* v) { return Scalar::Literal(Value::String(v)); }
+Scalar::Ptr Lit(const std::string& v) {
+  return Scalar::Literal(Value::String(v));
+}
+
+Expr::Ptr ExprBuilder::Scan(const std::string& table) {
+  const TableDef* def = catalog_->FindTable(table);
+  if (def == nullptr) {
+    if (status_.ok()) status_ = Status::NotFound("no such table: " + table);
+    return nullptr;
+  }
+  return Expr::Scan(table, def->schema);
+}
+
+Expr::Ptr ExprBuilder::Select(Expr::Ptr child, Scalar::Ptr predicate) {
+  if (child == nullptr) return nullptr;
+  return Record(Expr::Select(std::move(child), std::move(predicate)));
+}
+
+Expr::Ptr ExprBuilder::Project(Expr::Ptr child,
+                               std::vector<ProjectItem> items) {
+  if (child == nullptr) return nullptr;
+  return Record(Expr::Project(std::move(child), std::move(items)));
+}
+
+Expr::Ptr ExprBuilder::Join(Expr::Ptr left, Expr::Ptr right,
+                            std::vector<std::string> join_attrs) {
+  if (left == nullptr || right == nullptr) return nullptr;
+  return Record(
+      Expr::Join(std::move(left), std::move(right), std::move(join_attrs)));
+}
+
+Expr::Ptr ExprBuilder::Aggregate(Expr::Ptr child,
+                                 std::vector<std::string> group_by,
+                                 std::vector<AggSpec> aggs) {
+  if (child == nullptr) return nullptr;
+  return Record(
+      Expr::Aggregate(std::move(child), std::move(group_by), std::move(aggs)));
+}
+
+Expr::Ptr ExprBuilder::DupElim(Expr::Ptr child) {
+  if (child == nullptr) return nullptr;
+  return Record(Expr::DupElim(std::move(child)));
+}
+
+StatusOr<Expr::Ptr> ExprBuilder::Take(Expr::Ptr root) {
+  if (!status_.ok()) return status_;
+  if (root == nullptr) return Status::Internal("builder produced null tree");
+  return root;
+}
+
+}  // namespace auxview

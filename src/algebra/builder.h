@@ -1,0 +1,70 @@
+#ifndef AUXVIEW_ALGEBRA_BUILDER_H_
+#define AUXVIEW_ALGEBRA_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "catalog/catalog.h"
+
+namespace auxview {
+
+/// Shorthand scalar constructors for building predicates in user code:
+///   Col("Salary"), Lit(1000), Gt(Col("SumSal"), Col("Budget")).
+Scalar::Ptr Col(const std::string& name);
+Scalar::Ptr Lit(int64_t v);
+Scalar::Ptr Lit(double v);
+Scalar::Ptr Lit(const char* v);
+Scalar::Ptr Lit(const std::string& v);
+
+/// Catalog-aware convenience builder for algebra trees.
+///
+/// Example (the paper's ProblemDept view, Figure 1 left tree):
+///
+///   ExprBuilder b(&catalog);
+///   auto tree = b.Aggregate(
+///       b.Join(b.Scan("Emp"), b.Scan("Dept"), {"DName"}),
+///       {"DName", "Budget"},
+///       {{AggFunc::kSum, Col("Salary"), "SumSal"}});
+///   tree = b.Select(tree, Scalar::Gt(Col("SumSal"), Col("Budget")));
+///
+/// Builder methods propagate the first error encountered; call Take(expr)
+/// or check ok() at the end.
+class ExprBuilder {
+ public:
+  explicit ExprBuilder(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Scans a base relation registered in the catalog (nullptr on error).
+  Expr::Ptr Scan(const std::string& table);
+
+  Expr::Ptr Select(Expr::Ptr child, Scalar::Ptr predicate);
+  Expr::Ptr Project(Expr::Ptr child, std::vector<ProjectItem> items);
+  Expr::Ptr Join(Expr::Ptr left, Expr::Ptr right,
+                 std::vector<std::string> join_attrs);
+  Expr::Ptr Aggregate(Expr::Ptr child, std::vector<std::string> group_by,
+                      std::vector<AggSpec> aggs);
+  Expr::Ptr DupElim(Expr::Ptr child);
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the finished tree, or the first recorded error.
+  StatusOr<Expr::Ptr> Take(Expr::Ptr root);
+
+ private:
+  template <typename SO>
+  Expr::Ptr Record(SO result) {
+    if (!result.ok()) {
+      if (status_.ok()) status_ = result.status();
+      return nullptr;
+    }
+    return std::move(result).value();
+  }
+
+  const Catalog* catalog_;
+  Status status_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_ALGEBRA_BUILDER_H_

@@ -1,0 +1,302 @@
+#include "algebra/expr.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace auxview {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan:
+      return "Scan";
+    case OpKind::kSelect:
+      return "Select";
+    case OpKind::kProject:
+      return "Project";
+    case OpKind::kJoin:
+      return "Join";
+    case OpKind::kAggregate:
+      return "Aggregate";
+    case OpKind::kDupElim:
+      return "DupElim";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+std::string AggSpec::ToString() const {
+  std::string out = AggFuncName(func);
+  out += "(";
+  out += arg == nullptr ? "*" : arg->ToString();
+  out += ") AS ";
+  out += output_name;
+  return out;
+}
+
+Expr::Ptr Expr::Scan(std::string table, Schema schema) {
+  auto e = std::shared_ptr<Expr>(
+      new Expr(OpKind::kScan, std::move(schema), {}));
+  e->table_ = std::move(table);
+  return e;
+}
+
+StatusOr<Expr::Ptr> Expr::Select(Ptr child, Scalar::Ptr predicate) {
+  if (child == nullptr || predicate == nullptr) {
+    return Status::InvalidArgument("Select requires child and predicate");
+  }
+  // Validate the predicate's columns against the child schema.
+  for (const std::string& col : predicate->Columns()) {
+    if (!child->output_schema().Contains(col)) {
+      return Status::InvalidArgument("Select predicate references unknown column: " +
+                                     col);
+    }
+  }
+  Schema schema = child->output_schema();
+  auto e = std::shared_ptr<Expr>(
+      new Expr(OpKind::kSelect, std::move(schema), {std::move(child)}));
+  e->predicate_ = std::move(predicate);
+  return Ptr(e);
+}
+
+StatusOr<Expr::Ptr> Expr::Project(Ptr child, std::vector<ProjectItem> items) {
+  if (child == nullptr || items.empty()) {
+    return Status::InvalidArgument("Project requires child and items");
+  }
+  std::vector<Column> cols;
+  for (const ProjectItem& item : items) {
+    if (item.expr == nullptr) {
+      return Status::InvalidArgument("Project item has null expression");
+    }
+    AUXVIEW_ASSIGN_OR_RETURN(ValueType type,
+                             item.expr->InferType(child->output_schema()));
+    cols.push_back(Column{item.name, type});
+  }
+  AUXVIEW_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(cols)));
+  auto e = std::shared_ptr<Expr>(
+      new Expr(OpKind::kProject, std::move(schema), {std::move(child)}));
+  e->projections_ = std::move(items);
+  return Ptr(e);
+}
+
+StatusOr<Expr::Ptr> Expr::Join(Ptr left, Ptr right,
+                               std::vector<std::string> join_attrs) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("Join requires two children");
+  }
+  if (join_attrs.empty()) {
+    return Status::InvalidArgument("Join requires at least one join attribute");
+  }
+  const Schema& ls = left->output_schema();
+  const Schema& rs = right->output_schema();
+  for (const std::string& a : join_attrs) {
+    const int li = ls.IndexOf(a);
+    const int ri = rs.IndexOf(a);
+    if (li < 0 || ri < 0) {
+      return Status::InvalidArgument("join attribute missing from an input: " +
+                                     a);
+    }
+    if (ls.column(li).type != rs.column(ri).type) {
+      return Status::InvalidArgument("join attribute type mismatch: " + a);
+    }
+  }
+  // Every shared column name must be a join attribute (keeps derived schemas
+  // duplicate-free, natural-join style).
+  for (const Column& rc : rs.columns()) {
+    if (ls.Contains(rc.name) &&
+        std::find(join_attrs.begin(), join_attrs.end(), rc.name) ==
+            join_attrs.end()) {
+      return Status::InvalidArgument(
+          "column shared by both join inputs must be a join attribute: " +
+          rc.name);
+    }
+  }
+  // Canonical attribute order for signatures.
+  std::sort(join_attrs.begin(), join_attrs.end());
+  std::vector<Column> cols = ls.columns();
+  for (const Column& rc : rs.columns()) {
+    if (std::find(join_attrs.begin(), join_attrs.end(), rc.name) ==
+        join_attrs.end()) {
+      cols.push_back(rc);
+    }
+  }
+  AUXVIEW_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(cols)));
+  auto e = std::shared_ptr<Expr>(new Expr(
+      OpKind::kJoin, std::move(schema), {std::move(left), std::move(right)}));
+  e->join_attrs_ = std::move(join_attrs);
+  return Ptr(e);
+}
+
+StatusOr<Expr::Ptr> Expr::Aggregate(Ptr child,
+                                    std::vector<std::string> group_by,
+                                    std::vector<AggSpec> aggs) {
+  if (child == nullptr) {
+    return Status::InvalidArgument("Aggregate requires a child");
+  }
+  if (aggs.empty()) {
+    return Status::InvalidArgument("Aggregate requires at least one aggregate");
+  }
+  const Schema& cs = child->output_schema();
+  std::vector<Column> cols;
+  for (const std::string& g : group_by) {
+    const int i = cs.IndexOf(g);
+    if (i < 0) {
+      return Status::InvalidArgument("group-by column missing: " + g);
+    }
+    cols.push_back(cs.column(i));
+  }
+  for (const AggSpec& agg : aggs) {
+    ValueType type = ValueType::kInt64;
+    if (agg.func == AggFunc::kCount) {
+      type = ValueType::kInt64;
+    } else {
+      if (agg.arg == nullptr) {
+        return Status::InvalidArgument("aggregate requires an argument: " +
+                                       agg.ToString());
+      }
+      AUXVIEW_ASSIGN_OR_RETURN(ValueType arg_type, agg.arg->InferType(cs));
+      type = agg.func == AggFunc::kAvg ? ValueType::kDouble : arg_type;
+    }
+    cols.push_back(Column{agg.output_name, type});
+  }
+  AUXVIEW_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(cols)));
+  auto e = std::shared_ptr<Expr>(
+      new Expr(OpKind::kAggregate, std::move(schema), {std::move(child)}));
+  e->group_by_ = std::move(group_by);
+  e->aggs_ = std::move(aggs);
+  return Ptr(e);
+}
+
+StatusOr<Expr::Ptr> Expr::DupElim(Ptr child) {
+  if (child == nullptr) {
+    return Status::InvalidArgument("DupElim requires a child");
+  }
+  Schema schema = child->output_schema();
+  return Ptr(std::shared_ptr<Expr>(
+      new Expr(OpKind::kDupElim, std::move(schema), {std::move(child)})));
+}
+
+StatusOr<Expr::Ptr> Expr::WithChildren(std::vector<Ptr> children) const {
+  switch (kind_) {
+    case OpKind::kScan:
+      return Status::InvalidArgument("Scan has no children");
+    case OpKind::kSelect:
+      if (children.size() != 1) {
+        return Status::InvalidArgument("Select takes one child");
+      }
+      return Select(children[0], predicate_);
+    case OpKind::kProject:
+      if (children.size() != 1) {
+        return Status::InvalidArgument("Project takes one child");
+      }
+      return Project(children[0], projections_);
+    case OpKind::kJoin:
+      if (children.size() != 2) {
+        return Status::InvalidArgument("Join takes two children");
+      }
+      return Join(children[0], children[1], join_attrs_);
+    case OpKind::kAggregate:
+      if (children.size() != 1) {
+        return Status::InvalidArgument("Aggregate takes one child");
+      }
+      return Aggregate(children[0], group_by_, aggs_);
+    case OpKind::kDupElim:
+      if (children.size() != 1) {
+        return Status::InvalidArgument("DupElim takes one child");
+      }
+      return DupElim(children[0]);
+  }
+  return Status::Internal("unhandled op kind");
+}
+
+std::string Expr::LocalToString() const {
+  switch (kind_) {
+    case OpKind::kScan:
+      return table_;
+    case OpKind::kSelect:
+      return std::string("Select (") + predicate_->ToString() + ")";
+    case OpKind::kProject: {
+      std::vector<std::string> parts;
+      for (const ProjectItem& item : projections_) {
+        parts.push_back(item.expr->ToString() + " AS " + item.name);
+      }
+      return "Project (" + ::auxview::Join(parts, ", ") + ")";
+    }
+    case OpKind::kJoin:
+      return "Join (" + ::auxview::Join(join_attrs_, ", ") + ")";
+    case OpKind::kAggregate: {
+      std::vector<std::string> parts;
+      for (const AggSpec& agg : aggs_) parts.push_back(agg.ToString());
+      std::string out = "Aggregate (" + ::auxview::Join(parts, ", ");
+      if (!group_by_.empty()) out += " BY " + ::auxview::Join(group_by_, ", ");
+      out += ")";
+      return out;
+    }
+    case OpKind::kDupElim:
+      return "DupElim";
+  }
+  return "?";
+}
+
+std::string Expr::LocalSignature() const {
+  // LocalToString is canonical for parameters: join attrs are sorted at
+  // construction, scalar ToString is canonical, group-by/agg order is
+  // semantically significant for the output schema.
+  return std::string(OpKindName(kind_)) + "|" + LocalToString();
+}
+
+std::string Expr::TreeSignature() const {
+  std::string out = LocalSignature();
+  if (!children_.empty()) {
+    out += "[";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) out += ";";
+      out += children_[i]->TreeSignature();
+    }
+    out += "]";
+  }
+  return out;
+}
+
+void Expr::TreeToStringImpl(int indent, std::string* out) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(LocalToString());
+  out->append("\n");
+  for (const Ptr& c : children_) c->TreeToStringImpl(indent + 1, out);
+}
+
+std::string Expr::TreeToString() const {
+  std::string out;
+  TreeToStringImpl(0, &out);
+  return out;
+}
+
+std::set<std::string> Expr::BaseRelations() const {
+  std::set<std::string> out;
+  if (kind_ == OpKind::kScan) {
+    out.insert(table_);
+    return out;
+  }
+  for (const Ptr& c : children_) {
+    for (const std::string& r : c->BaseRelations()) out.insert(r);
+  }
+  return out;
+}
+
+}  // namespace auxview

@@ -1,0 +1,128 @@
+#ifndef AUXVIEW_ALGEBRA_EXPR_H_
+#define AUXVIEW_ALGEBRA_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/scalar.h"
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace auxview {
+
+/// Logical operator kinds. The language matches the paper's scope: SPJ with
+/// grouping/aggregation and duplicate elimination, bag semantics.
+enum class OpKind {
+  kScan,
+  kSelect,
+  kProject,
+  kJoin,
+  kAggregate,
+  kDupElim,
+};
+
+const char* OpKindName(OpKind kind);
+
+/// Aggregate functions.
+enum class AggFunc { kSum, kCount, kMin, kMax, kAvg };
+
+const char* AggFuncName(AggFunc func);
+
+/// One aggregate in a grouping operator: FUNC(arg) AS output_name.
+/// `arg` is null for COUNT(*).
+struct AggSpec {
+  AggFunc func = AggFunc::kSum;
+  Scalar::Ptr arg;
+  std::string output_name;
+
+  std::string ToString() const;
+};
+
+/// One computed output column of a Project: expr AS name.
+struct ProjectItem {
+  Scalar::Ptr expr;
+  std::string name;
+};
+
+/// An immutable logical algebra expression tree.
+///
+/// Joins are natural-style equi-joins on a named attribute list: the join
+/// attributes must appear in both inputs (with matching types) and are merged
+/// in the output, matching the paper's `Join (DName)` notation. Any column
+/// name shared by both inputs must be a join attribute, which keeps derived
+/// schemas free of duplicate names.
+class Expr {
+ public:
+  using Ptr = std::shared_ptr<const Expr>;
+
+  /// Leaf scan of a base relation with the given schema.
+  static Ptr Scan(std::string table, Schema schema);
+
+  static StatusOr<Ptr> Select(Ptr child, Scalar::Ptr predicate);
+  static StatusOr<Ptr> Project(Ptr child, std::vector<ProjectItem> items);
+  static StatusOr<Ptr> Join(Ptr left, Ptr right,
+                            std::vector<std::string> join_attrs);
+  static StatusOr<Ptr> Aggregate(Ptr child, std::vector<std::string> group_by,
+                                 std::vector<AggSpec> aggs);
+  static StatusOr<Ptr> DupElim(Ptr child);
+
+  OpKind kind() const { return kind_; }
+  const Schema& output_schema() const { return output_schema_; }
+  const std::vector<Ptr>& children() const { return children_; }
+  const Ptr& child(int i) const { return children_[i]; }
+  int num_children() const { return static_cast<int>(children_.size()); }
+
+  // Kind-specific accessors (valid only for the matching kind).
+  const std::string& table() const { return table_; }
+  const Scalar::Ptr& predicate() const { return predicate_; }
+  const std::vector<ProjectItem>& projections() const { return projections_; }
+  const std::vector<std::string>& join_attrs() const { return join_attrs_; }
+  const std::vector<std::string>& group_by() const { return group_by_; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
+
+  /// Rebuilds this operator over new inputs (same parameters).
+  StatusOr<Ptr> WithChildren(std::vector<Ptr> children) const;
+
+  /// Canonical one-line description of this operator alone, e.g.
+  /// "Join (DName)" or "Aggregate (SUM(Salary) BY DName, Budget)".
+  std::string LocalToString() const;
+
+  /// Canonical signature of the operator's parameters, excluding children.
+  /// Used by the memo to deduplicate operation nodes.
+  std::string LocalSignature() const;
+
+  /// Canonical signature of the whole tree.
+  std::string TreeSignature() const;
+
+  /// Multi-line indented tree rendering (Figure 1-style output).
+  std::string TreeToString() const;
+
+  /// Names of base relations scanned anywhere in the tree.
+  std::set<std::string> BaseRelations() const;
+
+ private:
+  Expr(OpKind kind, Schema schema, std::vector<Ptr> children)
+      : kind_(kind),
+        output_schema_(std::move(schema)),
+        children_(std::move(children)) {}
+
+  void TreeToStringImpl(int indent, std::string* out) const;
+
+  OpKind kind_;
+  Schema output_schema_;
+  std::vector<Ptr> children_;
+
+  std::string table_;
+  Scalar::Ptr predicate_;
+  std::vector<ProjectItem> projections_;
+  std::vector<std::string> join_attrs_;
+  std::vector<std::string> group_by_;
+  std::vector<AggSpec> aggs_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_ALGEBRA_EXPR_H_

@@ -1,0 +1,259 @@
+#include "algebra/scalar.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace auxview {
+
+const char* ScalarOpName(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kColumn:
+      return "col";
+    case ScalarOp::kLiteral:
+      return "lit";
+    case ScalarOp::kAdd:
+      return "+";
+    case ScalarOp::kSub:
+      return "-";
+    case ScalarOp::kMul:
+      return "*";
+    case ScalarOp::kDiv:
+      return "/";
+    case ScalarOp::kEq:
+      return "=";
+    case ScalarOp::kNe:
+      return "<>";
+    case ScalarOp::kLt:
+      return "<";
+    case ScalarOp::kLe:
+      return "<=";
+    case ScalarOp::kGt:
+      return ">";
+    case ScalarOp::kGe:
+      return ">=";
+    case ScalarOp::kAnd:
+      return "AND";
+    case ScalarOp::kOr:
+      return "OR";
+    case ScalarOp::kNot:
+      return "NOT";
+  }
+  return "?";
+}
+
+Scalar::Ptr Scalar::Column(std::string name) {
+  return Ptr(new Scalar(ScalarOp::kColumn, std::move(name), Value::Null(), {}));
+}
+
+Scalar::Ptr Scalar::Literal(Value value) {
+  return Ptr(new Scalar(ScalarOp::kLiteral, "", std::move(value), {}));
+}
+
+Scalar::Ptr Scalar::Binary(ScalarOp op, Ptr lhs, Ptr rhs) {
+  AUXVIEW_CHECK(lhs != nullptr && rhs != nullptr);
+  return Ptr(new Scalar(op, "", Value::Null(), {std::move(lhs), std::move(rhs)}));
+}
+
+Scalar::Ptr Scalar::Not(Ptr child) {
+  AUXVIEW_CHECK(child != nullptr);
+  return Ptr(new Scalar(ScalarOp::kNot, "", Value::Null(), {std::move(child)}));
+}
+
+namespace {
+
+bool IsComparison(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kEq:
+    case ScalarOp::kNe:
+    case ScalarOp::kLt:
+    case ScalarOp::kLe:
+    case ScalarOp::kGt:
+    case ScalarOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsArithmetic(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kAdd:
+    case ScalarOp::kSub:
+    case ScalarOp::kMul:
+    case ScalarOp::kDiv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+StatusOr<Value> Scalar::Eval(const Row& row, const Schema& schema) const {
+  switch (op_) {
+    case ScalarOp::kColumn: {
+      const int idx = schema.IndexOf(column_);
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown column in expression: " +
+                                       column_ + " (schema: " +
+                                       schema.ToString() + ")");
+      }
+      return row[idx];
+    }
+    case ScalarOp::kLiteral:
+      return literal_;
+    case ScalarOp::kNot: {
+      AUXVIEW_ASSIGN_OR_RETURN(Value v, children_[0]->Eval(row, schema));
+      if (v.is_null()) return Value::Null();
+      return Value::Bool(!v.boolean());
+    }
+    default:
+      break;
+  }
+  AUXVIEW_ASSIGN_OR_RETURN(Value l, children_[0]->Eval(row, schema));
+  AUXVIEW_ASSIGN_OR_RETURN(Value r, children_[1]->Eval(row, schema));
+  if (op_ == ScalarOp::kAnd || op_ == ScalarOp::kOr) {
+    if (l.is_null() || r.is_null()) return Value::Null();
+    const bool lb = l.boolean();
+    const bool rb = r.boolean();
+    return Value::Bool(op_ == ScalarOp::kAnd ? (lb && rb) : (lb || rb));
+  }
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (IsComparison(op_)) {
+    const int c = l.Compare(r);
+    switch (op_) {
+      case ScalarOp::kEq:
+        return Value::Bool(c == 0);
+      case ScalarOp::kNe:
+        return Value::Bool(c != 0);
+      case ScalarOp::kLt:
+        return Value::Bool(c < 0);
+      case ScalarOp::kLe:
+        return Value::Bool(c <= 0);
+      case ScalarOp::kGt:
+        return Value::Bool(c > 0);
+      case ScalarOp::kGe:
+        return Value::Bool(c >= 0);
+      default:
+        break;
+    }
+  }
+  if (IsArithmetic(op_)) {
+    if (!l.is_numeric() || !r.is_numeric()) {
+      return Status::InvalidArgument("arithmetic on non-numeric values");
+    }
+    const bool both_int =
+        l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64;
+    if (both_int && op_ != ScalarOp::kDiv) {
+      const int64_t a = l.int64();
+      const int64_t b = r.int64();
+      switch (op_) {
+        case ScalarOp::kAdd:
+          return Value::Int64(a + b);
+        case ScalarOp::kSub:
+          return Value::Int64(a - b);
+        case ScalarOp::kMul:
+          return Value::Int64(a * b);
+        default:
+          break;
+      }
+    }
+    const double a = l.AsDouble();
+    const double b = r.AsDouble();
+    switch (op_) {
+      case ScalarOp::kAdd:
+        return Value::Double(a + b);
+      case ScalarOp::kSub:
+        return Value::Double(a - b);
+      case ScalarOp::kMul:
+        return Value::Double(a * b);
+      case ScalarOp::kDiv:
+        if (b == 0) return Value::Null();
+        return Value::Double(a / b);
+      default:
+        break;
+    }
+  }
+  return Status::Internal("unhandled scalar op");
+}
+
+void Scalar::CollectColumns(std::set<std::string>* out) const {
+  if (op_ == ScalarOp::kColumn) {
+    out->insert(column_);
+    return;
+  }
+  for (const Ptr& c : children_) c->CollectColumns(out);
+}
+
+std::set<std::string> Scalar::Columns() const {
+  std::set<std::string> out;
+  CollectColumns(&out);
+  return out;
+}
+
+StatusOr<ValueType> Scalar::InferType(const Schema& schema) const {
+  switch (op_) {
+    case ScalarOp::kColumn: {
+      const int idx = schema.IndexOf(column_);
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown column: " + column_);
+      }
+      return schema.column(idx).type;
+    }
+    case ScalarOp::kLiteral:
+      return literal_.type();
+    case ScalarOp::kNot:
+      return ValueType::kBool;
+    default:
+      break;
+  }
+  if (IsComparison(op_) || op_ == ScalarOp::kAnd || op_ == ScalarOp::kOr) {
+    return ValueType::kBool;
+  }
+  AUXVIEW_ASSIGN_OR_RETURN(ValueType lt, children_[0]->InferType(schema));
+  AUXVIEW_ASSIGN_OR_RETURN(ValueType rt, children_[1]->InferType(schema));
+  if (op_ == ScalarOp::kDiv) return ValueType::kDouble;
+  if (lt == ValueType::kInt64 && rt == ValueType::kInt64) {
+    return ValueType::kInt64;
+  }
+  return ValueType::kDouble;
+}
+
+std::string Scalar::ToString() const {
+  switch (op_) {
+    case ScalarOp::kColumn:
+      return column_;
+    case ScalarOp::kLiteral:
+      return literal_.ToString();
+    case ScalarOp::kNot:
+      return std::string("NOT (") + children_[0]->ToString() + ")";
+    default:
+      return "(" + children_[0]->ToString() + " " + ScalarOpName(op_) + " " +
+             children_[1]->ToString() + ")";
+  }
+}
+
+bool Scalar::Equals(const Scalar& other) const {
+  return ToString() == other.ToString();
+}
+
+void Scalar::SplitConjuncts(const Ptr& pred, std::vector<Ptr>* out) {
+  if (pred == nullptr) return;
+  if (pred->op() == ScalarOp::kAnd) {
+    SplitConjuncts(pred->children()[0], out);
+    SplitConjuncts(pred->children()[1], out);
+    return;
+  }
+  out->push_back(pred);
+}
+
+Scalar::Ptr Scalar::CombineConjuncts(const std::vector<Ptr>& conjuncts) {
+  Ptr out;
+  for (const Ptr& c : conjuncts) {
+    out = out == nullptr ? c : And(out, c);
+  }
+  return out;
+}
+
+}  // namespace auxview

@@ -1,0 +1,104 @@
+#ifndef AUXVIEW_ALGEBRA_SCALAR_H_
+#define AUXVIEW_ALGEBRA_SCALAR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace auxview {
+
+/// Scalar expression node kinds.
+enum class ScalarOp {
+  kColumn,
+  kLiteral,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+};
+
+const char* ScalarOpName(ScalarOp op);
+
+/// An immutable scalar expression tree over named columns.
+///
+/// Scalars appear in selection/having predicates, generalized projections and
+/// aggregate arguments (e.g. `SUM(S.Quantity * T.Price)` from the paper's
+/// Figure 5).
+class Scalar {
+ public:
+  using Ptr = std::shared_ptr<const Scalar>;
+
+  static Ptr Column(std::string name);
+  static Ptr Literal(Value value);
+  static Ptr Binary(ScalarOp op, Ptr lhs, Ptr rhs);
+  static Ptr Not(Ptr child);
+
+  // Convenience constructors.
+  static Ptr Eq(Ptr l, Ptr r) { return Binary(ScalarOp::kEq, l, r); }
+  static Ptr Gt(Ptr l, Ptr r) { return Binary(ScalarOp::kGt, l, r); }
+  static Ptr Lt(Ptr l, Ptr r) { return Binary(ScalarOp::kLt, l, r); }
+  static Ptr And(Ptr l, Ptr r) { return Binary(ScalarOp::kAnd, l, r); }
+  static Ptr Mul(Ptr l, Ptr r) { return Binary(ScalarOp::kMul, l, r); }
+
+  ScalarOp op() const { return op_; }
+  const std::string& column_name() const { return column_; }
+  const Value& literal() const { return literal_; }
+  const std::vector<Ptr>& children() const { return children_; }
+
+  /// Evaluates against `row` with layout `schema`. Comparison/logic yield
+  /// Bool; arithmetic yields Int64 when both operands are Int64, else Double.
+  /// NULL operands propagate to NULL (SQL three-valued-ish: NULL predicate
+  /// counts as not satisfied).
+  StatusOr<Value> Eval(const Row& row, const Schema& schema) const;
+
+  /// Inserts every referenced column name into `out`.
+  void CollectColumns(std::set<std::string>* out) const;
+
+  /// Column names referenced by this expression.
+  std::set<std::string> Columns() const;
+
+  /// Result type under `schema`.
+  StatusOr<ValueType> InferType(const Schema& schema) const;
+
+  /// Canonical rendering; equal strings <=> structurally equal expressions.
+  std::string ToString() const;
+
+  bool Equals(const Scalar& other) const;
+
+  /// Splits a conjunctive predicate into its conjuncts (flattens AND).
+  static void SplitConjuncts(const Ptr& pred, std::vector<Ptr>* out);
+
+  /// Rebuilds a conjunction from `conjuncts` (nullptr for empty).
+  static Ptr CombineConjuncts(const std::vector<Ptr>& conjuncts);
+
+ private:
+  Scalar(ScalarOp op, std::string column, Value literal,
+         std::vector<Ptr> children)
+      : op_(op),
+        column_(std::move(column)),
+        literal_(std::move(literal)),
+        children_(std::move(children)) {}
+
+  ScalarOp op_;
+  std::string column_;
+  Value literal_;
+  std::vector<Ptr> children_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_ALGEBRA_SCALAR_H_

@@ -1,0 +1,482 @@
+#include "api/session.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "exec/executor.h"
+#include "maintain/assertion.h"
+#include "parser/parser.h"
+
+namespace auxview {
+
+namespace {
+
+/// Converts a SQL expression over one table's columns to a Scalar
+/// (qualifiers must match the table name when present).
+StatusOr<Scalar::Ptr> ToTableScalar(const SqlExpr::Ptr& e,
+                                    const std::string& table,
+                                    const Schema& schema) {
+  switch (e->kind) {
+    case SqlExpr::Kind::kColumn:
+      if (!e->qualifier.empty() && e->qualifier != table) {
+        return Status::InvalidArgument("unknown qualifier: " + e->qualifier);
+      }
+      if (!schema.Contains(e->name)) {
+        return Status::InvalidArgument("unknown column: " + e->name);
+      }
+      return Scalar::Column(e->name);
+    case SqlExpr::Kind::kLiteral:
+      return Scalar::Literal(e->literal);
+    case SqlExpr::Kind::kUnaryNot: {
+      AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr inner,
+                               ToTableScalar(e->args[0], table, schema));
+      return Scalar::Not(inner);
+    }
+    case SqlExpr::Kind::kBinary: {
+      AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr l,
+                               ToTableScalar(e->args[0], table, schema));
+      AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr r,
+                               ToTableScalar(e->args[1], table, schema));
+      static const std::map<std::string, ScalarOp> kOps = {
+          {"+", ScalarOp::kAdd}, {"-", ScalarOp::kSub},
+          {"*", ScalarOp::kMul}, {"/", ScalarOp::kDiv},
+          {"=", ScalarOp::kEq},  {"<>", ScalarOp::kNe},
+          {"<", ScalarOp::kLt},  {"<=", ScalarOp::kLe},
+          {">", ScalarOp::kGt},  {">=", ScalarOp::kGe},
+          {"AND", ScalarOp::kAnd}, {"OR", ScalarOp::kOr}};
+      auto it = kOps.find(e->op);
+      if (it == kOps.end()) {
+        return Status::InvalidArgument("unsupported operator: " + e->op);
+      }
+      return Scalar::Binary(it->second, l, r);
+    }
+    case SqlExpr::Kind::kFuncCall:
+      return Status::InvalidArgument("aggregates not allowed in DML");
+  }
+  return Status::Internal("unhandled SqlExpr");
+}
+
+/// Evaluates a column-free expression (literal / arithmetic).
+StatusOr<Value> EvalConstant(const SqlExpr::Ptr& e) {
+  static const Schema kEmpty;
+  AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr scalar, ToTableScalar(e, "", kEmpty));
+  static const Row kNoRow;
+  return scalar->Eval(kNoRow, kEmpty);
+}
+
+/// Coerces a value to a column type where lossless (int -> double).
+StatusOr<Value> Coerce(const Value& v, ValueType type,
+                       const std::string& col) {
+  if (v.is_null() || v.type() == type) return v;
+  if (type == ValueType::kDouble && v.type() == ValueType::kInt64) {
+    return Value::Double(static_cast<double>(v.int64()));
+  }
+  if (type == ValueType::kInt64 && v.type() == ValueType::kDouble &&
+      v.dbl() == static_cast<double>(static_cast<int64_t>(v.dbl()))) {
+    return Value::Int64(static_cast<int64_t>(v.dbl()));
+  }
+  return Status::InvalidArgument("type mismatch for column " + col + ": " +
+                                 v.ToString());
+}
+
+/// The inverse of a concrete transaction (for rollback).
+ConcreteTxn Invert(const ConcreteTxn& txn) {
+  ConcreteTxn inverse;
+  inverse.type_name = txn.type_name + "_rollback";
+  for (const TableUpdate& u : txn.updates) {
+    TableUpdate r;
+    r.relation = u.relation;
+    r.inserts = u.deletes;
+    r.deletes = u.inserts;
+    for (const auto& [old_row, new_row] : u.modifies) {
+      r.modifies.emplace_back(new_row, old_row);
+    }
+    inverse.updates.push_back(std::move(r));
+  }
+  return inverse;
+}
+
+TransactionType InvertType(const TransactionType& type) {
+  TransactionType inverse = type;
+  inverse.name += "_rollback";
+  for (UpdateSpec& spec : inverse.updates) {
+    if (spec.kind == UpdateKind::kInsert) {
+      spec.kind = UpdateKind::kDelete;
+    } else if (spec.kind == UpdateKind::kDelete) {
+      spec.kind = UpdateKind::kInsert;
+    }
+  }
+  return inverse;
+}
+
+}  // namespace
+
+Session::Session(SessionOptions options)
+    : options_(std::move(options)), binder_(&catalog_) {
+  // In a Session every root is a user-facing materialized view; its update
+  // costs are real, both in the estimates and at the I/O counter (unlike
+  // the paper's worked example, which excludes the assertion view).
+  options_.optimize.cost.include_root_update_cost = true;
+  options_.maintain.charge_root_update = true;
+}
+
+void Session::DeclareWorkload(std::vector<TransactionType> txns) {
+  workload_ = std::move(txns);
+}
+
+StatusOr<ExecResult> Session::Execute(const std::string& sql) {
+  AUXVIEW_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseSql(sql));
+  if (stmts.empty()) return Status::InvalidArgument("empty statement");
+  ExecResult last;
+  for (const Statement& stmt : stmts) {
+    AUXVIEW_ASSIGN_OR_RETURN(last, ExecuteOne(stmt));
+    if (last.rejected()) break;  // a rejected DML aborts the script
+  }
+  return last;
+}
+
+StatusOr<ExecResult> Session::ExecuteOne(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateTable: {
+      if (prepared()) {
+        return Status::FailedPrecondition(
+            "schema changes after Prepare are not supported");
+      }
+      AUXVIEW_RETURN_IF_ERROR(binder_.Bind(stmt));
+      AUXVIEW_ASSIGN_OR_RETURN(TableDef def,
+                               catalog_.GetTable(stmt.create_table->name));
+      AUXVIEW_RETURN_IF_ERROR(db_.CreateTable(std::move(def)).status());
+      return ExecResult{};
+    }
+    case Statement::Kind::kCreateView:
+    case Statement::Kind::kCreateAssertion: {
+      if (prepared()) {
+        return Status::FailedPrecondition(
+            "view/assertion changes after Prepare are not supported");
+      }
+      AUXVIEW_RETURN_IF_ERROR(binder_.Bind(stmt));
+      return ExecResult{};
+    }
+    case Statement::Kind::kSelect:
+      return ExecuteSelect(*stmt.select);
+    case Statement::Kind::kInsert:
+    case Statement::Kind::kDelete:
+    case Statement::Kind::kUpdate:
+      return ApplyDml(stmt);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+StatusOr<ExecResult> Session::ExecuteSelect(const SelectQuery& query) {
+  ExecResult result;
+  result.kind = ExecResult::Kind::kRows;
+  // SELECT * FROM <maintained view>: serve straight from the materialized
+  // table — the whole point of maintaining it.
+  if (prepared() && query.from.size() == 1 && query.items.size() == 1 &&
+      query.items[0].star && query.where == nullptr &&
+      query.group_by.empty() && !query.distinct) {
+    auto it = roots_.find(query.from[0]);
+    if (it != roots_.end()) {
+      AUXVIEW_ASSIGN_OR_RETURN(Relation rows,
+                               manager_->ViewContents(it->second));
+      result.rows = std::move(rows);
+      return result;
+    }
+  }
+  AUXVIEW_ASSIGN_OR_RETURN(Expr::Ptr tree, binder_.BindSelect(query));
+  Executor executor(&db_);
+  AUXVIEW_ASSIGN_OR_RETURN(Relation rows, executor.Execute(*tree));
+  result.rows = std::move(rows);
+  return result;
+}
+
+StatusOr<std::vector<Row>> Session::MatchingRows(const std::string& table,
+                                                 const SqlExpr::Ptr& where) {
+  const Table* t = db_.FindTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  Scalar::Ptr pred;
+  if (where != nullptr) {
+    AUXVIEW_ASSIGN_OR_RETURN(pred, ToTableScalar(where, table, t->schema()));
+  }
+  std::vector<Row> out;
+  for (const CountedRow& cr : t->SnapshotUncharged()) {
+    if (pred != nullptr) {
+      AUXVIEW_ASSIGN_OR_RETURN(Value v, pred->Eval(cr.row, t->schema()));
+      if (v.is_null() || !v.boolean()) continue;
+    }
+    out.push_back(cr.row);
+  }
+  return out;
+}
+
+StatusOr<ConcreteTxn> Session::BuildConcreteTxn(const Statement& stmt,
+                                                TransactionType* type) {
+  ConcreteTxn txn;
+  UpdateSpec spec;
+  TableUpdate update;
+  switch (stmt.kind) {
+    case Statement::Kind::kInsert: {
+      const InsertStmt& ins = *stmt.insert;
+      const Table* t = db_.FindTable(ins.table);
+      if (t == nullptr) return Status::NotFound("no such table: " + ins.table);
+      update.relation = ins.table;
+      for (const auto& exprs : ins.rows) {
+        if (static_cast<int>(exprs.size()) != t->schema().num_columns()) {
+          return Status::InvalidArgument("INSERT arity mismatch for " +
+                                         ins.table);
+        }
+        Row row;
+        for (size_t i = 0; i < exprs.size(); ++i) {
+          AUXVIEW_ASSIGN_OR_RETURN(Value v, EvalConstant(exprs[i]));
+          AUXVIEW_ASSIGN_OR_RETURN(
+              v, Coerce(v, t->schema().column(static_cast<int>(i)).type,
+                        t->schema().column(static_cast<int>(i)).name));
+          row.push_back(std::move(v));
+        }
+        update.inserts.emplace_back(std::move(row), 1);
+      }
+      spec.relation = ins.table;
+      spec.kind = UpdateKind::kInsert;
+      spec.count = static_cast<double>(ins.rows.size());
+      txn.type_name = "insert:" + ins.table;
+      break;
+    }
+    case Statement::Kind::kDelete: {
+      const DeleteStmt& del = *stmt.del;
+      AUXVIEW_ASSIGN_OR_RETURN(std::vector<Row> victims,
+                               MatchingRows(del.table, del.where));
+      const Table* t = db_.FindTable(del.table);
+      update.relation = del.table;
+      for (const Row& row : victims) {
+        update.deletes.emplace_back(row, t->CountOf(row));
+      }
+      spec.relation = del.table;
+      spec.kind = UpdateKind::kDelete;
+      spec.count = std::max<double>(1, static_cast<double>(victims.size()));
+      txn.type_name = "delete:" + del.table;
+      break;
+    }
+    case Statement::Kind::kUpdate: {
+      const UpdateStmt& upd = *stmt.update;
+      const Table* t = db_.FindTable(upd.table);
+      if (t == nullptr) return Status::NotFound("no such table: " + upd.table);
+      AUXVIEW_ASSIGN_OR_RETURN(std::vector<Row> victims,
+                               MatchingRows(upd.table, upd.where));
+      update.relation = upd.table;
+      std::vector<std::pair<int, Scalar::Ptr>> sets;
+      for (const auto& [col, expr] : upd.sets) {
+        const int idx = t->schema().IndexOf(col);
+        if (idx < 0) return Status::InvalidArgument("unknown column: " + col);
+        AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr scalar,
+                                 ToTableScalar(expr, upd.table, t->schema()));
+        sets.emplace_back(idx, std::move(scalar));
+        spec.modified_attrs.push_back(col);
+      }
+      for (const Row& old_row : victims) {
+        Row new_row = old_row;
+        for (const auto& [idx, scalar] : sets) {
+          AUXVIEW_ASSIGN_OR_RETURN(Value v, scalar->Eval(old_row, t->schema()));
+          AUXVIEW_ASSIGN_OR_RETURN(v, Coerce(v, t->schema().column(idx).type,
+                                             t->schema().column(idx).name));
+          new_row[static_cast<size_t>(idx)] = std::move(v);
+        }
+        if (!RowEq()(old_row, new_row)) {
+          update.modifies.emplace_back(old_row, new_row);
+        }
+      }
+      spec.relation = upd.table;
+      spec.kind = UpdateKind::kModify;
+      spec.count = std::max<double>(1, static_cast<double>(victims.size()));
+      txn.type_name = "update:" + upd.table;
+      break;
+    }
+    default:
+      return Status::Internal("not a DML statement");
+  }
+  txn.updates.push_back(std::move(update));
+  type->name = txn.type_name;
+  type->weight = 1;
+  type->updates = {std::move(spec)};
+  return txn;
+}
+
+Status Session::ApplyDirect(const ConcreteTxn& txn) {
+  for (const TableUpdate& u : txn.updates) {
+    Table* t = db_.FindTable(u.relation);
+    if (t == nullptr) return Status::NotFound("no such table: " + u.relation);
+    ScopedCountingDisabled guard(&db_.counter());
+    for (const auto& [row, count] : u.inserts) {
+      AUXVIEW_RETURN_IF_ERROR(t->Insert(row, count));
+    }
+    for (const auto& [row, count] : u.deletes) {
+      AUXVIEW_RETURN_IF_ERROR(t->Delete(row, count));
+    }
+    for (const auto& [old_row, new_row] : u.modifies) {
+      AUXVIEW_RETURN_IF_ERROR(t->Modify(old_row, new_row));
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<UpdateTrack> Session::TrackFor(const TransactionType& type) {
+  std::string key = type.name;
+  for (const UpdateSpec& spec : type.updates) {
+    key += "|" + spec.relation + ":" + UpdateKindName(spec.kind) + ":" +
+           Join(spec.modified_attrs, ",") + ":" +
+           std::to_string(static_cast<int>(spec.count));
+  }
+  auto it = track_cache_.find(key);
+  if (it != track_cache_.end()) return it->second;
+  AUXVIEW_ASSIGN_OR_RETURN(TxnPlan plan,
+                           selector_->BestTrack(plan_.views, type,
+                                                options_.optimize));
+  track_cache_[key] = plan.track;
+  return plan.track;
+}
+
+StatusOr<ExecResult> Session::ApplyDml(const Statement& stmt) {
+  TransactionType type;
+  AUXVIEW_ASSIGN_OR_RETURN(ConcreteTxn txn, BuildConcreteTxn(stmt, &type));
+  ExecResult result;
+  result.kind = ExecResult::Kind::kDml;
+  for (const TableUpdate& u : txn.updates) {
+    result.affected += static_cast<int64_t>(u.inserts.size()) +
+                       static_cast<int64_t>(u.deletes.size()) +
+                       static_cast<int64_t>(u.modifies.size());
+  }
+  if (result.affected == 0) return result;
+
+  if (!prepared()) {
+    AUXVIEW_RETURN_IF_ERROR(ApplyDirect(txn));
+    return result;
+  }
+
+  AUXVIEW_ASSIGN_OR_RETURN(UpdateTrack track, TrackFor(type));
+  AUXVIEW_RETURN_IF_ERROR(manager_->ApplyTransaction(txn, type, track));
+
+  // Assertion enforcement: a violating transaction rolls back.
+  for (const BoundAssertion& assertion : binder_.assertions()) {
+    auto root_it = roots_.find(assertion.name);
+    if (root_it == roots_.end()) continue;
+    AUXVIEW_ASSIGN_OR_RETURN(Relation contents,
+                             manager_->ViewContents(root_it->second));
+    if (!contents.empty()) {
+      const ConcreteTxn inverse = Invert(txn);
+      const TransactionType inverse_type = InvertType(type);
+      AUXVIEW_ASSIGN_OR_RETURN(UpdateTrack inverse_track,
+                               TrackFor(inverse_type));
+      AUXVIEW_RETURN_IF_ERROR(
+          manager_->ApplyTransaction(inverse, inverse_type, inverse_track));
+      result.violated_assertion = assertion.name;
+      result.affected = 0;
+      return result;
+    }
+  }
+  return result;
+}
+
+Status Session::Prepare() {
+  if (prepared()) return Status::FailedPrecondition("already prepared");
+  if (binder_.views().empty() && binder_.assertions().empty()) {
+    return Status::FailedPrecondition(
+        "declare at least one view or assertion before Prepare");
+  }
+  // Refresh statistics from the loaded data.
+  for (const std::string& name : db_.TableNames()) {
+    AUXVIEW_ASSIGN_OR_RETURN(RelationStats stats, db_.RefreshStats(name));
+    AUXVIEW_RETURN_IF_ERROR(catalog_.SetStats(name, stats));
+  }
+
+  // One expression DAG, multiple roots (Section 6).
+  memo_ = std::make_unique<Memo>();
+  std::vector<GroupId> roots;
+  for (const BoundView& view : binder_.views()) {
+    AUXVIEW_ASSIGN_OR_RETURN(GroupId g, memo_->AddTree(view.expr));
+    roots_.emplace(view.name, g);
+    roots.push_back(g);
+  }
+  for (const BoundAssertion& assertion : binder_.assertions()) {
+    AUXVIEW_ASSIGN_OR_RETURN(GroupId g, memo_->AddTree(assertion.expr));
+    roots_.emplace(assertion.name, g);
+    roots.push_back(g);
+  }
+  const auto rules = DefaultRuleSet();
+  AUXVIEW_RETURN_IF_ERROR(
+      ExpandMemo(memo_.get(), catalog_, rules, options_.expand).status());
+  // Group merges may have collapsed roots.
+  for (auto& [name, g] : roots_) g = memo_->Find(g);
+  for (GroupId& g : roots) g = memo_->Find(g);
+
+  if (workload_.empty()) {
+    for (const std::string& name : db_.TableNames()) {
+      TransactionType txn;
+      txn.name = ">" + name;
+      txn.weight = 1;
+      txn.updates.push_back(UpdateSpec{name, UpdateKind::kModify, 1, {}, {}});
+      workload_.push_back(std::move(txn));
+    }
+  }
+
+  selector_ = std::make_unique<ViewSelector>(memo_.get(), &catalog_);
+  StatusOr<OptimizeResult> plan = [&]() -> StatusOr<OptimizeResult> {
+    if (roots.size() == 1 &&
+        options_.strategy != Strategy::kExhaustive) {
+      memo_->set_root(roots[0]);
+      switch (options_.strategy) {
+        case Strategy::kShielding:
+          return selector_->Shielding(workload_, options_.optimize);
+        case Strategy::kSingleTree:
+          return selector_->SingleTree(workload_, options_.optimize);
+        case Strategy::kHeuristicMarking:
+          return selector_->HeuristicMarking(workload_, options_.optimize);
+        case Strategy::kGreedy:
+          return selector_->Greedy(workload_, options_.optimize);
+        default:
+          break;
+      }
+    }
+    return selector_->ExhaustiveMultiView(roots, workload_,
+                                          options_.optimize);
+  }();
+  AUXVIEW_RETURN_IF_ERROR(plan.status());
+  plan_ = std::move(plan).value();
+  for (GroupId g : roots) plan_.views.insert(g);
+
+  manager_ = std::make_unique<ViewManager>(memo_.get(), &catalog_, &db_,
+                                           options_.maintain);
+  return manager_->Materialize(plan_.views);
+}
+
+StatusOr<GroupId> Session::GroupOf(const std::string& name) const {
+  auto it = roots_.find(name);
+  if (it == roots_.end()) {
+    return Status::NotFound("no such view or assertion: " + name);
+  }
+  return it->second;
+}
+
+StatusOr<Relation> Session::ViewContents(const std::string& name) const {
+  if (!prepared()) return Status::FailedPrecondition("call Prepare first");
+  AUXVIEW_ASSIGN_OR_RETURN(GroupId g, GroupOf(name));
+  return manager_->ViewContents(g);
+}
+
+StatusOr<std::vector<AssertionCheck>> Session::CheckAssertions() const {
+  if (!prepared()) return Status::FailedPrecondition("call Prepare first");
+  AssertionChecker checker(manager_.get());
+  std::vector<AssertionCheck> out;
+  for (const BoundAssertion& assertion : binder_.assertions()) {
+    AUXVIEW_ASSIGN_OR_RETURN(GroupId g, GroupOf(assertion.name));
+    AUXVIEW_ASSIGN_OR_RETURN(AssertionCheck check,
+                             checker.Check(assertion.name, g));
+    out.push_back(std::move(check));
+  }
+  return out;
+}
+
+Status Session::CheckConsistency() const {
+  if (!prepared()) return Status::FailedPrecondition("call Prepare first");
+  return manager_->CheckConsistency();
+}
+
+}  // namespace auxview

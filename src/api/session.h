@@ -1,0 +1,129 @@
+#ifndef AUXVIEW_API_SESSION_H_
+#define AUXVIEW_API_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/relation.h"
+#include "maintain/assertion.h"
+#include "maintain/view_manager.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/select_views.h"
+#include "parser/binder.h"
+#include "storage/database.h"
+
+namespace auxview {
+
+/// Result of Session::Execute for one statement.
+struct ExecResult {
+  enum class Kind { kDdl, kRows, kDml };
+  Kind kind = Kind::kDdl;
+  /// SELECT results.
+  std::optional<Relation> rows;
+  /// DML: tuples inserted/deleted/modified.
+  int64_t affected = 0;
+  /// DML rejected because an assertion would be violated (the transaction
+  /// was rolled back); the violating assertion's name.
+  std::string violated_assertion;
+
+  bool rejected() const { return !violated_assertion.empty(); }
+};
+
+/// Options for a Session.
+struct SessionOptions {
+  /// Strategy used by Prepare to pick the auxiliary views.
+  Strategy strategy = Strategy::kExhaustive;
+  OptimizeOptions optimize;
+  ExpandOptions expand;
+  MaintainOptions maintain;
+};
+
+/// The end-to-end facade: a tiny "database" whose views and assertions are
+/// maintained incrementally with optimizer-chosen auxiliary views.
+///
+///   Session session;
+///   session.Execute("CREATE TABLE ...; CREATE VIEW ...; "
+///                   "CREATE ASSERTION a CHECK (NOT EXISTS (...));");
+///   session.Execute("INSERT INTO Emp VALUES ('e1', 'd1', 50000);");
+///   session.DeclareWorkload({SingleModifyTxn(">Emp", "Emp", {"Salary"})});
+///   session.Prepare();   // optimize + materialize (Section 6: one memo,
+///                        // multiple roots — all views and assertions)
+///   session.Execute("UPDATE Emp SET Salary = 99999 WHERE EName = 'e1';");
+///   //  -> maintained incrementally; REJECTED (rolled back) if it would
+///   //     violate an assertion.
+///
+/// Before Prepare, DML applies to base tables directly (bulk-load phase).
+/// After Prepare, every DML statement flows through the chosen update
+/// tracks and all views stay consistent.
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+
+  /// Parses and executes a ';'-separated script; returns the result of the
+  /// last statement.
+  StatusOr<ExecResult> Execute(const std::string& sql);
+
+  /// Declares the expected update workload (transaction types + weights)
+  /// used by Prepare's optimization. Optional: without it, Prepare derives
+  /// one modify-transaction per base relation with equal weights.
+  void DeclareWorkload(std::vector<TransactionType> txns);
+
+  /// Builds the multi-root expression DAG over every view and assertion,
+  /// runs view selection, and materializes the chosen views.
+  Status Prepare();
+
+  bool prepared() const { return manager_ != nullptr; }
+
+  /// Chosen view set and its expected cost (valid after Prepare).
+  const OptimizeResult& plan() const { return plan_; }
+  const Memo& memo() const { return *memo_; }
+
+  /// The maintained contents of a view or assertion by name.
+  StatusOr<Relation> ViewContents(const std::string& name) const;
+
+  /// Checks one assertion (or all, with empty name) right now.
+  StatusOr<std::vector<AssertionCheck>> CheckAssertions() const;
+
+  /// Verifies every maintained view against recomputation.
+  Status CheckConsistency() const;
+
+  Database& db() { return db_; }
+  Catalog& catalog() { return catalog_; }
+  const PageCounter& counter() const { return db_.counter(); }
+
+ private:
+  StatusOr<ExecResult> ExecuteOne(const Statement& stmt);
+  StatusOr<ExecResult> ExecuteSelect(const SelectQuery& query);
+  StatusOr<ConcreteTxn> BuildConcreteTxn(const Statement& stmt,
+                                         TransactionType* type);
+  StatusOr<ExecResult> ApplyDml(const Statement& stmt);
+  Status ApplyDirect(const ConcreteTxn& txn);
+  /// Best track for a transaction type, cached by signature.
+  StatusOr<UpdateTrack> TrackFor(const TransactionType& type);
+  /// Group id of a view/assertion name.
+  StatusOr<GroupId> GroupOf(const std::string& name) const;
+  /// Rows of `table` matching a WHERE predicate (nullptr = all).
+  StatusOr<std::vector<Row>> MatchingRows(const std::string& table,
+                                          const SqlExpr::Ptr& where);
+
+  SessionOptions options_;
+  Catalog catalog_;
+  Database db_;
+  Binder binder_;
+  std::vector<TransactionType> workload_;
+
+  // Populated by Prepare.
+  std::unique_ptr<Memo> memo_;
+  std::unique_ptr<ViewSelector> selector_;
+  std::unique_ptr<ViewManager> manager_;
+  OptimizeResult plan_;
+  std::map<std::string, GroupId> roots_;  // view/assertion name -> group
+  std::map<std::string, UpdateTrack> track_cache_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_API_SESSION_H_

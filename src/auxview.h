@@ -1,0 +1,64 @@
+#ifndef AUXVIEW_AUXVIEW_H_
+#define AUXVIEW_AUXVIEW_H_
+
+/// \mainpage auxview
+///
+/// A from-scratch reproduction of Ross, Srivastava & Sudarshan,
+/// "Materialized View Maintenance and Integrity Constraint Checking:
+/// Trading Space for Time" (SIGMOD 1996).
+///
+/// Typical flow:
+///   1. Declare base relations in a Catalog (or via SQL + Binder).
+///   2. Build the view's algebra tree (ExprBuilder or SQL).
+///   3. BuildExpandedMemo -> the expression DAG.
+///   4. ViewSelector::Exhaustive / Shielding / heuristics -> the view set
+///      to materialize and the per-transaction update tracks.
+///   5. ViewManager::Materialize + ApplyTransaction -> runtime maintenance.
+///   6. AssertionChecker -> SQL-92 assertion checking on maintained views.
+
+#include "algebra/builder.h"
+#include "api/session.h"
+#include "algebra/expr.h"
+#include "algebra/scalar.h"
+#include "catalog/catalog.h"
+#include "catalog/fd.h"
+#include "catalog/schema.h"
+#include "catalog/statistics.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "cost/io_cost_model.h"
+#include "cost/query_cost.h"
+#include "cost/statistics_propagation.h"
+#include "delta/analysis.h"
+#include "delta/delta.h"
+#include "delta/transaction.h"
+#include "exec/executor.h"
+#include "exec/relation.h"
+#include "maintain/assertion.h"
+#include "maintain/concrete.h"
+#include "maintain/delta_engine.h"
+#include "maintain/view_manager.h"
+#include "memo/articulation.h"
+#include "memo/dot.h"
+#include "memo/expand.h"
+#include "memo/fd_analysis.h"
+#include "memo/memo.h"
+#include "memo/rules.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/explain.h"
+#include "optimizer/select_views.h"
+#include "optimizer/track.h"
+#include "optimizer/track_cost.h"
+#include "optimizer/view_set.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "storage/database.h"
+#include "storage/table.h"
+#include "workload/chain.h"
+#include "workload/emp_dept.h"
+#include "workload/fig5.h"
+#include "workload/star.h"
+#include "workload/txn_stream.h"
+
+#endif  // AUXVIEW_AUXVIEW_H_

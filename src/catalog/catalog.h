@@ -1,0 +1,65 @@
+#ifndef AUXVIEW_CATALOG_CATALOG_H_
+#define AUXVIEW_CATALOG_CATALOG_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/fd.h"
+#include "catalog/schema.h"
+#include "catalog/statistics.h"
+#include "common/status.h"
+
+namespace auxview {
+
+/// A secondary (or primary) hash index over a list of attributes.
+struct IndexDef {
+  std::vector<std::string> attrs;
+
+  std::string ToString() const;
+};
+
+/// Definition of a base relation: schema, primary key, indexes, statistics.
+struct TableDef {
+  std::string name;
+  Schema schema;
+  /// Primary key attributes (may be empty for keyless relations).
+  std::vector<std::string> primary_key;
+  std::vector<IndexDef> indexes;
+  RelationStats stats;
+
+  /// True if an index with exactly these attributes (in any order) exists.
+  bool HasIndexOn(const std::set<std::string>& attrs) const;
+
+  /// Functional dependencies implied by the primary key.
+  FdSet Fds() const;
+};
+
+/// The schema catalog: base relation definitions keyed by name.
+class Catalog {
+ public:
+  /// Registers a table; fails with AlreadyExists on duplicates.
+  Status AddTable(TableDef def);
+
+  /// nullptr when absent.
+  const TableDef* FindTable(const std::string& name) const;
+
+  StatusOr<TableDef> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return FindTable(name) != nullptr;
+  }
+
+  std::vector<std::string> TableNames() const;
+
+  /// Replaces the statistics of an existing table.
+  Status SetStats(const std::string& name, RelationStats stats);
+
+ private:
+  std::map<std::string, TableDef> tables_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_CATALOG_CATALOG_H_

@@ -1,0 +1,63 @@
+#include "catalog/fd.h"
+
+#include <algorithm>
+
+namespace auxview {
+
+void FdSet::Add(std::set<std::string> lhs, std::set<std::string> rhs) {
+  fds_.push_back(FunctionalDependency{std::move(lhs), std::move(rhs)});
+}
+
+void FdSet::AddAll(const FdSet& other) {
+  fds_.insert(fds_.end(), other.fds_.begin(), other.fds_.end());
+}
+
+std::set<std::string> FdSet::Closure(
+    const std::set<std::string>& attrs) const {
+  std::set<std::string> closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds_) {
+      const bool applies = std::all_of(
+          fd.lhs.begin(), fd.lhs.end(),
+          [&](const std::string& a) { return closure.count(a) > 0; });
+      if (!applies) continue;
+      for (const std::string& a : fd.rhs) {
+        if (closure.insert(a).second) changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool FdSet::Determines(const std::set<std::string>& attrs,
+                       const std::set<std::string>& target) const {
+  const std::set<std::string> closure = Closure(attrs);
+  return std::all_of(
+      target.begin(), target.end(),
+      [&](const std::string& a) { return closure.count(a) > 0; });
+}
+
+FdSet FdSet::Restrict(const std::set<std::string>& attrs) const {
+  FdSet out;
+  for (const FunctionalDependency& fd : fds_) {
+    const bool lhs_in = std::all_of(
+        fd.lhs.begin(), fd.lhs.end(),
+        [&](const std::string& a) { return attrs.count(a) > 0; });
+    if (!lhs_in) continue;
+    std::set<std::string> rhs;
+    for (const std::string& a : fd.rhs) {
+      if (attrs.count(a) > 0) rhs.insert(a);
+    }
+    if (!rhs.empty()) {
+      FunctionalDependency restricted;
+      restricted.lhs = fd.lhs;
+      restricted.rhs = std::move(rhs);
+      out.fds_.push_back(std::move(restricted));
+    }
+  }
+  return out;
+}
+
+}  // namespace auxview

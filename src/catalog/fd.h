@@ -1,0 +1,54 @@
+#ifndef AUXVIEW_CATALOG_FD_H_
+#define AUXVIEW_CATALOG_FD_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace auxview {
+
+/// One functional dependency lhs -> rhs over attribute names.
+struct FunctionalDependency {
+  std::set<std::string> lhs;
+  std::set<std::string> rhs;
+};
+
+/// A set of functional dependencies with closure computation.
+///
+/// FDs drive two parts of the reproduction: (a) the Yan-Larson aggregate
+/// push-down rule requires the join attribute to be a key of the non-aggregated
+/// side, and (b) the paper's key-based query elision (Q3d = 0 in Section 3.6)
+/// requires that a delta's "complete attributes" functionally determine the
+/// aggregate's group-by attributes.
+class FdSet {
+ public:
+  void Add(std::set<std::string> lhs, std::set<std::string> rhs);
+
+  /// Adds every FD of `other` (used when combining join inputs).
+  void AddAll(const FdSet& other);
+
+  /// Attribute closure of `attrs` under the stored FDs.
+  std::set<std::string> Closure(const std::set<std::string>& attrs) const;
+
+  /// True iff Closure(attrs) contains every attribute in `target`.
+  bool Determines(const std::set<std::string>& attrs,
+                  const std::set<std::string>& target) const;
+
+  /// True iff `attrs` is a key of a relation with attributes `all`.
+  bool IsKey(const std::set<std::string>& attrs,
+             const std::set<std::string>& all) const {
+    return Determines(attrs, all);
+  }
+
+  /// Keeps only FDs whose attributes all fall inside `attrs` (projection).
+  FdSet Restrict(const std::set<std::string>& attrs) const;
+
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+
+ private:
+  std::vector<FunctionalDependency> fds_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_CATALOG_FD_H_

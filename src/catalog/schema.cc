@@ -1,0 +1,44 @@
+#include "catalog/schema.h"
+
+namespace auxview {
+
+StatusOr<Schema> Schema::Create(std::vector<Column> columns) {
+  Schema schema;
+  schema.columns_ = std::move(columns);
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    for (int j = i + 1; j < schema.num_columns(); ++j) {
+      if (schema.columns_[i].name == schema.columns_[j].name) {
+        return Status::InvalidArgument("duplicate column name: " +
+                                       schema.columns_[i].name);
+      }
+    }
+  }
+  return schema;
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return -1;
+}
+
+std::vector<std::string> Schema::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace auxview

@@ -1,0 +1,57 @@
+#ifndef AUXVIEW_CATALOG_SCHEMA_H_
+#define AUXVIEW_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace auxview {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of uniquely named columns.
+///
+/// Derived relations (join/aggregate outputs) reuse source column names, so
+/// the engine keeps names unique per schema: natural-style joins merge the
+/// shared join columns (see algebra::JoinExpr).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Fails with InvalidArgument on duplicate column names.
+  static StatusOr<Schema> Create(std::vector<Column> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const { return IndexOf(name) >= 0; }
+
+  std::vector<std::string> ColumnNames() const;
+
+  /// "name:TYPE, name:TYPE, ...".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_CATALOG_SCHEMA_H_

@@ -1,0 +1,32 @@
+#include "catalog/statistics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace auxview {
+
+double RelationStats::DistinctOf(const std::string& attr) const {
+  double d = kDefaultDistinct;
+  auto it = distinct.find(attr);
+  if (it != distinct.end()) d = it->second;
+  d = std::min(d, std::max(row_count, 1.0));
+  return std::max(d, 1.0);
+}
+
+double RelationStats::RowsPerValue(const std::string& attr) const {
+  if (row_count <= 0) return 0;
+  return row_count / DistinctOf(attr);
+}
+
+std::string RelationStats::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "rows=%.6g", row_count);
+  std::string out = buf;
+  for (const auto& [attr, d] : distinct) {
+    std::snprintf(buf, sizeof(buf), ", d(%s)=%.6g", attr.c_str(), d);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace auxview

@@ -1,0 +1,36 @@
+#ifndef AUXVIEW_CATALOG_STATISTICS_H_
+#define AUXVIEW_CATALOG_STATISTICS_H_
+
+#include <map>
+#include <string>
+
+namespace auxview {
+
+/// Cardinality statistics for a (base or derived) relation.
+///
+/// The cost model needs row counts and per-attribute distinct counts; the
+/// paper's examples use exact values (1000 departments, 10000 employees,
+/// uniform 10 employees/department), and the estimator propagates them with
+/// the standard uniformity assumptions.
+struct RelationStats {
+  /// Expected number of rows.
+  double row_count = 0;
+
+  /// Distinct values per attribute name. Attributes absent from the map are
+  /// assumed to have min(row_count, kDefaultDistinct) distinct values.
+  std::map<std::string, double> distinct;
+
+  static constexpr double kDefaultDistinct = 100.0;
+
+  /// Distinct count for `attr`, clamped to [1, row_count].
+  double DistinctOf(const std::string& attr) const;
+
+  /// Average rows per value of `attr` (row_count / distinct), >= 0.
+  double RowsPerValue(const std::string& attr) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_CATALOG_STATISTICS_H_

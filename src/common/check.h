@@ -1,0 +1,27 @@
+#ifndef AUXVIEW_COMMON_CHECK_H_
+#define AUXVIEW_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checks. These guard programmer errors, not user input
+// (user-facing errors are reported through Status). A failed check aborts.
+#define AUXVIEW_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "AUXVIEW_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define AUXVIEW_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "AUXVIEW_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, (msg));                        \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // AUXVIEW_COMMON_CHECK_H_

@@ -1,0 +1,41 @@
+#ifndef AUXVIEW_COMMON_RNG_H_
+#define AUXVIEW_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace auxview {
+
+/// Deterministic splitmix64-based RNG for workload generation and property
+/// tests. Cheap, seedable, and stable across platforms (unlike std::mt19937
+/// distributions, whose outputs are implementation-defined).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_COMMON_RNG_H_

@@ -1,0 +1,131 @@
+#ifndef AUXVIEW_COMMON_STATUS_H_
+#define AUXVIEW_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace auxview {
+
+/// Error codes for the library's Status-based error handling (the library
+/// does not throw exceptions across its public API).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result, modeled after absl::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result, modeled after absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from Status so `return Status::NotFound(...)` works.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    AUXVIEW_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+  /// Implicit from T so `return value;` works.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AUXVIEW_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    AUXVIEW_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    AUXVIEW_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define AUXVIEW_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::auxview::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Evaluates a StatusOr expression, propagating errors, else binds the value.
+#define AUXVIEW_ASSIGN_OR_RETURN(lhs, expr)      \
+  AUXVIEW_ASSIGN_OR_RETURN_IMPL(                 \
+      AUXVIEW_STATUS_CONCAT(_statusor_, __LINE__), lhs, expr)
+
+#define AUXVIEW_STATUS_CONCAT_INNER(a, b) a##b
+#define AUXVIEW_STATUS_CONCAT(a, b) AUXVIEW_STATUS_CONCAT_INNER(a, b)
+#define AUXVIEW_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_COMMON_STATUS_H_

@@ -1,0 +1,50 @@
+#include "common/string_util.h"
+
+#include <cctype>
+
+namespace auxview {
+
+namespace {
+template <typename Container>
+std::string JoinImpl(const Container& parts, const std::string& sep) {
+  std::string out;
+  bool first = true;
+  for (const std::string& p : parts) {
+    if (!first) out += sep;
+    out += p;
+    first = false;
+  }
+  return out;
+}
+}  // namespace
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  return JoinImpl(parts, sep);
+}
+
+std::string Join(const std::set<std::string>& parts, const std::string& sep) {
+  return JoinImpl(parts, sep);
+}
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(a[i]) != std::tolower(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace auxview

@@ -1,0 +1,25 @@
+#ifndef AUXVIEW_COMMON_STRING_UTIL_H_
+#define AUXVIEW_COMMON_STRING_UTIL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace auxview {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+std::string Join(const std::set<std::string>& parts, const std::string& sep);
+
+/// Lowercases ASCII.
+std::string ToLower(const std::string& s);
+/// Uppercases ASCII.
+std::string ToUpper(const std::string& s);
+
+/// Case-insensitive ASCII equality (SQL keywords/identifiers).
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_COMMON_STRING_UTIL_H_

@@ -1,0 +1,193 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/check.h"
+
+namespace auxview {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBool:
+      return "BOOL";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (rep_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt64;
+    case 2:
+      return ValueType::kDouble;
+    case 3:
+      return ValueType::kString;
+    case 4:
+      return ValueType::kBool;
+  }
+  return ValueType::kNull;
+}
+
+int64_t Value::int64() const {
+  AUXVIEW_CHECK(std::holds_alternative<int64_t>(rep_));
+  return std::get<int64_t>(rep_);
+}
+
+double Value::dbl() const {
+  AUXVIEW_CHECK(std::holds_alternative<double>(rep_));
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::str() const {
+  AUXVIEW_CHECK(std::holds_alternative<std::string>(rep_));
+  return std::get<std::string>(rep_);
+}
+
+bool Value::boolean() const {
+  AUXVIEW_CHECK(std::holds_alternative<bool>(rep_));
+  return std::get<bool>(rep_);
+}
+
+double Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(int64());
+    case ValueType::kDouble:
+      return dbl();
+    case ValueType::kBool:
+      return boolean() ? 1.0 : 0.0;
+    default:
+      AUXVIEW_CHECK_MSG(false, "AsDouble on non-numeric Value");
+      return 0.0;
+  }
+}
+
+namespace {
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 2;
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const ValueType ta = type();
+  const ValueType tb = other.type();
+  const int ra = TypeRank(ta);
+  const int rb = TypeRank(tb);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ta) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      const int a = boolean() ? 1 : 0;
+      const int b = other.boolean() ? 1 : 0;
+      return a - b;
+    }
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      // Exact comparison when both are int64 avoids double rounding.
+      if (ta == ValueType::kInt64 && tb == ValueType::kInt64) {
+        const int64_t a = int64();
+        const int64_t b = other.int64();
+        if (a < b) return -1;
+        if (a > b) return 1;
+        return 0;
+      }
+      return CompareDoubles(AsDouble(), other.AsDouble());
+    }
+    case ValueType::kString: {
+      const int c = str().compare(other.str());
+      if (c < 0) return -1;
+      if (c > 0) return 1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+      return boolean() ? 0x517cc1b727220a95ULL : 0x2545f4914f6cdd1dULL;
+    case ValueType::kInt64:
+      // Hash int64 via its double value so 1 and 1.0 hash alike (they
+      // compare equal, so they must hash equal).
+      return std::hash<double>()(static_cast<double>(int64()));
+    case ValueType::kDouble:
+      return std::hash<double>()(dbl());
+    case ValueType::kString:
+      return std::hash<std::string>()(str());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return boolean() ? "TRUE" : "FALSE";
+    case ValueType::kInt64:
+      return std::to_string(int64());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", dbl());
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + str() + "'";
+  }
+  return "?";
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 0x811c9dc5ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace auxview

@@ -1,0 +1,94 @@
+#ifndef AUXVIEW_COMMON_VALUE_H_
+#define AUXVIEW_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace auxview {
+
+/// Scalar column types supported by the engine.
+enum class ValueType {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+  kBool,
+};
+
+/// Returns "NULL", "INT64", "DOUBLE", "STRING" or "BOOL".
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed scalar value (SQL-style, with a distinguished NULL).
+///
+/// Values order NULL first, then by numeric/lexicographic value; numeric
+/// comparisons across kInt64/kDouble promote to double, matching SQL.
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt64 || type() == ValueType::kDouble;
+  }
+
+  int64_t int64() const;
+  double dbl() const;
+  const std::string& str() const;
+  bool boolean() const;
+
+  /// Numeric value as double; valid for kInt64/kDouble/kBool.
+  double AsDouble() const;
+
+  /// Three-way comparison. NULL < everything; numerics compare as double;
+  /// mixed non-numeric types compare by type tag (total order for sorting).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  size_t Hash() const;
+
+  /// SQL-literal-ish rendering, e.g. 42, 3.5, 'abc', NULL, TRUE.
+  std::string ToString() const;
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string, bool>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+/// A tuple: one value per column of the owning schema.
+using Row = std::vector<Value>;
+
+size_t HashRow(const Row& row);
+std::string RowToString(const Row& row);
+
+struct RowHash {
+  size_t operator()(const Row& row) const { return HashRow(row); }
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_COMMON_VALUE_H_

@@ -1,0 +1,26 @@
+#include "cost/io_cost_model.h"
+
+namespace auxview {
+
+double IoCostModel::ApplyDelta(UpdateKind kind, double rows, int num_indexes,
+                               bool indexed_attrs_change) const {
+  if (rows <= 0) return 0;
+  const double idx = static_cast<double>(num_indexes);
+  switch (kind) {
+    case UpdateKind::kModify: {
+      double cost = idx * params_.index_page_read +
+                    rows * (params_.tuple_page_read + params_.tuple_page_write);
+      if (indexed_attrs_change) cost += idx * params_.index_page_write;
+      return cost;
+    }
+    case UpdateKind::kInsert:
+      return idx * (params_.index_page_read + params_.index_page_write) +
+             rows * params_.tuple_page_write;
+    case UpdateKind::kDelete:
+      return idx * (params_.index_page_read + params_.index_page_write) +
+             rows * (params_.tuple_page_read + params_.tuple_page_write);
+  }
+  return 0;
+}
+
+}  // namespace auxview

@@ -1,0 +1,51 @@
+#ifndef AUXVIEW_COST_IO_COST_MODEL_H_
+#define AUXVIEW_COST_IO_COST_MODEL_H_
+
+#include "delta/transaction.h"
+
+namespace auxview {
+
+/// Unit costs for the paper's page-I/O model (Section 3.6): hash indexes
+/// with no overflow pages, no clustering, one tuple per relation page.
+/// Any monotonic cost model can be expressed by adjusting the weights.
+struct IoCostParams {
+  double index_page_read = 1;
+  double index_page_write = 1;
+  double tuple_page_read = 1;
+  double tuple_page_write = 1;
+};
+
+/// Computes elementary I/O costs.
+class IoCostModel {
+ public:
+  explicit IoCostModel(IoCostParams params = {}) : params_(params) {}
+
+  const IoCostParams& params() const { return params_; }
+
+  /// `probes` index probes each fetching `matching` tuples:
+  /// probes * (one index page + matching relation pages).
+  double IndexLookup(double probes, double matching) const {
+    return probes * (params_.index_page_read +
+                     matching * params_.tuple_page_read);
+  }
+
+  /// Sequential read of `rows` tuples (one page each).
+  double Scan(double rows) const { return rows * params_.tuple_page_read; }
+
+  /// Cost of applying a delta of `rows` tuples to a stored relation with
+  /// `num_indexes` hash indexes (paper Section 3.6):
+  ///  - modify: one index-page read per index (an index write only when the
+  ///    indexed attributes change), one read + one write per tuple;
+  ///  - insert: one index-page read + write per index, one write per tuple;
+  ///  - delete: one index-page read + write per index, one read + one write
+  ///    per tuple.
+  double ApplyDelta(UpdateKind kind, double rows, int num_indexes = 1,
+                    bool indexed_attrs_change = false) const;
+
+ private:
+  IoCostParams params_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_COST_IO_COST_MODEL_H_

@@ -1,0 +1,167 @@
+#include "cost/query_cost.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace auxview {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+std::set<std::string> ToSet(const std::vector<std::string>& v) {
+  return std::set<std::string>(v.begin(), v.end());
+}
+
+bool SubsetOf(const std::vector<std::string>& a,
+              const std::set<std::string>& b) {
+  return std::all_of(a.begin(), a.end(),
+                     [&](const std::string& x) { return b.count(x) > 0; });
+}
+
+std::set<std::string> SchemaAttrs(const Schema& schema) {
+  std::set<std::string> out;
+  for (const Column& c : schema.columns()) out.insert(c.name);
+  return out;
+}
+
+}  // namespace
+
+double QueryCoster::MatchingRows(GroupId g,
+                                 const std::vector<std::string>& attrs) const {
+  const RelationStats& stats = stats_->StatsOf(g);
+  if (attrs.empty()) return stats.row_count;
+  return StatsAnalysis::RowsPerJointValue(stats, attrs);
+}
+
+double QueryCoster::LeafLookupCost(const MemoGroup& grp,
+                                   const std::vector<std::string>& attrs,
+                                   double probes) const {
+  const TableDef* def = catalog_->FindTable(grp.table);
+  AUXVIEW_CHECK(def != nullptr);
+  const RelationStats& stats = def->stats;
+  if (attrs.empty()) return model_.Scan(stats.row_count);
+  const std::set<std::string> attr_set = ToSet(attrs);
+  // Best index whose attributes are a subset of the probe attributes
+  // (residual attributes are filtered after the fetch, for free).
+  double best = kInfinity;
+  auto consider = [&](const std::vector<std::string>& idx_attrs) {
+    if (idx_attrs.empty()) return;
+    for (const std::string& a : idx_attrs) {
+      if (attr_set.count(a) == 0) return;
+    }
+    const double matching = StatsAnalysis::RowsPerJointValue(stats, idx_attrs);
+    best = std::min(best, model_.IndexLookup(probes, matching));
+  };
+  consider(def->primary_key);
+  for (const IndexDef& idx : def->indexes) consider(idx.attrs);
+  // Fallback: one full scan answers every probe (build a hash table).
+  best = std::min(best, model_.Scan(stats.row_count));
+  return best;
+}
+
+double QueryCoster::LookupCost(GroupId g,
+                               const std::vector<std::string>& attrs,
+                               double probes,
+                               const std::set<GroupId>& marked) const {
+  if (probes <= 0) return 0;
+  g = memo_->Find(g);
+  const MemoGroup& grp = memo_->group(g);
+  if (grp.is_leaf) return LeafLookupCost(grp, attrs, probes);
+  if (marked.count(g) > 0) {
+    const RelationStats& stats = stats_->StatsOf(g);
+    if (attrs.empty()) return model_.Scan(stats.row_count);
+    if (options_.materialized_views_indexed) {
+      return model_.IndexLookup(probes, MatchingRows(g, attrs));
+    }
+    return model_.Scan(stats.row_count);
+  }
+  // Unmaterialized: cheapest plan over the group's operation nodes.
+  double best = kInfinity;
+  for (int eid : grp.exprs) {
+    const MemoExpr& e = memo_->expr(eid);
+    if (e.dead) continue;
+    best = std::min(best, PlanLookupCost(e, attrs, probes, marked));
+  }
+  AUXVIEW_CHECK_MSG(best < kInfinity, "no plan answers a lookup");
+  return best;
+}
+
+double QueryCoster::FullCost(GroupId g, const std::set<GroupId>& marked) const {
+  return LookupCost(g, {}, 1, marked);
+}
+
+double QueryCoster::PlanLookupCost(const MemoExpr& e,
+                                   const std::vector<std::string>& attrs,
+                                   double probes,
+                                   const std::set<GroupId>& marked) const {
+  switch (e.kind()) {
+    case OpKind::kScan:
+      return kInfinity;  // scans never appear as non-leaf operation nodes
+    case OpKind::kSelect:
+    case OpKind::kDupElim:
+      // Predicate filtering / dedup happen on the fly.
+      return LookupCost(e.inputs[0], attrs, probes, marked);
+    case OpKind::kProject: {
+      // Push the probe through simple pass-through columns.
+      std::set<std::string> passthrough;
+      for (const ProjectItem& item : e.op->projections()) {
+        if (item.expr->op() == ScalarOp::kColumn &&
+            item.expr->column_name() == item.name) {
+          passthrough.insert(item.name);
+        }
+      }
+      if (!SubsetOf(attrs, passthrough)) {
+        return FullCost(e.inputs[0], marked);
+      }
+      return LookupCost(e.inputs[0], attrs, probes, marked);
+    }
+    case OpKind::kJoin: {
+      const GroupId left = memo_->Find(e.inputs[0]);
+      const GroupId right = memo_->Find(e.inputs[1]);
+      const std::vector<std::string>& s = e.op->join_attrs();
+      double best = kInfinity;
+      for (int side = 0; side < 2; ++side) {
+        const GroupId x = side == 0 ? left : right;
+        const GroupId y = side == 0 ? right : left;
+        const std::set<std::string> attrs_x =
+            SchemaAttrs(memo_->group(x).schema);
+        if (!SubsetOf(attrs, attrs_x)) continue;
+        // Fetch matching X tuples, then probe Y on the join attributes.
+        const double fetched = MatchingRows(x, attrs);
+        // Distinct join-attr values among the fetched tuples: one when the
+        // probe attributes functionally determine them, else bounded by both
+        // the fetched count and Y's distinct values.
+        double y_probes;
+        if (fds_->Fds(x).Determines(ToSet(attrs), ToSet(s))) {
+          y_probes = probes;
+        } else {
+          const RelationStats& ys = stats_->StatsOf(y);
+          y_probes =
+              probes * std::min(std::max(fetched, 1.0),
+                                StatsAnalysis::DistinctJoint(ys, s));
+        }
+        const double cost = LookupCost(x, attrs, probes, marked) +
+                            LookupCost(y, s, y_probes, marked);
+        best = std::min(best, cost);
+      }
+      // Fallback: materialize both sides and hash-join.
+      best = std::min(best, FullCost(left, marked) + FullCost(right, marked));
+      return best;
+    }
+    case OpKind::kAggregate: {
+      const std::set<std::string> gb(e.op->group_by().begin(),
+                                     e.op->group_by().end());
+      if (!attrs.empty() && SubsetOf(attrs, gb)) {
+        // Fetch the groups' rows and aggregate on the fly.
+        return LookupCost(e.inputs[0], attrs, probes, marked);
+      }
+      return FullCost(e.inputs[0], marked);
+    }
+  }
+  return kInfinity;
+}
+
+}  // namespace auxview

@@ -1,0 +1,81 @@
+#ifndef AUXVIEW_COST_QUERY_COST_H_
+#define AUXVIEW_COST_QUERY_COST_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cost/io_cost_model.h"
+#include "cost/statistics_propagation.h"
+#include "memo/fd_analysis.h"
+#include "memo/memo.h"
+
+namespace auxview {
+
+/// Options for query costing.
+struct QueryCostOptions {
+  /// Materialized views are assumed to carry a hash index on the attributes
+  /// they are probed by (the paper's example assumes "a single index on
+  /// DName" per materialization). When false, probes on materialized views
+  /// scan them.
+  bool materialized_views_indexed = true;
+};
+
+/// Costs the queries that delta propagation poses on equivalence nodes
+/// (Section 3.4, "Cost of Computing Updates"): a lookup of all tuples of a
+/// group matching each of `probes` values of some attributes.
+///
+/// A materialized group (or base relation) answers by index lookup; an
+/// unmaterialized group answers by the cheapest plan over its operation
+/// nodes, pushing the lookup into the inputs — this is the "answering
+/// queries using the materialized views" sub-problem (Chaudhuri et al.),
+/// solved over the memo. The recursion is monotonic: a plan's cost is at
+/// least the cost of any of its sub-plans.
+class QueryCoster {
+ public:
+  QueryCoster(const Memo* memo, const Catalog* catalog, StatsAnalysis* stats,
+              FdAnalysis* fds, IoCostModel model, QueryCostOptions options = {})
+      : memo_(memo),
+        catalog_(catalog),
+        stats_(stats),
+        fds_(fds),
+        model_(model),
+        options_(options) {}
+
+  /// Cost of fetching, for each of `probes` probe values over `attrs`, all
+  /// matching tuples of group `g`, when the groups in `marked` are
+  /// materialized. Empty `attrs` means fetching the whole relation.
+  double LookupCost(GroupId g, const std::vector<std::string>& attrs,
+                    double probes, const std::set<GroupId>& marked) const;
+
+  /// Cost of computing the whole relation of group `g` under `marked`.
+  double FullCost(GroupId g, const std::set<GroupId>& marked) const;
+
+  /// Expected tuples of `g` matching one value of `attrs`.
+  double MatchingRows(GroupId g, const std::vector<std::string>& attrs) const;
+
+  /// Cost of answering the lookup through one specific operation node (used
+  /// by the runtime engine to follow the same plan the estimate chose).
+  double PlanLookupCost(const MemoExpr& e,
+                        const std::vector<std::string>& attrs, double probes,
+                        const std::set<GroupId>& marked) const;
+
+  const IoCostModel& model() const { return model_; }
+
+ private:
+  double LeafLookupCost(const MemoGroup& grp,
+                        const std::vector<std::string>& attrs,
+                        double probes) const;
+
+  const Memo* memo_;
+  const Catalog* catalog_;
+  StatsAnalysis* stats_;
+  FdAnalysis* fds_;
+  IoCostModel model_;
+  QueryCostOptions options_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_COST_QUERY_COST_H_

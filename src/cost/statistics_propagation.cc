@@ -1,0 +1,160 @@
+#include "cost/statistics_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace auxview {
+
+const RelationStats& StatsAnalysis::StatsOf(GroupId g) {
+  g = memo_->Find(g);
+  auto it = cache_.find(g);
+  if (it != cache_.end()) return it->second;
+  RelationStats stats = Compute(g);
+  return cache_.emplace(g, std::move(stats)).first->second;
+}
+
+double StatsAnalysis::DistinctJoint(const RelationStats& stats,
+                                    const std::vector<std::string>& attrs) {
+  double d = 1;
+  for (const std::string& a : attrs) {
+    d = std::max(d, stats.DistinctOf(a));
+  }
+  return std::min(d, std::max(stats.row_count, 1.0));
+}
+
+double StatsAnalysis::RowsPerJointValue(const RelationStats& stats,
+                                        const std::vector<std::string>& attrs) {
+  if (stats.row_count <= 0) return 0;
+  return stats.row_count / DistinctJoint(stats, attrs);
+}
+
+double StatsAnalysis::Selectivity(const Scalar& pred,
+                                  const RelationStats& input) {
+  switch (pred.op()) {
+    case ScalarOp::kAnd:
+      return Selectivity(*pred.children()[0], input) *
+             Selectivity(*pred.children()[1], input);
+    case ScalarOp::kOr: {
+      const double a = Selectivity(*pred.children()[0], input);
+      const double b = Selectivity(*pred.children()[1], input);
+      return std::min(1.0, a + b - a * b);
+    }
+    case ScalarOp::kNot:
+      return std::max(0.0, 1.0 - Selectivity(*pred.children()[0], input));
+    case ScalarOp::kEq: {
+      const Scalar& l = *pred.children()[0];
+      const Scalar& r = *pred.children()[1];
+      if (l.op() == ScalarOp::kColumn && r.op() == ScalarOp::kLiteral) {
+        return 1.0 / input.DistinctOf(l.column_name());
+      }
+      if (r.op() == ScalarOp::kColumn && l.op() == ScalarOp::kLiteral) {
+        return 1.0 / input.DistinctOf(r.column_name());
+      }
+      if (l.op() == ScalarOp::kColumn && r.op() == ScalarOp::kColumn) {
+        return 1.0 / std::max(input.DistinctOf(l.column_name()),
+                              input.DistinctOf(r.column_name()));
+      }
+      return 0.1;
+    }
+    case ScalarOp::kLt:
+    case ScalarOp::kLe:
+    case ScalarOp::kGt:
+    case ScalarOp::kGe:
+    case ScalarOp::kNe:
+      return 1.0 / 3.0;
+    case ScalarOp::kLiteral:
+      // Constant TRUE/FALSE predicates.
+      if (pred.literal().type() == ValueType::kBool) {
+        return pred.literal().boolean() ? 1.0 : 0.0;
+      }
+      return 1.0;
+    default:
+      return 1.0 / 3.0;
+  }
+}
+
+RelationStats StatsAnalysis::Compute(GroupId g) {
+  const MemoGroup& grp = memo_->group(g);
+  if (grp.is_leaf) {
+    const TableDef* def = catalog_->FindTable(grp.table);
+    return def != nullptr ? def->stats : RelationStats{};
+  }
+  const MemoExpr* e = nullptr;
+  for (int eid : grp.exprs) {
+    if (!memo_->expr(eid).dead) {
+      e = &memo_->expr(eid);
+      break;
+    }
+  }
+  AUXVIEW_CHECK(e != nullptr);
+  RelationStats out;
+  switch (e->kind()) {
+    case OpKind::kScan:
+      break;
+    case OpKind::kSelect: {
+      const RelationStats in = StatsOf(e->inputs[0]);
+      const double sel = Selectivity(*e->op->predicate(), in);
+      out = in;
+      out.row_count = in.row_count * sel;
+      break;
+    }
+    case OpKind::kProject: {
+      const RelationStats in = StatsOf(e->inputs[0]);
+      out.row_count = in.row_count;
+      for (const ProjectItem& item : e->op->projections()) {
+        if (item.expr->op() == ScalarOp::kColumn) {
+          out.distinct[item.name] = in.DistinctOf(item.expr->column_name());
+        }
+      }
+      break;
+    }
+    case OpKind::kJoin: {
+      const RelationStats a = StatsOf(e->inputs[0]);
+      const RelationStats b = StatsOf(e->inputs[1]);
+      const std::vector<std::string>& s = e->op->join_attrs();
+      const double da = DistinctJoint(a, s);
+      const double db = DistinctJoint(b, s);
+      const double denom = std::max({da, db, 1.0});
+      out.row_count = a.row_count * b.row_count / denom;
+      out.distinct = a.distinct;
+      for (const auto& [attr, d] : b.distinct) {
+        auto it = out.distinct.find(attr);
+        if (it == out.distinct.end()) {
+          out.distinct[attr] = d;
+        } else {
+          it->second = std::min(it->second, d);
+        }
+      }
+      break;
+    }
+    case OpKind::kAggregate: {
+      const RelationStats in = StatsOf(e->inputs[0]);
+      out.row_count = DistinctJoint(in, e->op->group_by());
+      for (const std::string& gb : e->op->group_by()) {
+        out.distinct[gb] = in.DistinctOf(gb);
+      }
+      for (const AggSpec& agg : e->op->aggs()) {
+        out.distinct[agg.output_name] = out.row_count;
+      }
+      break;
+    }
+    case OpKind::kDupElim: {
+      const RelationStats in = StatsOf(e->inputs[0]);
+      std::vector<std::string> all_cols;
+      for (const Column& c : grp.schema.columns()) all_cols.push_back(c.name);
+      out = in;
+      out.row_count = DistinctJoint(in, all_cols);
+      break;
+    }
+  }
+  // Clamp distinct counts to the new row count.
+  for (auto& [attr, d] : out.distinct) {
+    d = std::min(d, std::max(out.row_count, 1.0));
+    d = std::max(d, 1.0);
+  }
+  return out;
+}
+
+}  // namespace auxview

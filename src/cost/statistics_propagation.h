@@ -1,0 +1,54 @@
+#ifndef AUXVIEW_COST_STATISTICS_PROPAGATION_H_
+#define AUXVIEW_COST_STATISTICS_PROPAGATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/scalar.h"
+#include "catalog/catalog.h"
+#include "catalog/statistics.h"
+#include "memo/memo.h"
+
+namespace auxview {
+
+/// Derives cardinality statistics for every memo group from base-relation
+/// statistics, with the textbook uniformity/independence assumptions.
+/// Statistics are a property of the group (all member expressions are
+/// equivalent), derived from its first live member.
+class StatsAnalysis {
+ public:
+  StatsAnalysis(const Memo* memo, const Catalog* catalog)
+      : memo_(memo), catalog_(catalog) {}
+
+  /// Statistics of group `g` (cached).
+  const RelationStats& StatsOf(GroupId g);
+
+  /// Estimated distinct count of the attribute combination `attrs` in a
+  /// relation with statistics `stats`: the max per-attribute distinct count,
+  /// capped by the row count (a deliberate lower-bound estimator; exact for
+  /// the key-determined combinations the paper's example uses).
+  static double DistinctJoint(const RelationStats& stats,
+                              const std::vector<std::string>& attrs);
+
+  /// Expected rows of `stats` matching one value of `attrs`.
+  static double RowsPerJointValue(const RelationStats& stats,
+                                  const std::vector<std::string>& attrs);
+
+  /// Predicate selectivity: equality on a column is 1/distinct, ranges are
+  /// 1/3, conjunction multiplies, disjunction adds (capped), unknown is 1/3.
+  static double Selectivity(const Scalar& pred, const RelationStats& input);
+
+  void Clear() { cache_.clear(); }
+
+ private:
+  RelationStats Compute(GroupId g);
+
+  const Memo* memo_;
+  const Catalog* catalog_;
+  std::map<GroupId, RelationStats> cache_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_COST_STATISTICS_PROPAGATION_H_

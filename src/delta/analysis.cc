@@ -1,0 +1,266 @@
+#include "delta/analysis.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace auxview {
+
+std::set<GroupId> DeltaAnalysis::AffectedGroups(
+    const TransactionType& txn) const {
+  std::set<GroupId> affected;
+  for (GroupId g : memo_->LiveGroups()) {
+    const MemoGroup& grp = memo_->group(g);
+    if (grp.is_leaf && txn.SpecFor(grp.table) != nullptr) affected.insert(g);
+  }
+  // Fixpoint: a group is affected when any member op has an affected input.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int eid : memo_->LiveExprs()) {
+      const MemoExpr& e = memo_->expr(eid);
+      const GroupId g = memo_->Find(e.group);
+      if (affected.count(g) > 0) continue;
+      for (GroupId in : e.inputs) {
+        if (affected.count(memo_->Find(in)) > 0) {
+          affected.insert(g);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return affected;
+}
+
+std::vector<int> DeltaAnalysis::AffectedOps(GroupId g,
+                                            const TransactionType& txn) const {
+  const std::set<GroupId> affected = AffectedGroups(txn);
+  std::vector<int> out;
+  for (int eid : memo_->group(g).exprs) {
+    const MemoExpr& e = memo_->expr(eid);
+    if (e.dead) continue;
+    for (GroupId in : e.inputs) {
+      if (affected.count(memo_->Find(in)) > 0) {
+        out.push_back(eid);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+DeltaInfo DeltaAnalysis::LeafDelta(const TableDef& def,
+                                   const UpdateSpec& spec) const {
+  DeltaInfo delta;
+  delta.size = spec.count;
+  delta.kind = spec.kind;
+  std::vector<std::string> key =
+      spec.selected_by.empty() ? def.primary_key : spec.selected_by;
+  if (!key.empty()) {
+    delta.AddComplete(std::set<std::string>(key.begin(), key.end()));
+  }
+  delta.modified_attrs.insert(spec.modified_attrs.begin(),
+                              spec.modified_attrs.end());
+  return delta;
+}
+
+DeltaInfo DeltaAnalysis::Propagate(
+    const MemoExpr& e, const std::vector<DeltaInfo>& child_deltas) const {
+  AUXVIEW_CHECK(child_deltas.size() == e.inputs.size());
+  DeltaInfo out;
+  switch (e.kind()) {
+    case OpKind::kScan:
+      break;
+    case OpKind::kSelect: {
+      const DeltaInfo& in = child_deltas[0];
+      if (!in.affected()) break;
+      const RelationStats& child_stats = stats_->StatsOf(e.inputs[0]);
+      const double sel =
+          StatsAnalysis::Selectivity(*e.op->predicate(), child_stats);
+      out = in;
+      out.size = in.size * std::max(sel, 0.0);
+      // Keep a trace of the delta even under selective predicates: the node
+      // is affected, a zero estimate would wrongly prune it from tracks.
+      if (in.size > 0 && out.size <= 0) out.size = 1e-6;
+      // A modify touching the predicate's columns can flip rows in or out.
+      if (in.kind == UpdateKind::kModify) {
+        for (const std::string& a : e.op->predicate()->Columns()) {
+          if (in.modified_attrs.count(a) > 0) out.count_preserving = false;
+        }
+      }
+      break;
+    }
+    case OpKind::kProject: {
+      const DeltaInfo& in = child_deltas[0];
+      if (!in.affected()) break;
+      out.size = in.size;
+      out.kind = in.kind;
+      // Completeness survives when every witness attribute is projected
+      // through as a plain column of the same name.
+      std::set<std::string> passthrough;
+      for (const ProjectItem& item : e.op->projections()) {
+        if (item.expr->op() == ScalarOp::kColumn &&
+            item.expr->column_name() == item.name) {
+          passthrough.insert(item.name);
+        }
+      }
+      for (const std::set<std::string>& c : in.complete) {
+        if (std::all_of(c.begin(), c.end(), [&](const std::string& a) {
+              return passthrough.count(a) > 0;
+            })) {
+          out.AddComplete(c);
+        }
+      }
+      for (const std::string& a : in.modified_attrs) {
+        if (passthrough.count(a) > 0) out.modified_attrs.insert(a);
+      }
+      break;
+    }
+    case OpKind::kJoin: {
+      const DeltaInfo& dl = child_deltas[0];
+      const DeltaInfo& dr = child_deltas[1];
+      const RelationStats& sl = stats_->StatsOf(e.inputs[0]);
+      const RelationStats& sr = stats_->StatsOf(e.inputs[1]);
+      const std::vector<std::string>& s = e.op->join_attrs();
+      const double fanout_into_r =
+          std::max(1.0, StatsAnalysis::RowsPerJointValue(sr, s));
+      const double fanout_into_l =
+          std::max(1.0, StatsAnalysis::RowsPerJointValue(sl, s));
+      // A modify of a join attribute re-points the join: the old and new
+      // rows can match different partner sets, so per-group row counts are
+      // no longer preserved downstream.
+      auto join_preserving = [&](const DeltaInfo& d) {
+        if (!d.count_preserving) return false;
+        if (d.kind != UpdateKind::kModify) return true;
+        for (const std::string& a : s) {
+          if (d.modified_attrs.count(a) > 0) return false;
+        }
+        return true;
+      };
+      if (dl.affected() && !dr.affected()) {
+        out.size = dl.size * fanout_into_r;
+        out.kind = dl.kind;
+        out.modified_attrs = dl.modified_attrs;
+        out.count_preserving = join_preserving(dl);
+        // The semijoin expands each delta tuple with all matching partners,
+        // so the updated side's witnesses remain complete.
+        for (const std::set<std::string>& c : dl.complete) out.AddComplete(c);
+      } else if (dr.affected() && !dl.affected()) {
+        out.size = dr.size * fanout_into_l;
+        out.kind = dr.kind;
+        out.modified_attrs = dr.modified_attrs;
+        out.count_preserving = join_preserving(dr);
+        for (const std::set<std::string>& c : dr.complete) out.AddComplete(c);
+      } else if (dl.affected() && dr.affected()) {
+        out.size = dl.size * fanout_into_r + dr.size * fanout_into_l;
+        out.kind = UpdateKind::kModify;
+        out.modified_attrs = dl.modified_attrs;
+        out.modified_attrs.insert(dr.modified_attrs.begin(),
+                                  dr.modified_attrs.end());
+        out.count_preserving = false;
+        // No completeness witness survives a two-sided update.
+      }
+      break;
+    }
+    case OpKind::kAggregate: {
+      const DeltaInfo& in = child_deltas[0];
+      if (!in.affected()) break;
+      const RelationStats& child_stats = stats_->StatsOf(e.inputs[0]);
+      const double rows_per_group = std::max(
+          1.0, StatsAnalysis::RowsPerJointValue(child_stats, e.op->group_by()));
+      // A modify that changes a group-by attribute moves each entity between
+      // two groups (the old one and the new one) — unless the delta is
+      // group-complete, in which case the whole group moves as one pair
+      // (the paper's >Dept budget change: (d, old) -> (d, new)).
+      bool group_moving = false;
+      if (in.kind == UpdateKind::kModify) {
+        for (const std::string& a : e.op->group_by()) {
+          if (in.modified_attrs.count(a) > 0) group_moving = true;
+        }
+      }
+      const std::set<std::string> gb_set(e.op->group_by().begin(),
+                                         e.op->group_by().end());
+      const double spread =
+          group_moving && !in.CompleteWithin(gb_set) ? 2.0 : 1.0;
+      // Expected number of affected groups.
+      if (in.size >= 1.0) {
+        out.size = std::min(in.size * spread,
+                            std::max(1.0, in.size / rows_per_group) * spread);
+      } else {
+        out.size = in.size;
+      }
+      // Updates to existing groups surface as modifications of the group row
+      // — but groups can also appear or vanish, so downstream consumers may
+      // not assume per-group counts are preserved.
+      out.kind = UpdateKind::kModify;
+      out.count_preserving = false;
+      const std::set<std::string> gb(e.op->group_by().begin(),
+                                     e.op->group_by().end());
+      for (const AggSpec& agg : e.op->aggs()) {
+        out.modified_attrs.insert(agg.output_name);
+      }
+      for (const std::string& a : in.modified_attrs) {
+        if (gb.count(a) > 0) out.modified_attrs.insert(a);
+      }
+      for (const std::set<std::string>& c : in.complete) {
+        if (std::all_of(c.begin(), c.end(), [&](const std::string& a) {
+              return gb.count(a) > 0;
+            })) {
+          out.AddComplete(c);
+        }
+      }
+      break;
+    }
+    case OpKind::kDupElim: {
+      const DeltaInfo& in = child_deltas[0];
+      if (!in.affected()) break;
+      out = in;
+      break;
+    }
+  }
+  return out;
+}
+
+bool DeltaAnalysis::AggregateNeedsQuery(const MemoExpr& e,
+                                        const DeltaInfo& child_delta,
+                                        bool group_materialized) const {
+  AUXVIEW_CHECK(e.kind() == OpKind::kAggregate);
+  if (!child_delta.affected()) return false;
+  const std::set<std::string> gb(e.op->group_by().begin(),
+                                 e.op->group_by().end());
+  // Key-based elision (the paper's Q3d): whole groups arrive in the delta.
+  if (use_completeness_ && child_delta.CompleteWithin(gb)) return false;
+  if (!group_materialized) return true;
+  // Self-maintainability from the materialized old value.
+  bool has_count_star = false;
+  for (const AggSpec& agg : e.op->aggs()) {
+    if (agg.func == AggFunc::kCount) has_count_star = true;
+  }
+  for (const AggSpec& agg : e.op->aggs()) {
+    switch (agg.func) {
+      case AggFunc::kSum:
+      case AggFunc::kCount:
+        break;  // self-maintainable for every delta kind given the old value
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+      case AggFunc::kAvg:
+        if (child_delta.kind != UpdateKind::kInsert) return true;
+        break;
+    }
+  }
+  // Deletions can empty a group; detecting that requires a COUNT column.
+  if (child_delta.kind == UpdateKind::kDelete && !has_count_star) return true;
+  // A modification of a group-by attribute moves rows between groups, which
+  // is a delete from the old group; likewise a non-count-preserving modify
+  // (one that re-pointed a join or flipped a selection) can empty a group.
+  if (child_delta.kind == UpdateKind::kModify && !has_count_star) {
+    if (!child_delta.count_preserving) return true;
+    for (const std::string& a : child_delta.modified_attrs) {
+      if (gb.count(a) > 0) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace auxview

@@ -1,0 +1,64 @@
+#ifndef AUXVIEW_DELTA_ANALYSIS_H_
+#define AUXVIEW_DELTA_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cost/statistics_propagation.h"
+#include "delta/delta.h"
+#include "delta/transaction.h"
+#include "memo/memo.h"
+
+namespace auxview {
+
+/// Static delta analysis over the expression DAG for one transaction type:
+/// which nodes are affected (Definition 3.3's U_V), what deltas are expected
+/// at each node, and when an Aggregate can skip its old-group query.
+class DeltaAnalysis {
+ public:
+  DeltaAnalysis(const Memo* memo, const Catalog* catalog, StatsAnalysis* stats)
+      : memo_(memo), catalog_(catalog), stats_(stats) {}
+
+  /// Disables the group-completeness (key-based) query elision — ablation
+  /// switch for measuring what the paper's Q3d optimization is worth. The
+  /// runtime engine always keeps it on (it is exact there).
+  void set_use_completeness(bool enabled) { use_completeness_ = enabled; }
+  bool use_completeness() const { return use_completeness_; }
+
+  /// Groups with an updated relation as a descendant (including the updated
+  /// leaf groups themselves).
+  std::set<GroupId> AffectedGroups(const TransactionType& txn) const;
+
+  /// Live operation nodes of `g` that have at least one affected input —
+  /// the candidate ops for propagating `txn`'s updates into `g`.
+  std::vector<int> AffectedOps(GroupId g, const TransactionType& txn) const;
+
+  /// The delta expected at an updated base relation.
+  DeltaInfo LeafDelta(const TableDef& def, const UpdateSpec& spec) const;
+
+  /// The delta produced by operation node `e` given its inputs' deltas
+  /// (unaffected inputs carry a default-constructed DeltaInfo).
+  DeltaInfo Propagate(const MemoExpr& e,
+                      const std::vector<DeltaInfo>& child_deltas) const;
+
+  /// Whether Aggregate node `e` must pose the old-group query on its input
+  /// to compute its output delta. False when the incoming delta is
+  /// group-complete, or when the node's group is materialized and every
+  /// aggregate is self-maintainable for the delta's kind (SUM/COUNT always;
+  /// MIN/MAX/AVG for insertions only; deletions additionally require a
+  /// COUNT(*) column so emptied groups are detectable).
+  bool AggregateNeedsQuery(const MemoExpr& e, const DeltaInfo& child_delta,
+                           bool group_materialized) const;
+
+ private:
+  const Memo* memo_;
+  const Catalog* catalog_;
+  StatsAnalysis* stats_;
+  bool use_completeness_ = true;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_DELTA_ANALYSIS_H_

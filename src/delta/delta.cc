@@ -1,0 +1,41 @@
+#include "delta/delta.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace auxview {
+
+bool DeltaInfo::CompleteWithin(const std::set<std::string>& attrs) const {
+  for (const std::set<std::string>& c : complete) {
+    if (std::all_of(c.begin(), c.end(), [&](const std::string& a) {
+          return attrs.count(a) > 0;
+        })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DeltaInfo::AddComplete(std::set<std::string> attrs) {
+  if (attrs.empty()) return;
+  for (const std::set<std::string>& c : complete) {
+    if (c == attrs) return;
+  }
+  complete.push_back(std::move(attrs));
+}
+
+std::string DeltaInfo::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "delta{size=%.4g, %s", size,
+                UpdateKindName(kind));
+  std::string out = buf;
+  for (const std::set<std::string>& c : complete) {
+    out += ", complete(" + Join(c, ",") + ")";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace auxview

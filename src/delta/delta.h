@@ -1,0 +1,58 @@
+#ifndef AUXVIEW_DELTA_DELTA_H_
+#define AUXVIEW_DELTA_DELTA_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "delta/transaction.h"
+
+namespace auxview {
+
+/// Static (estimated) properties of the delta arriving at a DAG node for a
+/// transaction type — the "size of the deltas on the inputs" the paper
+/// assumes available (Section 2.2), plus the completeness information that
+/// drives the key-based query elision (Q3d = 0 in Section 3.6).
+struct DeltaInfo {
+  /// Expected number of delta tuples (for modifications: the number of
+  /// modified tuples, counting each old/new pair once, matching the paper's
+  /// convention of "one update tuple ... but 10 update tuples").
+  double size = 0;
+
+  /// Dominant update kind of the delta.
+  UpdateKind kind = UpdateKind::kModify;
+
+  /// For kModify: the attributes whose values change (propagated from the
+  /// transaction's UpdateSpec). A modification that touches an Aggregate's
+  /// group-by attributes moves rows between groups and may empty a group,
+  /// which self-maintenance cannot detect without a COUNT column.
+  std::set<std::string> modified_attrs;
+
+  /// For kModify: true while each modified entity contributes the same
+  /// number of rows before and after. A modify that changes a join
+  /// attribute (re-pointing the join) or that flips a selection predicate
+  /// breaks this: a group downstream can then gain or lose rows — or empty
+  /// out entirely — so SUM-only self-maintenance is unsound.
+  bool count_preserving = true;
+
+  /// Completeness witnesses: for each attribute set C here, the delta
+  /// contains *every* tuple of the node's relation whose C-value occurs in
+  /// the delta. An Aggregate above may skip its old-group query when some
+  /// C is a subset of its group-by attributes (all affected groups arrive
+  /// whole).
+  std::vector<std::set<std::string>> complete;
+
+  bool affected() const { return size > 0; }
+
+  /// True iff some completeness witness is contained in `attrs`.
+  bool CompleteWithin(const std::set<std::string>& attrs) const;
+
+  /// Adds a witness, deduplicating.
+  void AddComplete(std::set<std::string> attrs);
+
+  std::string ToString() const;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_DELTA_DELTA_H_

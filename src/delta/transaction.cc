@@ -1,0 +1,53 @@
+#include "delta/transaction.h"
+
+#include "common/string_util.h"
+
+namespace auxview {
+
+const char* UpdateKindName(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kInsert:
+      return "insert";
+    case UpdateKind::kDelete:
+      return "delete";
+    case UpdateKind::kModify:
+      return "modify";
+  }
+  return "?";
+}
+
+const UpdateSpec* TransactionType::SpecFor(const std::string& relation) const {
+  for (const UpdateSpec& spec : updates) {
+    if (spec.relation == relation) return &spec;
+  }
+  return nullptr;
+}
+
+std::string TransactionType::ToString() const {
+  std::string out = name + " (weight " + std::to_string(weight) + "):";
+  for (const UpdateSpec& spec : updates) {
+    out += " " + std::string(UpdateKindName(spec.kind)) + " " +
+           std::to_string(spec.count) + " of " + spec.relation;
+    if (!spec.modified_attrs.empty()) {
+      out += " [" + Join(spec.modified_attrs, ",") + "]";
+    }
+  }
+  return out;
+}
+
+TransactionType SingleModifyTxn(std::string name, std::string relation,
+                                std::vector<std::string> modified_attrs,
+                                double weight, double count) {
+  TransactionType txn;
+  txn.name = std::move(name);
+  txn.weight = weight;
+  UpdateSpec spec;
+  spec.relation = std::move(relation);
+  spec.kind = UpdateKind::kModify;
+  spec.count = count;
+  spec.modified_attrs = std::move(modified_attrs);
+  txn.updates.push_back(std::move(spec));
+  return txn;
+}
+
+}  // namespace auxview

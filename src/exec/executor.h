@@ -1,0 +1,52 @@
+#ifndef AUXVIEW_EXEC_EXECUTOR_H_
+#define AUXVIEW_EXEC_EXECUTOR_H_
+
+#include "algebra/expr.h"
+#include "common/status.h"
+#include "exec/relation.h"
+#include "storage/database.h"
+
+namespace auxview {
+
+/// Evaluates logical algebra trees against a database.
+///
+/// The executor is the engine's re-computation path: it materializes views
+/// from scratch and serves as the oracle that incremental maintenance is
+/// checked against. It reads tables without charging page I/O — charged,
+/// index-driven access happens in the delta engine, which is what the paper's
+/// cost model prices.
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  /// Evaluates `expr`; every Scan leaf must name a table present in the
+  /// database.
+  StatusOr<Relation> Execute(const Expr& expr) const;
+
+ private:
+  StatusOr<Relation> ExecuteScan(const Expr& expr) const;
+  StatusOr<Relation> ExecuteSelect(const Expr& expr) const;
+  StatusOr<Relation> ExecuteProject(const Expr& expr) const;
+  StatusOr<Relation> ExecuteJoin(const Expr& expr) const;
+  StatusOr<Relation> ExecuteAggregate(const Expr& expr) const;
+  StatusOr<Relation> ExecuteDupElim(const Expr& expr) const;
+
+  const Database* db_;
+};
+
+/// Applies `expr`'s operator to already-computed input relations. Exposed
+/// separately so the delta engine can run single operators over deltas.
+namespace exec_detail {
+
+StatusOr<Relation> ApplySelect(const Expr& expr, const Relation& input);
+StatusOr<Relation> ApplyProject(const Expr& expr, const Relation& input);
+StatusOr<Relation> ApplyJoin(const Expr& expr, const Relation& left,
+                             const Relation& right);
+StatusOr<Relation> ApplyAggregate(const Expr& expr, const Relation& input);
+StatusOr<Relation> ApplyDupElim(const Expr& expr, const Relation& input);
+
+}  // namespace exec_detail
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_EXEC_EXECUTOR_H_

@@ -1,0 +1,102 @@
+#ifndef AUXVIEW_EXEC_RELATION_H_
+#define AUXVIEW_EXEC_RELATION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/value.h"
+
+namespace auxview {
+
+/// An in-memory relation value with bag semantics (row -> multiplicity).
+/// Multiplicities may be negative inside delta computations (bag
+/// subtraction); stored tables reject negative counts.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  void set_schema(Schema schema) { schema_ = std::move(schema); }
+
+  /// Adds `count` copies of `row`; zero-count rows are dropped.
+  void Add(const Row& row, int64_t count) {
+    if (count == 0) return;
+    auto it = rows_.find(row);
+    if (it == rows_.end()) {
+      rows_.emplace(row, count);
+      return;
+    }
+    it->second += count;
+    if (it->second == 0) rows_.erase(it);
+  }
+
+  void AddAll(const Relation& other) {
+    for (const auto& [row, count] : other.rows_) Add(row, count);
+  }
+
+  int64_t CountOf(const Row& row) const {
+    auto it = rows_.find(row);
+    return it == rows_.end() ? 0 : it->second;
+  }
+
+  bool empty() const { return rows_.empty(); }
+  /// Number of distinct rows.
+  int64_t distinct_rows() const { return static_cast<int64_t>(rows_.size()); }
+  /// Sum of multiplicities (may be negative for deltas).
+  int64_t total_count() const {
+    int64_t total = 0;
+    for (const auto& [row, count] : rows_) total += count;
+    return total;
+  }
+
+  const std::unordered_map<Row, int64_t, RowHash, RowEq>& rows() const {
+    return rows_;
+  }
+
+  /// Rows in deterministic (sorted) order, for tests and printing.
+  std::vector<std::pair<Row, int64_t>> SortedRows() const {
+    std::vector<std::pair<Row, int64_t>> out(rows_.begin(), rows_.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) {
+                const Row& ra = a.first;
+                const Row& rb = b.first;
+                for (size_t i = 0; i < ra.size() && i < rb.size(); ++i) {
+                  const int c = ra[i].Compare(rb[i]);
+                  if (c != 0) return c < 0;
+                }
+                return ra.size() < rb.size();
+              });
+    return out;
+  }
+
+  bool BagEquals(const Relation& other) const {
+    if (rows_.size() != other.rows_.size()) return false;
+    for (const auto& [row, count] : rows_) {
+      if (other.CountOf(row) != count) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const {
+    std::string out = "[" + schema_.ToString() + "]\n";
+    for (const auto& [row, count] : SortedRows()) {
+      out += "  " + RowToString(row);
+      if (count != 1) out += " x" + std::to_string(count);
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  Schema schema_;
+  std::unordered_map<Row, int64_t, RowHash, RowEq> rows_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_EXEC_RELATION_H_

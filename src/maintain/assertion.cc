@@ -1,0 +1,27 @@
+#include "maintain/assertion.h"
+
+namespace auxview {
+
+std::string AssertionCheck::ToString() const {
+  if (holds) return "assertion " + name + " holds";
+  std::string out = "assertion " + name + " VIOLATED by " +
+                    std::to_string(violations.size()) + " row(s):";
+  for (const Row& row : violations) {
+    out += "\n  " + RowToString(row);
+  }
+  return out;
+}
+
+StatusOr<AssertionCheck> AssertionChecker::Check(const std::string& name,
+                                                 GroupId g) const {
+  AUXVIEW_ASSIGN_OR_RETURN(Relation contents, views_->ViewContents(g));
+  AssertionCheck check;
+  check.name = name;
+  check.holds = contents.empty();
+  for (const auto& [row, count] : contents.SortedRows()) {
+    for (int64_t i = 0; i < count; ++i) check.violations.push_back(row);
+  }
+  return check;
+}
+
+}  // namespace auxview

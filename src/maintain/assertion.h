@@ -1,0 +1,38 @@
+#ifndef AUXVIEW_MAINTAIN_ASSERTION_H_
+#define AUXVIEW_MAINTAIN_ASSERTION_H_
+
+#include <string>
+#include <vector>
+
+#include "maintain/view_manager.h"
+
+namespace auxview {
+
+/// Result of checking an SQL-92 assertion (a view required to be empty).
+struct AssertionCheck {
+  std::string name;
+  bool holds = true;
+  /// Violating rows (the view contents) when the assertion fails.
+  std::vector<Row> violations;
+
+  std::string ToString() const;
+};
+
+/// Checks assertions modeled as maintained-to-emptiness views (Section 6):
+/// `CREATE ASSERTION a CHECK (NOT EXISTS (SELECT ...))` holds iff the
+/// materialized view for the inner query is empty. With the view maintained
+/// incrementally, the check is a constant-time inspection.
+class AssertionChecker {
+ public:
+  explicit AssertionChecker(const ViewManager* views) : views_(views) {}
+
+  /// Checks the assertion backed by group `g` (default: the memo root).
+  StatusOr<AssertionCheck> Check(const std::string& name, GroupId g) const;
+
+ private:
+  const ViewManager* views_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_MAINTAIN_ASSERTION_H_

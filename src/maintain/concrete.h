@@ -1,0 +1,46 @@
+#ifndef AUXVIEW_MAINTAIN_CONCRETE_H_
+#define AUXVIEW_MAINTAIN_CONCRETE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+
+namespace auxview {
+
+/// Concrete changes to one base relation in one transaction.
+struct TableUpdate {
+  std::string relation;
+  std::vector<std::pair<Row, int64_t>> inserts;   // row, multiplicity
+  std::vector<std::pair<Row, int64_t>> deletes;   // row, multiplicity
+  std::vector<std::pair<Row, Row>> modifies;      // old row -> new row
+
+  bool empty() const {
+    return inserts.empty() && deletes.empty() && modifies.empty();
+  }
+};
+
+/// A concrete transaction instance: actual tuples, belonging to a declared
+/// TransactionType (whose name it carries).
+struct ConcreteTxn {
+  std::string type_name;
+  std::vector<TableUpdate> updates;
+
+  TableUpdate* FindUpdate(const std::string& relation) {
+    for (TableUpdate& u : updates) {
+      if (u.relation == relation) return &u;
+    }
+    return nullptr;
+  }
+  const TableUpdate* FindUpdate(const std::string& relation) const {
+    for (const TableUpdate& u : updates) {
+      if (u.relation == relation) return &u;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_MAINTAIN_CONCRETE_H_

@@ -1,0 +1,678 @@
+#include "maintain/delta_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "exec/executor.h"
+
+namespace auxview {
+
+namespace {
+
+std::set<std::string> ToSet(const std::vector<std::string>& v) {
+  return std::set<std::string>(v.begin(), v.end());
+}
+
+std::vector<std::string> SchemaAttrList(const Schema& schema) {
+  std::vector<std::string> out;
+  for (const Column& c : schema.columns()) out.push_back(c.name);
+  return out;
+}
+
+/// Projects `row` (laid out per `schema`) onto `attrs`.
+Row ProjectRow(const Row& row, const Schema& schema,
+               const std::vector<std::string>& attrs) {
+  Row key;
+  key.reserve(attrs.size());
+  for (const std::string& a : attrs) {
+    const int i = schema.IndexOf(a);
+    AUXVIEW_CHECK(i >= 0);
+    key.push_back(row[i]);
+  }
+  return key;
+}
+
+/// Filters `rel` to rows whose `attrs` projection equals `key`.
+Relation FilterByKey(const Relation& rel, const std::vector<std::string>& attrs,
+                     const Row& key) {
+  if (attrs.empty()) return rel;
+  Relation out(rel.schema());
+  RowEq eq;
+  for (const auto& [row, count] : rel.rows()) {
+    if (eq(ProjectRow(row, rel.schema(), attrs), key)) out.Add(row, count);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MaterializedViewName(GroupId g) {
+  return "__mv_N" + std::to_string(g);
+}
+
+DeltaEngine::DeltaEngine(const Memo* memo, const Catalog* catalog,
+                         Database* db)
+    : memo_(memo),
+      catalog_(catalog),
+      db_(db),
+      stats_(memo, catalog),
+      fds_(memo, catalog),
+      delta_(memo, catalog, &stats_),
+      coster_(memo, catalog, &stats_, &fds_, IoCostModel()) {}
+
+StatusOr<Relation> DeltaEngine::AlignRelation(const Relation& rel,
+                                              const Schema& schema) {
+  if (rel.schema() == schema) return rel;
+  std::vector<int> mapping;
+  for (const Column& c : schema.columns()) {
+    const int i = rel.schema().IndexOf(c.name);
+    if (i < 0) {
+      return Status::Internal("cannot align relation: missing column " +
+                              c.name);
+    }
+    mapping.push_back(i);
+  }
+  Relation out(schema);
+  for (const auto& [row, count] : rel.rows()) {
+    Row aligned;
+    aligned.reserve(mapping.size());
+    for (int i : mapping) aligned.push_back(row[i]);
+    out.Add(aligned, count);
+  }
+  return out;
+}
+
+StatusOr<Relation> DeltaEngine::LeafDeltaRelation(
+    const MemoGroup& grp, const TableUpdate& update) const {
+  Relation out(grp.schema);
+  for (const auto& [row, count] : update.inserts) out.Add(row, count);
+  for (const auto& [row, count] : update.deletes) out.Add(row, -count);
+  for (const auto& [old_row, new_row] : update.modifies) {
+    const Table* table = db_->FindTable(grp.table);
+    const int64_t mult = table != nullptr ? table->CountOf(old_row) : 1;
+    out.Add(old_row, -std::max<int64_t>(mult, 1));
+    out.Add(new_row, std::max<int64_t>(mult, 1));
+  }
+  return out;
+}
+
+StatusOr<std::map<GroupId, Relation>> DeltaEngine::ComputeDeltas(
+    const ConcreteTxn& txn, const TransactionType& type,
+    const UpdateTrack& track, const ViewSet& marked) {
+  // Fresh caches (the database mutates between transactions).
+  stats_.Clear();
+  fetch_cache_.clear();
+  ApplyContext ctx;
+  ctx.txn = &txn;
+  ctx.type = &type;
+  ctx.track = &track;
+  ViewSet marked_canon;
+  for (GroupId g : marked) marked_canon.insert(memo_->Find(g));
+  ctx.marked = &marked_canon;
+  ctx.affected = delta_.AffectedGroups(type);
+  for (const auto& [g, eid] : track.choice) {
+    (void)eid;
+    AUXVIEW_RETURN_IF_ERROR(DeltaOf(g, ctx).status());
+  }
+  return std::move(ctx.deltas);
+}
+
+StatusOr<DeltaInfo> DeltaEngine::StaticDeltaOf(GroupId g, ApplyContext& ctx) {
+  g = memo_->Find(g);
+  auto it = ctx.static_deltas.find(g);
+  if (it != ctx.static_deltas.end()) return it->second;
+  const MemoGroup& grp = memo_->group(g);
+  DeltaInfo info;
+  if (grp.is_leaf) {
+    const UpdateSpec* spec = ctx.type->SpecFor(grp.table);
+    if (spec != nullptr) {
+      const TableDef* def = catalog_->FindTable(grp.table);
+      if (def == nullptr) {
+        return Status::NotFound("relation missing from catalog: " + grp.table);
+      }
+      info = delta_.LeafDelta(*def, *spec);
+    }
+  } else if (ctx.affected.count(g) > 0) {
+    auto choice_it = ctx.track->choice.find(g);
+    if (choice_it == ctx.track->choice.end()) {
+      return Status::Internal("affected group off-track: N" +
+                              std::to_string(g));
+    }
+    const MemoExpr& e = memo_->expr(choice_it->second);
+    std::vector<DeltaInfo> child_deltas;
+    for (GroupId in : e.inputs) {
+      AUXVIEW_ASSIGN_OR_RETURN(DeltaInfo child, StaticDeltaOf(in, ctx));
+      child_deltas.push_back(std::move(child));
+    }
+    info = delta_.Propagate(e, child_deltas);
+  }
+  ctx.static_deltas[g] = info;
+  return info;
+}
+
+StatusOr<Relation> DeltaEngine::DeltaOf(GroupId g, ApplyContext& ctx) {
+  g = memo_->Find(g);
+  auto it = ctx.deltas.find(g);
+  if (it != ctx.deltas.end()) return it->second;
+  const MemoGroup& grp = memo_->group(g);
+  Relation delta(grp.schema);
+  if (grp.is_leaf) {
+    const TableUpdate* update = ctx.txn->FindUpdate(grp.table);
+    if (update != nullptr) {
+      AUXVIEW_ASSIGN_OR_RETURN(delta, LeafDeltaRelation(grp, *update));
+    }
+  } else if (ctx.affected.count(g) > 0) {
+    auto choice_it = ctx.track->choice.find(g);
+    if (choice_it == ctx.track->choice.end()) {
+      return Status::Internal("affected group off-track: N" +
+                              std::to_string(g));
+    }
+    const MemoExpr& e = memo_->expr(choice_it->second);
+    StatusOr<Relation> natural = [&]() -> StatusOr<Relation> {
+      switch (e.kind()) {
+        case OpKind::kScan:
+          return Status::Internal("scan operation node off a leaf group");
+        case OpKind::kSelect: {
+          AUXVIEW_ASSIGN_OR_RETURN(Relation in, DeltaOf(e.inputs[0], ctx));
+          return exec_detail::ApplySelect(*e.op, in);
+        }
+        case OpKind::kProject: {
+          AUXVIEW_ASSIGN_OR_RETURN(Relation in, DeltaOf(e.inputs[0], ctx));
+          return exec_detail::ApplyProject(*e.op, in);
+        }
+        case OpKind::kJoin:
+          return JoinDelta(e, ctx);
+        case OpKind::kAggregate:
+          return AggregateDelta(e, ctx);
+        case OpKind::kDupElim:
+          return DupElimDelta(e, ctx);
+      }
+      return Status::Internal("unhandled op kind");
+    }();
+    AUXVIEW_RETURN_IF_ERROR(natural.status());
+    AUXVIEW_ASSIGN_OR_RETURN(delta, AlignRelation(*natural, grp.schema));
+  }
+  ctx.deltas[g] = delta;
+  return delta;
+}
+
+StatusOr<Relation> DeltaEngine::JoinDelta(const MemoExpr& e,
+                                          ApplyContext& ctx) {
+  const GroupId left = memo_->Find(e.inputs[0]);
+  const GroupId right = memo_->Find(e.inputs[1]);
+  const bool l_aff = ctx.affected.count(left) > 0;
+  const bool r_aff = ctx.affected.count(right) > 0;
+  const std::vector<std::string>& s = e.op->join_attrs();
+
+  Relation out(e.natural_schema);
+
+  auto fetch_partners = [&](const Relation& delta,
+                            GroupId other) -> StatusOr<Relation> {
+    Relation partners(memo_->group(other).schema);
+    std::set<std::string> seen;
+    for (const auto& [row, count] : delta.rows()) {
+      (void)count;
+      Row key = ProjectRow(row, delta.schema(), s);
+      const std::string key_str = RowToString(key);
+      if (!seen.insert(key_str).second) continue;
+      AUXVIEW_ASSIGN_OR_RETURN(Relation matches,
+                               FetchMatching(other, s, key, *ctx.marked));
+      partners.AddAll(matches);
+    }
+    return partners;
+  };
+
+  if (l_aff) {
+    AUXVIEW_ASSIGN_OR_RETURN(Relation dl, DeltaOf(left, ctx));
+    AUXVIEW_ASSIGN_OR_RETURN(Relation partners, fetch_partners(dl, right));
+    AUXVIEW_ASSIGN_OR_RETURN(Relation term,
+                             exec_detail::ApplyJoin(*e.op, dl, partners));
+    out.AddAll(term);
+  }
+  if (r_aff) {
+    AUXVIEW_ASSIGN_OR_RETURN(Relation dr, DeltaOf(right, ctx));
+    AUXVIEW_ASSIGN_OR_RETURN(Relation partners, fetch_partners(dr, left));
+    AUXVIEW_ASSIGN_OR_RETURN(Relation term,
+                             exec_detail::ApplyJoin(*e.op, partners, dr));
+    out.AddAll(term);
+  }
+  if (l_aff && r_aff) {
+    AUXVIEW_ASSIGN_OR_RETURN(Relation dl, DeltaOf(left, ctx));
+    AUXVIEW_ASSIGN_OR_RETURN(Relation dr, DeltaOf(right, ctx));
+    AUXVIEW_ASSIGN_OR_RETURN(Relation term,
+                             exec_detail::ApplyJoin(*e.op, dl, dr));
+    out.AddAll(term);
+  }
+  return out;
+}
+
+StatusOr<Relation> DeltaEngine::AggregateDelta(const MemoExpr& e,
+                                               ApplyContext& ctx) {
+  const GroupId g = memo_->Find(e.group);
+  const GroupId input = memo_->Find(e.inputs[0]);
+  AUXVIEW_ASSIGN_OR_RETURN(Relation dc, DeltaOf(input, ctx));
+  AUXVIEW_ASSIGN_OR_RETURN(DeltaInfo child_static, StaticDeltaOf(input, ctx));
+  const std::vector<std::string>& group_by = e.op->group_by();
+  const bool materialized = ctx.marked->count(g) > 0;
+  const bool complete = child_static.CompleteWithin(ToSet(group_by));
+  const bool needs_query =
+      delta_.AggregateNeedsQuery(e, child_static, materialized);
+
+  // Partition the child delta by group key.
+  const Schema& child_schema = dc.schema();
+  std::map<std::string, std::pair<Row, Relation>> per_key;
+  for (const auto& [row, count] : dc.rows()) {
+    Row key = ProjectRow(row, child_schema, group_by);
+    const std::string key_str = RowToString(key);
+    auto [it, inserted] =
+        per_key.try_emplace(key_str, key, Relation(child_schema));
+    it->second.second.Add(row, count);
+  }
+
+  Relation out_natural(e.natural_schema);
+  Relation out_canonical(memo_->group(g).schema);
+
+  const Schema& view_schema = memo_->group(g).schema;
+  const Table* view_table =
+      materialized ? db_->FindTable(MaterializedViewName(g)) : nullptr;
+
+  for (auto& [key_str, entry] : per_key) {
+    (void)key_str;
+    const Row& key = entry.first;
+    const Relation& sub = entry.second;
+    if (complete) {
+      Relation old_content(child_schema);
+      Relation new_content(child_schema);
+      for (const auto& [row, count] : sub.rows()) {
+        if (count < 0) old_content.Add(row, -count);
+        if (count > 0) new_content.Add(row, count);
+      }
+      AUXVIEW_ASSIGN_OR_RETURN(
+          Relation old_rows, exec_detail::ApplyAggregate(*e.op, old_content));
+      AUXVIEW_ASSIGN_OR_RETURN(
+          Relation new_rows, exec_detail::ApplyAggregate(*e.op, new_content));
+      for (const auto& [row, count] : old_rows.rows()) {
+        out_natural.Add(row, -count);
+      }
+      out_natural.AddAll(new_rows);
+    } else if (!needs_query && materialized) {
+      if (view_table == nullptr) {
+        return Status::Internal("materialized view table missing for N" +
+                                std::to_string(g));
+      }
+      // Self-maintenance: read the old group row from the view (this read is
+      // part of the update cost, so it is not charged here), derive the new
+      // row algebraically.
+      Row old_row;
+      bool have_old = false;
+      {
+        ScopedCountingDisabled guard(&db_->counter());
+        std::vector<CountedRow> found = view_table->Lookup(group_by, key);
+        if (found.size() > 1) {
+          return Status::Internal("duplicate group row in materialized view");
+        }
+        if (!found.empty()) {
+          old_row = found[0].row;
+          have_old = true;
+        }
+      }
+      Row new_row(view_schema.num_columns());
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        const int col = view_schema.IndexOf(group_by[i]);
+        AUXVIEW_CHECK(col >= 0);
+        new_row[col] = key[i];
+      }
+      int64_t new_total_count = -1;
+      bool group_becomes_empty = false;
+      for (const AggSpec& agg : e.op->aggs()) {
+        const int col = view_schema.IndexOf(agg.output_name);
+        AUXVIEW_CHECK(col >= 0);
+        const Value old_val = have_old ? old_row[col] : Value::Null();
+        switch (agg.func) {
+          case AggFunc::kSum: {
+            double delta_sum = 0;
+            bool all_int = old_val.is_null() ||
+                           old_val.type() == ValueType::kInt64;
+            bool any = false;
+            for (const auto& [row, count] : sub.rows()) {
+              AUXVIEW_ASSIGN_OR_RETURN(Value v,
+                                       agg.arg->Eval(row, child_schema));
+              if (v.is_null()) continue;
+              delta_sum += v.AsDouble() * static_cast<double>(count);
+              if (v.type() != ValueType::kInt64) all_int = false;
+              any = true;
+            }
+            double base = old_val.is_null() ? 0 : old_val.AsDouble();
+            if (!any && old_val.is_null()) {
+              new_row[col] = Value::Null();
+            } else if (all_int) {
+              new_row[col] =
+                  Value::Int64(static_cast<int64_t>(base + delta_sum));
+            } else {
+              new_row[col] = Value::Double(base + delta_sum);
+            }
+            break;
+          }
+          case AggFunc::kCount: {
+            int64_t delta_count = 0;
+            for (const auto& [row, count] : sub.rows()) {
+              if (agg.arg != nullptr) {
+                AUXVIEW_ASSIGN_OR_RETURN(Value v,
+                                         agg.arg->Eval(row, child_schema));
+                if (v.is_null()) continue;
+              }
+              delta_count += count;
+            }
+            const int64_t base = old_val.is_null() ? 0 : old_val.int64();
+            const int64_t next = base + delta_count;
+            new_row[col] = Value::Int64(next);
+            if (agg.arg == nullptr) {
+              new_total_count = next;
+              if (next <= 0) group_becomes_empty = true;
+            }
+            break;
+          }
+          case AggFunc::kMin:
+          case AggFunc::kMax: {
+            // Statically guaranteed: insert-only deltas.
+            Value best = old_val;
+            for (const auto& [row, count] : sub.rows()) {
+              if (count <= 0) {
+                return Status::Internal(
+                    "non-insert delta reached MIN/MAX self-maintenance");
+              }
+              AUXVIEW_ASSIGN_OR_RETURN(Value v,
+                                       agg.arg->Eval(row, child_schema));
+              if (v.is_null()) continue;
+              if (best.is_null() ||
+                  (agg.func == AggFunc::kMin ? v.Compare(best) < 0
+                                             : v.Compare(best) > 0)) {
+                best = v;
+              }
+            }
+            new_row[col] = best;
+            break;
+          }
+          case AggFunc::kAvg:
+            return Status::Internal(
+                "AVG is not self-maintainable; query path expected");
+        }
+      }
+      (void)new_total_count;
+      if (have_old) out_canonical.Add(old_row, -1);
+      if (!group_becomes_empty) out_canonical.Add(new_row, 1);
+    } else {
+      // Query path: fetch the group's current contents from the input.
+      AUXVIEW_ASSIGN_OR_RETURN(
+          Relation old_content,
+          FetchMatching(input, group_by, key, *ctx.marked));
+      Relation new_content = old_content;
+      new_content.AddAll(sub);
+      AUXVIEW_ASSIGN_OR_RETURN(
+          Relation old_rows, exec_detail::ApplyAggregate(*e.op, old_content));
+      AUXVIEW_ASSIGN_OR_RETURN(
+          Relation new_rows, exec_detail::ApplyAggregate(*e.op, new_content));
+      for (const auto& [row, count] : old_rows.rows()) {
+        out_natural.Add(row, -count);
+      }
+      out_natural.AddAll(new_rows);
+    }
+  }
+
+  AUXVIEW_ASSIGN_OR_RETURN(Relation aligned,
+                           AlignRelation(out_natural, out_canonical.schema()));
+  out_canonical.AddAll(aligned);
+  return out_canonical;
+}
+
+StatusOr<Relation> DeltaEngine::DupElimDelta(const MemoExpr& e,
+                                             ApplyContext& ctx) {
+  const GroupId input = memo_->Find(e.inputs[0]);
+  AUXVIEW_ASSIGN_OR_RETURN(Relation dc, DeltaOf(input, ctx));
+  Relation out(e.natural_schema);
+  const std::vector<std::string> attrs = SchemaAttrList(dc.schema());
+  for (const auto& [row, count] : dc.rows()) {
+    AUXVIEW_ASSIGN_OR_RETURN(Relation existing,
+                             FetchMatching(input, attrs, row, *ctx.marked));
+    const int64_t old_mult = existing.CountOf(row);
+    const int64_t new_mult = old_mult + count;
+    if (new_mult < 0) {
+      return Status::FailedPrecondition(
+          "delta drives a multiplicity negative in DupElim");
+    }
+    if (old_mult > 0 && new_mult == 0) out.Add(row, -1);
+    if (old_mult == 0 && new_mult > 0) out.Add(row, 1);
+  }
+  return out;
+}
+
+StatusOr<Relation> DeltaEngine::FetchMatching(
+    GroupId g, const std::vector<std::string>& attrs, const Row& key,
+    const ViewSet& marked) {
+  g = memo_->Find(g);
+  std::string cache_key = "N" + std::to_string(g) + "|" + Join(attrs, ",") +
+                          "|" + RowToString(key);
+  if (auto it = fetch_cache_.find(cache_key); it != fetch_cache_.end()) {
+    return it->second;
+  }
+  const MemoGroup& grp = memo_->group(g);
+
+  // Base relation or materialized view: direct (charged) lookup.
+  const Table* table = nullptr;
+  if (grp.is_leaf) {
+    table = db_->FindTable(grp.table);
+    if (table == nullptr) {
+      return Status::NotFound("missing base table: " + grp.table);
+    }
+  } else if (marked.count(g) > 0) {
+    table = db_->FindTable(MaterializedViewName(g));
+    if (table == nullptr) {
+      return Status::Internal("missing materialized view table for N" +
+                              std::to_string(g));
+    }
+  }
+  if (table != nullptr) {
+    Relation out(table->schema());
+    if (attrs.empty()) {
+      for (const CountedRow& cr : table->ScanAll()) out.Add(cr.row, cr.count);
+    } else {
+      for (const CountedRow& cr : table->Lookup(attrs, key)) {
+        out.Add(cr.row, cr.count);
+      }
+    }
+    AUXVIEW_ASSIGN_OR_RETURN(Relation aligned,
+                             AlignRelation(out, grp.schema));
+    fetch_cache_[cache_key] = aligned;
+    return aligned;
+  }
+
+  // Unmaterialized: follow the cheapest plan (same choice as the estimator).
+  std::set<GroupId> marked_set(marked.begin(), marked.end());
+  int best_eid = -1;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int eid : grp.exprs) {
+    const MemoExpr& cand = memo_->expr(eid);
+    if (cand.dead) continue;
+    const double cost = coster_.PlanLookupCost(cand, attrs, 1, marked_set);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_eid = eid;
+    }
+  }
+  if (best_eid < 0) {
+    return Status::Internal("no plan to answer a lookup on N" +
+                            std::to_string(g));
+  }
+  const MemoExpr& e = memo_->expr(best_eid);
+
+  StatusOr<Relation> natural = [&]() -> StatusOr<Relation> {
+    switch (e.kind()) {
+      case OpKind::kScan:
+        return Status::Internal("scan op in non-leaf group");
+      case OpKind::kSelect: {
+        AUXVIEW_ASSIGN_OR_RETURN(
+            Relation in, FetchMatching(e.inputs[0], attrs, key, marked));
+        return exec_detail::ApplySelect(*e.op, in);
+      }
+      case OpKind::kProject: {
+        std::set<std::string> passthrough;
+        for (const ProjectItem& item : e.op->projections()) {
+          if (item.expr->op() == ScalarOp::kColumn &&
+              item.expr->column_name() == item.name) {
+            passthrough.insert(item.name);
+          }
+        }
+        const bool pushable = std::all_of(
+            attrs.begin(), attrs.end(),
+            [&](const std::string& a) { return passthrough.count(a) > 0; });
+        AUXVIEW_ASSIGN_OR_RETURN(
+            Relation in,
+            pushable ? FetchMatching(e.inputs[0], attrs, key, marked)
+                     : FetchMatching(e.inputs[0], {}, {}, marked));
+        return exec_detail::ApplyProject(*e.op, in);
+      }
+      case OpKind::kJoin: {
+        const GroupId left = memo_->Find(e.inputs[0]);
+        const GroupId right = memo_->Find(e.inputs[1]);
+        const std::vector<std::string>& s = e.op->join_attrs();
+        // Pick a side that contains every probe attribute.
+        int side = -1;
+        for (int candidate = 0; candidate < 2 && !attrs.empty(); ++candidate) {
+          const GroupId x = candidate == 0 ? left : right;
+          const Schema& xs = memo_->group(x).schema;
+          if (std::all_of(attrs.begin(), attrs.end(),
+                          [&](const std::string& a) {
+                            return xs.Contains(a);
+                          })) {
+            side = candidate;
+            break;
+          }
+        }
+        if (attrs.empty() || side < 0) {
+          AUXVIEW_ASSIGN_OR_RETURN(Relation full_l,
+                                   FetchMatching(left, {}, {}, marked));
+          AUXVIEW_ASSIGN_OR_RETURN(Relation full_r,
+                                   FetchMatching(right, {}, {}, marked));
+          return exec_detail::ApplyJoin(*e.op, full_l, full_r);
+        }
+        const GroupId x = side == 0 ? left : right;
+        const GroupId y = side == 0 ? right : left;
+        AUXVIEW_ASSIGN_OR_RETURN(Relation sub,
+                                 FetchMatching(x, attrs, key, marked));
+        Relation partners(memo_->group(y).schema);
+        std::set<std::string> seen;
+        for (const auto& [row, count] : sub.rows()) {
+          (void)count;
+          Row skey = ProjectRow(row, sub.schema(), s);
+          if (!seen.insert(RowToString(skey)).second) continue;
+          AUXVIEW_ASSIGN_OR_RETURN(Relation matches,
+                                   FetchMatching(y, s, skey, marked));
+          partners.AddAll(matches);
+        }
+        return side == 0 ? exec_detail::ApplyJoin(*e.op, sub, partners)
+                         : exec_detail::ApplyJoin(*e.op, partners, sub);
+      }
+      case OpKind::kAggregate: {
+        const std::set<std::string> gb = ToSet(e.op->group_by());
+        const bool pushable =
+            !attrs.empty() &&
+            std::all_of(attrs.begin(), attrs.end(),
+                        [&](const std::string& a) { return gb.count(a) > 0; });
+        AUXVIEW_ASSIGN_OR_RETURN(
+            Relation in,
+            pushable ? FetchMatching(e.inputs[0], attrs, key, marked)
+                     : FetchMatching(e.inputs[0], {}, {}, marked));
+        return exec_detail::ApplyAggregate(*e.op, in);
+      }
+      case OpKind::kDupElim: {
+        AUXVIEW_ASSIGN_OR_RETURN(
+            Relation in, FetchMatching(e.inputs[0], attrs, key, marked));
+        return exec_detail::ApplyDupElim(*e.op, in);
+      }
+    }
+    return Status::Internal("unhandled op kind");
+  }();
+  AUXVIEW_RETURN_IF_ERROR(natural.status());
+  AUXVIEW_ASSIGN_OR_RETURN(Relation aligned,
+                           AlignRelation(*natural, grp.schema));
+  Relation filtered = FilterByKey(aligned, attrs, key);
+  fetch_cache_[cache_key] = filtered;
+  return filtered;
+}
+
+Status ApplyDeltaToTable(Table* table, const Relation& delta,
+                         const std::vector<std::string>& pair_attrs) {
+  AUXVIEW_ASSIGN_OR_RETURN(Relation aligned, [&]() -> StatusOr<Relation> {
+    if (delta.schema() == table->schema()) return delta;
+    // Align by name.
+    std::vector<int> mapping;
+    for (const Column& c : table->schema().columns()) {
+      const int i = delta.schema().IndexOf(c.name);
+      if (i < 0) {
+        return Status::Internal("delta misses view column " + c.name);
+      }
+      mapping.push_back(i);
+    }
+    Relation out(table->schema());
+    for (const auto& [row, count] : delta.rows()) {
+      Row aligned_row;
+      for (int i : mapping) aligned_row.push_back(row[i]);
+      out.Add(aligned_row, count);
+    }
+    return out;
+  }());
+
+  // Bucket by pairing key.
+  std::vector<int> key_cols;
+  for (const std::string& a : pair_attrs) {
+    const int i = table->schema().IndexOf(a);
+    if (i >= 0) key_cols.push_back(i);
+  }
+  std::map<std::string, std::vector<std::pair<Row, int64_t>>> buckets;
+  for (const auto& [row, count] : aligned.rows()) {
+    Row key;
+    for (int c : key_cols) key.push_back(row[c]);
+    buckets[RowToString(key)].emplace_back(row, count);
+  }
+  for (auto& [key, entries] : buckets) {
+    (void)key;
+    // Pair each -n with a +n into in-place modifications (batched: the
+    // paper charges one index page for a whole same-key batch); whatever
+    // cannot be paired falls back to plain inserts/deletes.
+    std::vector<std::pair<Row, int64_t>> negs;
+    std::vector<std::pair<Row, int64_t>> poss;
+    for (auto& entry : entries) {
+      (entry.second < 0 ? negs : poss).push_back(entry);
+    }
+    std::vector<std::pair<Row, Row>> pairs;
+    std::vector<std::pair<Row, int64_t>> leftovers;
+    std::vector<bool> pos_used(poss.size(), false);
+    for (auto& neg : negs) {
+      bool paired = false;
+      if (table->CountOf(neg.first) == -neg.second) {
+        for (size_t i = 0; i < poss.size(); ++i) {
+          if (pos_used[i] || poss[i].second != -neg.second) continue;
+          pairs.emplace_back(neg.first, poss[i].first);
+          pos_used[i] = true;
+          paired = true;
+          break;
+        }
+      }
+      if (!paired) leftovers.push_back(neg);
+    }
+    for (size_t i = 0; i < poss.size(); ++i) {
+      if (!pos_used[i]) leftovers.push_back(poss[i]);
+    }
+    if (!pairs.empty()) {
+      AUXVIEW_RETURN_IF_ERROR(table->ModifyBatch(pairs));
+    }
+    for (const auto& [row, count] : leftovers) {
+      AUXVIEW_RETURN_IF_ERROR(table->Apply(row, count));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace auxview

@@ -1,0 +1,97 @@
+#ifndef AUXVIEW_MAINTAIN_DELTA_ENGINE_H_
+#define AUXVIEW_MAINTAIN_DELTA_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cost/query_cost.h"
+#include "delta/analysis.h"
+#include "exec/relation.h"
+#include "maintain/concrete.h"
+#include "optimizer/track.h"
+#include "optimizer/view_set.h"
+#include "storage/database.h"
+
+namespace auxview {
+
+/// Stored-table name for a materialized (non-root) equivalence node.
+std::string MaterializedViewName(GroupId g);
+
+/// The runtime counterpart of track costing: given a concrete transaction,
+/// computes real delta relations for every node on the update track — posing
+/// real (I/O-charged) queries on base relations and materialized views — and
+/// returns the per-group deltas. Queries see the pre-update database state;
+/// the caller applies the deltas afterwards.
+class DeltaEngine {
+ public:
+  DeltaEngine(const Memo* memo, const Catalog* catalog, Database* db);
+
+  /// Computes deltas for every group assigned on `track` (plus affected
+  /// leaves), for the concrete transaction `txn` of declared type `type`.
+  /// `marked` controls which groups answer queries by direct lookup.
+  /// Deltas are signed counted bags aligned to each group's canonical schema.
+  StatusOr<std::map<GroupId, Relation>> ComputeDeltas(
+      const ConcreteTxn& txn, const TransactionType& type,
+      const UpdateTrack& track, const ViewSet& marked);
+
+  /// Fetches the (pre-update) rows of group `g` matching `key` on `attrs`,
+  /// answering from a base relation / materialized view by indexed lookup or
+  /// by the cheapest push-down plan otherwise. Empty attrs fetch everything.
+  /// Within one ComputeDeltas call, identical fetches are served from a
+  /// cache without re-charging I/O — the runtime counterpart of the cost
+  /// model's multi-query sharing (Section 3.4).
+  StatusOr<Relation> FetchMatching(GroupId g,
+                                   const std::vector<std::string>& attrs,
+                                   const Row& key, const ViewSet& marked);
+
+  DeltaAnalysis& analysis() { return delta_; }
+
+  /// Drops cached fetch results. Call after mutating the database outside
+  /// ComputeDeltas (which clears automatically).
+  void ClearFetchCache() { fetch_cache_.clear(); }
+
+ private:
+  struct ApplyContext {
+    const ConcreteTxn* txn = nullptr;
+    const TransactionType* type = nullptr;
+    const UpdateTrack* track = nullptr;
+    const ViewSet* marked = nullptr;
+    std::set<GroupId> affected;
+    std::map<GroupId, DeltaInfo> static_deltas;
+    std::map<GroupId, Relation> deltas;
+  };
+
+  StatusOr<Relation> DeltaOf(GroupId g, ApplyContext& ctx);
+  StatusOr<Relation> LeafDeltaRelation(const MemoGroup& grp,
+                                       const TableUpdate& update) const;
+  StatusOr<Relation> JoinDelta(const MemoExpr& e, ApplyContext& ctx);
+  StatusOr<Relation> AggregateDelta(const MemoExpr& e, ApplyContext& ctx);
+  StatusOr<Relation> DupElimDelta(const MemoExpr& e, ApplyContext& ctx);
+  StatusOr<DeltaInfo> StaticDeltaOf(GroupId g, ApplyContext& ctx);
+
+  /// Aligns `rel` to `schema` (reorder/drop columns by name, summing counts).
+  static StatusOr<Relation> AlignRelation(const Relation& rel,
+                                          const Schema& schema);
+
+  const Memo* memo_;
+  const Catalog* catalog_;
+  Database* db_;
+  StatsAnalysis stats_;
+  FdAnalysis fds_;
+  DeltaAnalysis delta_;
+  QueryCoster coster_;
+  /// Per-ComputeDeltas query-result cache (pre-update state is immutable
+  /// while deltas are computed, so caching is sound).
+  std::map<std::string, Relation> fetch_cache_;
+};
+
+/// Applies a signed delta to a stored table, pairing matched -old/+new rows
+/// on `pair_attrs` into in-place modifications (the paper's modify cost
+/// model); unmatched rows become inserts/deletes.
+Status ApplyDeltaToTable(Table* table, const Relation& delta,
+                         const std::vector<std::string>& pair_attrs);
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_MAINTAIN_DELTA_ENGINE_H_

@@ -1,0 +1,250 @@
+#include "maintain/view_manager.h"
+
+#include <algorithm>
+
+#include "exec/executor.h"
+
+namespace auxview {
+
+ViewManager::ViewManager(const Memo* memo, const Catalog* catalog,
+                         Database* db, MaintainOptions options)
+    : memo_(memo),
+      catalog_(catalog),
+      db_(db),
+      options_(options),
+      engine_(memo, catalog, db) {}
+
+namespace {
+
+/// Drops attributes functionally determined by the rest (minimal cover).
+std::vector<std::string> FdReduce(std::vector<std::string> attrs,
+                                  FdAnalysis* fds, GroupId g) {
+  for (size_t i = attrs.size(); i-- > 0 && attrs.size() > 1;) {
+    std::set<std::string> rest;
+    for (size_t j = 0; j < attrs.size(); ++j) {
+      if (j != i) rest.insert(attrs[j]);
+    }
+    if (fds->Fds(g).Determines(rest, {attrs[i]})) {
+      attrs.erase(attrs.begin() + static_cast<long>(i));
+    }
+  }
+  return attrs;
+}
+
+}  // namespace
+
+std::vector<std::string> ViewManager::ChooseIndexAttrs(const Memo& memo,
+                                                       const Catalog& catalog,
+                                                       GroupId g) {
+  g = memo.Find(g);
+  FdAnalysis fds(&memo, &catalog);
+  // Prefer the attributes parent operation nodes probe this group by.
+  for (int eid : memo.ParentExprsOf(g)) {
+    const MemoExpr& e = memo.expr(eid);
+    if (e.kind() == OpKind::kJoin) {
+      return FdReduce(e.op->join_attrs(), &fds, g);
+    }
+  }
+  for (int eid : memo.ParentExprsOf(g)) {
+    const MemoExpr& e = memo.expr(eid);
+    if (e.kind() == OpKind::kAggregate && !e.op->group_by().empty()) {
+      return FdReduce(e.op->group_by(), &fds, g);
+    }
+  }
+  // Fall back to the group's own grouping structure.
+  for (int eid : memo.group(g).exprs) {
+    const MemoExpr& e = memo.expr(eid);
+    if (e.dead) continue;
+    if (e.kind() == OpKind::kAggregate && !e.op->group_by().empty()) {
+      return FdReduce(e.op->group_by(), &fds, g);
+    }
+    if (e.kind() == OpKind::kJoin) {
+      return FdReduce(e.op->join_attrs(), &fds, g);
+    }
+  }
+  if (memo.group(g).schema.num_columns() > 0) {
+    return {memo.group(g).schema.column(0).name};
+  }
+  return {};
+}
+
+Status ViewManager::Materialize(const ViewSet& views) {
+  views_.clear();
+  for (GroupId g : views) views_.insert(memo_->Find(g));
+  views_.insert(memo_->root());
+
+  ScopedCountingDisabled guard(&db_->counter());
+  Executor executor(db_);
+  for (GroupId g : views_) {
+    if (memo_->group(g).is_leaf) continue;
+    AUXVIEW_ASSIGN_OR_RETURN(Expr::Ptr tree, memo_->ExtractOriginalTree(g));
+    AUXVIEW_ASSIGN_OR_RETURN(Relation contents, executor.Execute(*tree));
+    TableDef def;
+    def.name = MaterializedViewName(g);
+    def.schema = memo_->group(g).schema;
+    std::vector<std::string> idx = ChooseIndexAttrs(*memo_, *catalog_, g);
+    if (!idx.empty()) def.indexes.push_back(IndexDef{idx});
+    index_attrs_[g] = idx;
+    if (db_->HasTable(def.name)) {
+      AUXVIEW_RETURN_IF_ERROR(db_->DropTable(def.name));
+    }
+    AUXVIEW_ASSIGN_OR_RETURN(Table * table, db_->CreateTable(std::move(def)));
+    for (const auto& [row, count] : contents.rows()) {
+      if (count < 0) {
+        return Status::Internal("negative multiplicity when materializing");
+      }
+      AUXVIEW_RETURN_IF_ERROR(table->Insert(row, count));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ViewManager::ApplyTransaction(const ConcreteTxn& txn,
+                                     const TransactionType& type,
+                                     const UpdateTrack& track) {
+  // 1. Compute all deltas against the pre-update state.
+  AUXVIEW_ASSIGN_OR_RETURN(auto deltas,
+                           engine_.ComputeDeltas(txn, type, track, views_));
+
+  // 2. Apply deltas to the materialized views.
+  const GroupId root = memo_->root();
+  for (GroupId g : views_) {
+    if (memo_->group(g).is_leaf) continue;
+    auto it = deltas.find(g);
+    if (it == deltas.end() || it->second.empty()) continue;
+    Table* table = db_->FindTable(MaterializedViewName(g));
+    if (table == nullptr) {
+      return Status::Internal("materialized view table missing for N" +
+                              std::to_string(g));
+    }
+    const bool charge = g != root || options_.charge_root_update;
+    if (charge) {
+      AUXVIEW_RETURN_IF_ERROR(
+          ApplyDeltaToTable(table, it->second, index_attrs_[g]));
+    } else {
+      ScopedCountingDisabled guard(&db_->counter());
+      AUXVIEW_RETURN_IF_ERROR(
+          ApplyDeltaToTable(table, it->second, index_attrs_[g]));
+    }
+  }
+
+  // 3. Apply the base-relation updates.
+  ScopedCountingDisabled base_guard(&db_->counter());
+  if (options_.charge_base_updates) db_->counter().set_enabled(true);
+  for (const TableUpdate& update : txn.updates) {
+    Table* table = db_->FindTable(update.relation);
+    if (table == nullptr) {
+      return Status::NotFound("updated base table missing: " +
+                              update.relation);
+    }
+    for (const auto& [row, count] : update.inserts) {
+      AUXVIEW_RETURN_IF_ERROR(table->Insert(row, count));
+    }
+    for (const auto& [row, count] : update.deletes) {
+      AUXVIEW_RETURN_IF_ERROR(table->Delete(row, count));
+    }
+    for (const auto& [old_row, new_row] : update.modifies) {
+      AUXVIEW_RETURN_IF_ERROR(table->Modify(old_row, new_row));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ViewManager::ApplyTransactionByRecompute(const ConcreteTxn& txn,
+                                                const TransactionType& type) {
+  // 1. Apply the base updates (uncharged, as in ApplyTransaction).
+  {
+    ScopedCountingDisabled guard(&db_->counter());
+    if (options_.charge_base_updates) db_->counter().set_enabled(true);
+    for (const TableUpdate& update : txn.updates) {
+      Table* table = db_->FindTable(update.relation);
+      if (table == nullptr) {
+        return Status::NotFound("updated base table missing: " +
+                                update.relation);
+      }
+      for (const auto& [row, count] : update.inserts) {
+        AUXVIEW_RETURN_IF_ERROR(table->Insert(row, count));
+      }
+      for (const auto& [row, count] : update.deletes) {
+        AUXVIEW_RETURN_IF_ERROR(table->Delete(row, count));
+      }
+      for (const auto& [old_row, new_row] : update.modifies) {
+        AUXVIEW_RETURN_IF_ERROR(table->Modify(old_row, new_row));
+      }
+    }
+  }
+
+  // 2. Recompute every affected view with charged reads and writes. The
+  //    base tables just changed, so cached fetches are stale.
+  engine_.ClearFetchCache();
+  StatsAnalysis stats(memo_, catalog_);
+  DeltaAnalysis analysis(memo_, catalog_, &stats);
+  const std::set<GroupId> affected = analysis.AffectedGroups(type);
+  const GroupId root = memo_->root();
+  for (GroupId g : views_) {
+    if (memo_->group(g).is_leaf || affected.count(g) == 0) continue;
+    const bool charge = g != root || options_.charge_root_update;
+    // Read through the DAG with only base relations available: the cost of
+    // evaluating the view as a query.
+    AUXVIEW_ASSIGN_OR_RETURN(Relation contents, [&]() -> StatusOr<Relation> {
+      if (!charge) {
+        ScopedCountingDisabled guard(&db_->counter());
+        return engine_.FetchMatching(g, {}, {}, {});
+      }
+      return engine_.FetchMatching(g, {}, {}, {});
+    }());
+    Table* table = db_->FindTable(MaterializedViewName(g));
+    if (table == nullptr) {
+      return Status::Internal("materialized view table missing for N" +
+                              std::to_string(g));
+    }
+    // Rewrite the table in place.
+    ScopedCountingDisabled guard(&db_->counter());
+    if (charge) db_->counter().set_enabled(true);
+    for (const CountedRow& cr : table->SnapshotUncharged()) {
+      AUXVIEW_RETURN_IF_ERROR(table->Delete(cr.row, cr.count));
+    }
+    for (const auto& [row, count] : contents.rows()) {
+      if (count < 0) return Status::Internal("negative recomputed count");
+      AUXVIEW_RETURN_IF_ERROR(table->Insert(row, count));
+    }
+  }
+  return Status::Ok();
+}
+
+const Table* ViewManager::ViewTable(GroupId g) const {
+  return db_->FindTable(MaterializedViewName(memo_->Find(g)));
+}
+
+StatusOr<Relation> ViewManager::ViewContents(GroupId g) const {
+  const Table* table = ViewTable(g);
+  if (table == nullptr) {
+    return Status::NotFound("group not materialized: N" +
+                            std::to_string(memo_->Find(g)));
+  }
+  Relation out(table->schema());
+  for (const CountedRow& cr : table->SnapshotUncharged()) {
+    out.Add(cr.row, cr.count);
+  }
+  return out;
+}
+
+Status ViewManager::CheckConsistency() const {
+  ScopedCountingDisabled guard(&db_->counter());
+  Executor executor(db_);
+  for (GroupId g : views_) {
+    if (memo_->group(g).is_leaf) continue;
+    AUXVIEW_ASSIGN_OR_RETURN(Expr::Ptr tree, memo_->ExtractOriginalTree(g));
+    AUXVIEW_ASSIGN_OR_RETURN(Relation expected, executor.Execute(*tree));
+    AUXVIEW_ASSIGN_OR_RETURN(Relation actual, ViewContents(g));
+    if (!expected.BagEquals(actual)) {
+      return Status::FailedPrecondition(
+          "maintained view N" + std::to_string(g) +
+          " diverged from recomputation.\nexpected:\n" + expected.ToString() +
+          "actual:\n" + actual.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace auxview

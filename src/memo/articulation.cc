@@ -1,0 +1,80 @@
+#include "memo/articulation.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace auxview {
+
+std::set<GroupId> FindArticulationGroups(const Memo& memo) {
+  // Node numbering: live groups then live operation nodes.
+  std::vector<GroupId> groups = memo.LiveGroups();
+  std::vector<int> exprs = memo.LiveExprs();
+  std::map<GroupId, int> group_node;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    group_node[groups[i]] = static_cast<int>(i);
+  }
+  const int num_nodes = static_cast<int>(groups.size() + exprs.size());
+  std::vector<std::vector<int>> adj(num_nodes);
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    const MemoExpr& e = memo.expr(exprs[i]);
+    const int enode = static_cast<int>(groups.size() + i);
+    const int gnode = group_node.at(memo.Find(e.group));
+    adj[enode].push_back(gnode);
+    adj[gnode].push_back(enode);
+    for (GroupId in : e.inputs) {
+      const int cnode = group_node.at(memo.Find(in));
+      adj[enode].push_back(cnode);
+      adj[cnode].push_back(enode);
+    }
+  }
+
+  // Tarjan's articulation-point algorithm.
+  std::vector<int> disc(num_nodes, -1);
+  std::vector<int> low(num_nodes, 0);
+  std::vector<bool> articulation(num_nodes, false);
+  int timer = 0;
+  std::function<void(int, int)> dfs = [&](int u, int parent) {
+    disc[u] = low[u] = timer++;
+    int children = 0;
+    for (int v : adj[u]) {
+      if (v == parent) continue;
+      if (disc[v] >= 0) {
+        low[u] = std::min(low[u], disc[v]);
+        continue;
+      }
+      ++children;
+      dfs(v, u);
+      low[u] = std::min(low[u], low[v]);
+      if (parent != -1 && low[v] >= disc[u]) articulation[u] = true;
+    }
+    if (parent == -1 && children > 1) articulation[u] = true;
+  };
+  for (int u = 0; u < num_nodes; ++u) {
+    if (disc[u] < 0) dfs(u, -1);
+  }
+
+  std::set<GroupId> out;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (articulation[i]) out.insert(groups[i]);
+  }
+  return out;
+}
+
+std::set<GroupId> DescendantGroups(const Memo& memo, GroupId g) {
+  std::set<GroupId> out;
+  std::vector<GroupId> stack = {memo.Find(g)};
+  while (!stack.empty()) {
+    const GroupId cur = stack.back();
+    stack.pop_back();
+    if (!out.insert(cur).second) continue;
+    for (int eid : memo.group(cur).exprs) {
+      const MemoExpr& e = memo.expr(eid);
+      if (e.dead) continue;
+      for (GroupId in : e.inputs) stack.push_back(memo.Find(in));
+    }
+  }
+  return out;
+}
+
+}  // namespace auxview

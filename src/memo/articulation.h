@@ -1,0 +1,23 @@
+#ifndef AUXVIEW_MEMO_ARTICULATION_H_
+#define AUXVIEW_MEMO_ARTICULATION_H_
+
+#include <set>
+#include <vector>
+
+#include "memo/memo.h"
+
+namespace auxview {
+
+/// Articulation equivalence nodes of the expression DAG viewed as an
+/// undirected graph over equivalence nodes and operation nodes (paper
+/// Definition 4.1). These are the nodes where the Shielding Principle
+/// (Theorem 4.1) licenses local optimization.
+std::set<GroupId> FindArticulationGroups(const Memo& memo);
+
+/// The groups at-or-below `g` (g itself, plus every group reachable through
+/// operation-node inputs) — the sub-DAG D_N of Section 4.2.
+std::set<GroupId> DescendantGroups(const Memo& memo, GroupId g);
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_MEMO_ARTICULATION_H_

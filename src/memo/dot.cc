@@ -1,0 +1,45 @@
+#include "memo/dot.h"
+
+namespace auxview {
+
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MemoToDot(const Memo& memo, const std::set<GroupId>& marked) {
+  std::string out = "digraph memo {\n  rankdir=BT;\n";
+  for (GroupId g : memo.LiveGroups()) {
+    const MemoGroup& grp = memo.group(g);
+    out += "  N" + std::to_string(g) + " [shape=box, label=\"N" +
+           std::to_string(g) +
+           (grp.is_leaf ? ": " + EscapeDot(grp.table) : "") + "\"";
+    if (marked.count(g) > 0) out += ", style=filled, fillcolor=lightblue";
+    if (g == memo.root()) out += ", penwidth=2";
+    out += "];\n";
+  }
+  for (int eid : memo.LiveExprs()) {
+    const MemoExpr& e = memo.expr(eid);
+    if (e.kind() == OpKind::kScan) continue;
+    out += "  E" + std::to_string(eid) + " [shape=ellipse, label=\"" +
+           EscapeDot(e.op->LocalToString()) + "\"];\n";
+    out += "  E" + std::to_string(eid) + " -> N" +
+           std::to_string(memo.Find(e.group)) + ";\n";
+    for (GroupId in : e.inputs) {
+      out += "  N" + std::to_string(memo.Find(in)) + " -> E" +
+             std::to_string(eid) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace auxview

@@ -1,0 +1,17 @@
+#ifndef AUXVIEW_MEMO_DOT_H_
+#define AUXVIEW_MEMO_DOT_H_
+
+#include <set>
+#include <string>
+
+#include "memo/memo.h"
+
+namespace auxview {
+
+/// Graphviz rendering of the expression DAG: equivalence nodes as boxes,
+/// operation nodes as ellipses; groups in `marked` (a view set) are shaded.
+std::string MemoToDot(const Memo& memo, const std::set<GroupId>& marked = {});
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_MEMO_DOT_H_

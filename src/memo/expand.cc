@@ -1,0 +1,59 @@
+#include "memo/expand.h"
+
+#include <set>
+#include <utility>
+
+namespace auxview {
+
+StatusOr<ExpandStats> ExpandMemo(
+    Memo* memo, const Catalog& catalog,
+    const std::vector<std::unique_ptr<Rule>>& rules,
+    const ExpandOptions& options) {
+  FdAnalysis fds(memo, &catalog);
+  RuleContext ctx;
+  ctx.memo = memo;
+  ctx.catalog = &catalog;
+  ctx.fds = &fds;
+
+  ExpandStats stats;
+  std::set<std::pair<int, int>> fired;  // (rule index, expr id)
+  bool changed = true;
+  while (changed && stats.passes < options.max_passes) {
+    changed = false;
+    ++stats.passes;
+    // Iterate by id; new exprs appended during this pass get picked up on the
+    // next pass (and ids never shrink).
+    const int snapshot = memo->num_exprs();
+    for (int eid = 0; eid < snapshot; ++eid) {
+      if (memo->expr(eid).dead) continue;
+      for (size_t r = 0; r < rules.size(); ++r) {
+        if (memo->num_groups() > options.max_groups ||
+            memo->num_exprs() > options.max_exprs) {
+          stats.hit_limit = true;
+          return stats;
+        }
+        if (!fired.insert({static_cast<int>(r), eid}).second) continue;
+        AUXVIEW_ASSIGN_OR_RETURN(int added, rules[r]->Apply(ctx, eid));
+        if (added > 0) {
+          changed = true;
+          stats.exprs_added += added;
+          fds.Clear();
+        }
+      }
+    }
+    if (memo->num_exprs() > snapshot) changed = true;
+  }
+  return stats;
+}
+
+StatusOr<Memo> BuildExpandedMemo(const Expr::Ptr& tree, const Catalog& catalog,
+                                 const ExpandOptions& options) {
+  Memo memo;
+  AUXVIEW_RETURN_IF_ERROR(memo.AddTree(tree).status());
+  const std::vector<std::unique_ptr<Rule>> rules = DefaultRuleSet();
+  AUXVIEW_RETURN_IF_ERROR(
+      ExpandMemo(&memo, catalog, rules, options).status());
+  return memo;
+}
+
+}  // namespace auxview

@@ -1,0 +1,42 @@
+#ifndef AUXVIEW_MEMO_EXPAND_H_
+#define AUXVIEW_MEMO_EXPAND_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "memo/memo.h"
+#include "memo/rules.h"
+
+namespace auxview {
+
+/// Limits for rule expansion.
+struct ExpandOptions {
+  int max_groups = 4096;
+  int max_exprs = 16384;
+  int max_passes = 32;
+};
+
+/// Result of an expansion run.
+struct ExpandStats {
+  int passes = 0;
+  int exprs_added = 0;
+  bool hit_limit = false;
+};
+
+/// Applies `rules` to every operation node until fixpoint (or limits),
+/// Volcano-style: each (rule, operation node) pair fires at most once, and
+/// new operation nodes are scheduled as they appear.
+StatusOr<ExpandStats> ExpandMemo(Memo* memo, const Catalog& catalog,
+                                 const std::vector<std::unique_ptr<Rule>>& rules,
+                                 const ExpandOptions& options = {});
+
+/// Convenience: builds a memo from `tree` and expands it with the default
+/// rule set.
+StatusOr<Memo> BuildExpandedMemo(const Expr::Ptr& tree, const Catalog& catalog,
+                                 const ExpandOptions& options = {});
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_MEMO_EXPAND_H_

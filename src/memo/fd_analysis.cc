@@ -1,0 +1,64 @@
+#include "memo/fd_analysis.h"
+
+#include "common/check.h"
+
+namespace auxview {
+
+const FdSet& FdAnalysis::Fds(GroupId g) {
+  g = memo_->Find(g);
+  auto it = cache_.find(g);
+  if (it != cache_.end()) return it->second;
+  FdSet fds = Compute(g);
+  return cache_.emplace(g, std::move(fds)).first->second;
+}
+
+bool FdAnalysis::IsKeyOf(const std::set<std::string>& attrs, GroupId g) {
+  g = memo_->Find(g);
+  const MemoGroup& grp = memo_->group(g);
+  std::set<std::string> all;
+  for (const Column& c : grp.schema.columns()) all.insert(c.name);
+  return Fds(g).Determines(attrs, all);
+}
+
+FdSet FdAnalysis::Compute(GroupId g) {
+  const MemoGroup& grp = memo_->group(g);
+  if (grp.is_leaf) {
+    const TableDef* def = catalog_->FindTable(grp.table);
+    return def == nullptr ? FdSet() : def->Fds();
+  }
+  // Use the first live member; all are equivalent expressions.
+  const MemoExpr* e = nullptr;
+  for (int eid : grp.exprs) {
+    if (!memo_->expr(eid).dead) {
+      e = &memo_->expr(eid);
+      break;
+    }
+  }
+  AUXVIEW_CHECK(e != nullptr);
+  std::set<std::string> out_cols;
+  for (const Column& c : grp.schema.columns()) out_cols.insert(c.name);
+  switch (e->kind()) {
+    case OpKind::kScan:
+      return FdSet();
+    case OpKind::kSelect:
+    case OpKind::kDupElim:
+      return Fds(e->inputs[0]);
+    case OpKind::kProject:
+      return Fds(e->inputs[0]).Restrict(out_cols);
+    case OpKind::kJoin: {
+      FdSet fds = Fds(e->inputs[0]);
+      fds.AddAll(Fds(e->inputs[1]));
+      return fds.Restrict(out_cols);
+    }
+    case OpKind::kAggregate: {
+      FdSet fds = Fds(e->inputs[0]).Restrict(out_cols);
+      std::set<std::string> lhs(e->op->group_by().begin(),
+                                e->op->group_by().end());
+      fds.Add(std::move(lhs), out_cols);
+      return fds;
+    }
+  }
+  return FdSet();
+}
+
+}  // namespace auxview

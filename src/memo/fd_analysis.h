@@ -1,0 +1,44 @@
+#ifndef AUXVIEW_MEMO_FD_ANALYSIS_H_
+#define AUXVIEW_MEMO_FD_ANALYSIS_H_
+
+#include <map>
+
+#include "catalog/catalog.h"
+#include "catalog/fd.h"
+#include "memo/memo.h"
+
+namespace auxview {
+
+/// Derives functional dependencies for memo groups from base-relation keys.
+///
+/// Propagation: Scan uses the catalog key; Select/DupElim keep the child's
+/// FDs; Project restricts them to surviving columns; Join unions both inputs'
+/// FDs (join attributes are merged by name, so they compose); Aggregate keeps
+/// the child's FDs restricted to the group-by columns and adds
+/// group-by -> all-outputs.
+class FdAnalysis {
+ public:
+  FdAnalysis(const Memo* memo, const Catalog* catalog)
+      : memo_(memo), catalog_(catalog) {}
+
+  /// FDs of group `g` (cached; derived from the group's first live operation
+  /// node — all members are equivalent).
+  const FdSet& Fds(GroupId g);
+
+  /// True iff `attrs` functionally determine every column of group `g`.
+  bool IsKeyOf(const std::set<std::string>& attrs, GroupId g);
+
+  /// Invalidate the cache (after memo mutation).
+  void Clear() { cache_.clear(); }
+
+ private:
+  FdSet Compute(GroupId g);
+
+  const Memo* memo_;
+  const Catalog* catalog_;
+  std::map<GroupId, FdSet> cache_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_MEMO_FD_ANALYSIS_H_

@@ -1,0 +1,392 @@
+#include "memo/memo.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace auxview {
+
+GroupId Memo::Find(GroupId g) const {
+  AUXVIEW_CHECK(g >= 0 && g < static_cast<int>(groups_.size()));
+  while (merged_into_[g] != g) g = merged_into_[g];
+  return g;
+}
+
+std::string Memo::SignatureOf(const Expr::Ptr& op,
+                              const std::vector<GroupId>& inputs) const {
+  std::string sig = op->LocalSignature();
+  sig += "(";
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (i > 0) sig += ",";
+    sig += std::to_string(Find(inputs[i]));
+  }
+  sig += ")";
+  return sig;
+}
+
+StatusOr<Schema> Memo::NaturalSchema(const Expr::Ptr& op,
+                                     const std::vector<GroupId>& inputs) const {
+  if (op->kind() == OpKind::kScan) return op->output_schema();
+  std::vector<Expr::Ptr> placeholders;
+  placeholders.reserve(inputs.size());
+  for (GroupId in : inputs) {
+    const MemoGroup& g = groups_[Find(in)];
+    placeholders.push_back(
+        Expr::Scan("@g" + std::to_string(g.id), g.schema));
+  }
+  AUXVIEW_ASSIGN_OR_RETURN(Expr::Ptr rebuilt, op->WithChildren(placeholders));
+  return rebuilt->output_schema();
+}
+
+bool Memo::Covers(const Schema& schema, const Schema& canonical) {
+  for (const Column& c : canonical.columns()) {
+    const int i = schema.IndexOf(c.name);
+    if (i < 0 || schema.column(i).type != c.type) return false;
+  }
+  return true;
+}
+
+StatusOr<GroupId> Memo::AddTree(const Expr::Ptr& tree) {
+  AUXVIEW_ASSIGN_OR_RETURN(GroupId g, AddTreeImpl(tree));
+  if (root_ < 0) root_ = g;
+  return g;
+}
+
+StatusOr<GroupId> Memo::AddTreeImpl(const Expr::Ptr& tree) {
+  if (tree == nullptr) return Status::InvalidArgument("null tree");
+  if (tree->kind() == OpKind::kScan) {
+    auto it = leaves_.find(tree->table());
+    if (it != leaves_.end()) {
+      const MemoGroup& g = groups_[Find(it->second)];
+      if (!(g.schema == tree->output_schema())) {
+        return Status::FailedPrecondition("conflicting schema for relation " +
+                                          tree->table());
+      }
+      return g.id;
+    }
+    MemoGroup g;
+    g.id = static_cast<GroupId>(groups_.size());
+    g.schema = tree->output_schema();
+    g.is_leaf = true;
+    g.table = tree->table();
+    groups_.push_back(g);
+    merged_into_.push_back(g.id);
+    leaves_[tree->table()] = g.id;
+    return g.id;
+  }
+  std::vector<GroupId> inputs;
+  for (const Expr::Ptr& child : tree->children()) {
+    AUXVIEW_ASSIGN_OR_RETURN(GroupId in, AddTreeImpl(child));
+    inputs.push_back(in);
+  }
+  return AddExprNewGroup(tree, inputs);
+}
+
+StatusOr<GroupId> Memo::AddExprNewGroup(const Expr::Ptr& op,
+                                        std::vector<GroupId> inputs) {
+  for (GroupId& in : inputs) in = Find(in);
+  const std::string sig = SignatureOf(op, inputs);
+  auto it = dedup_.find(sig);
+  if (it != dedup_.end()) return Find(exprs_[it->second].group);
+  AUXVIEW_ASSIGN_OR_RETURN(Schema natural, NaturalSchema(op, inputs));
+  MemoGroup g;
+  g.id = static_cast<GroupId>(groups_.size());
+  g.schema = natural;
+  groups_.push_back(g);
+  merged_into_.push_back(g.id);
+  MemoExpr e;
+  e.id = static_cast<int>(exprs_.size());
+  e.group = g.id;
+  e.op = op;
+  e.inputs = std::move(inputs);
+  e.natural_schema = std::move(natural);
+  exprs_.push_back(e);
+  groups_[g.id].exprs.push_back(e.id);
+  dedup_[sig] = e.id;
+  return g.id;
+}
+
+StatusOr<int> Memo::AddExpr(GroupId group, const Expr::Ptr& op,
+                            std::vector<GroupId> inputs) {
+  group = Find(group);
+  for (GroupId& in : inputs) in = Find(in);
+  // Reject edges that would close a cycle: an input that can already reach
+  // `group` (directly or transitively) would make the group its own
+  // ancestor. Rules hit this when a rewrite is a semantic no-op (e.g.
+  // re-aggregating an input that is already at that granularity).
+  for (GroupId in : inputs) {
+    if (ReachableFrom(in, group)) {
+      return Status::InvalidArgument(
+          "operation node input would create a cycle");
+    }
+  }
+  const std::string sig = SignatureOf(op, inputs);
+  auto it = dedup_.find(sig);
+  if (it != dedup_.end()) {
+    const int existing = it->second;
+    const GroupId other = Find(exprs_[existing].group);
+    if (other != group) {
+      // The same operation node is claimed by two groups: they compute the
+      // same relation. Merge when canonical schemas agree and the merge
+      // would not fold an ancestor into its own descendant (a semantic
+      // no-op, e.g. re-aggregating an already-grouped input, would create a
+      // representational cycle); otherwise keep them separate (sound,
+      // merely less sharing).
+      if (groups_[other].schema == groups_[group].schema &&
+          !ReachableFrom(group, other) && !ReachableFrom(other, group)) {
+        AUXVIEW_RETURN_IF_ERROR(MergeGroups(group, other));
+      }
+    }
+    return existing;
+  }
+  AUXVIEW_ASSIGN_OR_RETURN(Schema natural, NaturalSchema(op, inputs));
+  if (!Covers(natural, groups_[group].schema)) {
+    return Status::FailedPrecondition(
+        "operation schema {" + natural.ToString() +
+        "} does not cover group schema {" + groups_[group].schema.ToString() +
+        "}");
+  }
+  MemoExpr e;
+  e.id = static_cast<int>(exprs_.size());
+  e.group = group;
+  e.op = op;
+  e.inputs = std::move(inputs);
+  e.natural_schema = std::move(natural);
+  exprs_.push_back(e);
+  groups_[group].exprs.push_back(e.id);
+  dedup_[sig] = e.id;
+  return e.id;
+}
+
+Status Memo::MergeGroups(GroupId keep, GroupId drop) {
+  keep = Find(keep);
+  drop = Find(drop);
+  if (keep == drop) return Status::Ok();
+  if (groups_[drop].is_leaf) std::swap(keep, drop);  // never absorb a leaf
+  MemoGroup& target = groups_[keep];
+  MemoGroup& source = groups_[drop];
+  for (int eid : source.exprs) {
+    MemoExpr& e = exprs_[eid];
+    if (!Covers(e.natural_schema, target.schema)) {
+      return Status::Internal(
+          "group merge with incompatible member schema: " +
+          e.natural_schema.ToString() + " vs " + target.schema.ToString());
+    }
+    e.group = target.id;
+    target.exprs.push_back(eid);
+  }
+  source.exprs.clear();
+  source.dead = true;
+  merged_into_[source.id] = target.id;
+  if (Find(root_) == source.id) root_ = target.id;
+  return Recanonicalize();
+}
+
+Status Memo::Recanonicalize() {
+  // Rebuild the dedup map with canonical group ids; duplicate signatures in
+  // the same group kill the newer expr, across groups trigger merges.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    dedup_.clear();
+    for (MemoExpr& e : exprs_) {
+      if (e.dead) continue;
+      e.group = Find(e.group);
+      for (GroupId& in : e.inputs) in = Find(in);
+      const std::string sig = SignatureOf(e.op, e.inputs);
+      auto [it, inserted] = dedup_.emplace(sig, e.id);
+      if (inserted) continue;
+      MemoExpr& first = exprs_[it->second];
+      if (Find(first.group) == Find(e.group)) {
+        e.dead = true;
+        auto& vec = groups_[Find(e.group)].exprs;
+        vec.erase(std::remove(vec.begin(), vec.end(), e.id), vec.end());
+      } else if (groups_[Find(first.group)].schema ==
+                     groups_[Find(e.group)].schema &&
+                 !ReachableFrom(Find(first.group), Find(e.group)) &&
+                 !ReachableFrom(Find(e.group), Find(first.group))) {
+        // Cross-group duplicate: merge (without recursing into
+        // Recanonicalize — we are already inside the fixpoint loop).
+        const GroupId keep = Find(first.group);
+        const GroupId drop = Find(e.group);
+        MemoGroup& target = groups_[keep];
+        MemoGroup& source = groups_[drop];
+        for (int eid : source.exprs) {
+          exprs_[eid].group = target.id;
+          target.exprs.push_back(eid);
+        }
+        source.exprs.clear();
+        source.dead = true;
+        merged_into_[drop] = keep;
+        if (Find(root_) == drop) root_ = keep;
+        changed = true;
+        break;  // restart the scan with fresh canonical ids
+      }
+      // Different canonical schemas: leave both (documented limitation).
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<GroupId> Memo::LiveGroups() const {
+  std::vector<GroupId> out;
+  for (const MemoGroup& g : groups_) {
+    if (!g.dead) out.push_back(g.id);
+  }
+  return out;
+}
+
+std::vector<int> Memo::LiveExprs() const {
+  std::vector<int> out;
+  for (const MemoExpr& e : exprs_) {
+    if (!e.dead && !groups_[Find(e.group)].dead) out.push_back(e.id);
+  }
+  return out;
+}
+
+std::vector<GroupId> Memo::NonLeafGroups() const {
+  std::vector<GroupId> out;
+  for (const MemoGroup& g : groups_) {
+    if (!g.dead && !g.is_leaf) out.push_back(g.id);
+  }
+  return out;
+}
+
+bool Memo::ReachableFrom(GroupId from, GroupId target) const {
+  from = Find(from);
+  target = Find(target);
+  std::vector<GroupId> stack = {from};
+  std::set<GroupId> seen;
+  while (!stack.empty()) {
+    const GroupId g = stack.back();
+    stack.pop_back();
+    if (g == target) return true;
+    if (!seen.insert(g).second) continue;
+    for (int eid : groups_[g].exprs) {
+      const MemoExpr& e = exprs_[eid];
+      if (e.dead) continue;
+      for (GroupId in : e.inputs) stack.push_back(Find(in));
+    }
+  }
+  return false;
+}
+
+bool Memo::VerifyAcyclic() const {
+  // Iterative three-color DFS over the group graph.
+  std::map<GroupId, int> state;  // 0 new, 1 on stack, 2 done
+  for (GroupId root : LiveGroups()) {
+    if (state[root] != 0) continue;
+    std::vector<std::pair<GroupId, size_t>> stack = {{root, 0}};
+    std::vector<GroupId> children;
+    while (!stack.empty()) {
+      auto& [g, idx] = stack.back();
+      if (idx == 0) state[g] = 1;
+      // Gather this group's child groups lazily.
+      children.clear();
+      for (int eid : groups_[g].exprs) {
+        const MemoExpr& e = exprs_[eid];
+        if (e.dead) continue;
+        for (GroupId in : e.inputs) children.push_back(Find(in));
+      }
+      if (idx >= children.size()) {
+        state[g] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const GroupId next = children[idx++];
+      if (state[next] == 1) return false;
+      if (state[next] == 0) stack.emplace_back(next, 0);
+    }
+  }
+  return true;
+}
+
+std::vector<int> Memo::ParentExprsOf(GroupId g) const {
+  g = Find(g);
+  std::vector<int> out;
+  for (const MemoExpr& e : exprs_) {
+    if (e.dead || groups_[Find(e.group)].dead) continue;
+    for (GroupId in : e.inputs) {
+      if (Find(in) == g) {
+        out.push_back(e.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<Expr::Ptr> Memo::AlignExpr(Expr::Ptr expr, const Schema& target) {
+  if (expr->output_schema() == target) return expr;
+  std::vector<ProjectItem> items;
+  for (const Column& c : target.columns()) {
+    if (!expr->output_schema().Contains(c.name)) {
+      return Status::Internal("cannot align: missing column " + c.name);
+    }
+    items.push_back(ProjectItem{Scalar::Column(c.name), c.name});
+  }
+  return Expr::Project(std::move(expr), std::move(items));
+}
+
+StatusOr<Expr::Ptr> Memo::ExtractTree(
+    GroupId g, const std::map<GroupId, int>& choice) const {
+  g = Find(g);
+  const MemoGroup& grp = groups_[g];
+  if (grp.is_leaf) return Expr::Scan(grp.table, grp.schema);
+  int eid = -1;
+  auto it = choice.find(g);
+  if (it != choice.end()) {
+    eid = it->second;
+  } else {
+    for (int candidate : grp.exprs) {
+      if (!exprs_[candidate].dead) {
+        eid = candidate;
+        break;
+      }
+    }
+  }
+  if (eid < 0) return Status::Internal("group has no live operation node");
+  const MemoExpr& e = exprs_[eid];
+  if (Find(e.group) != g) {
+    return Status::InvalidArgument("choice maps group to foreign expr");
+  }
+  std::vector<Expr::Ptr> children;
+  for (GroupId in : e.inputs) {
+    AUXVIEW_ASSIGN_OR_RETURN(Expr::Ptr child, ExtractTree(in, choice));
+    children.push_back(std::move(child));
+  }
+  AUXVIEW_ASSIGN_OR_RETURN(Expr::Ptr tree, e.op->WithChildren(children));
+  return AlignExpr(std::move(tree), grp.schema);
+}
+
+std::string Memo::ToString() const {
+  std::string out;
+  for (const MemoGroup& g : groups_) {
+    if (g.dead) continue;
+    out += "N" + std::to_string(g.id);
+    if (g.id == Find(root_)) out += " (root)";
+    if (g.is_leaf) {
+      out += ": relation " + g.table;
+    } else {
+      out += ": {" + g.schema.ToString() + "}";
+    }
+    out += "\n";
+    for (int eid : g.exprs) {
+      const MemoExpr& e = exprs_[eid];
+      if (e.dead) continue;
+      out += "  E" + std::to_string(e.id) + ": " + e.op->LocalToString();
+      if (!e.inputs.empty()) {
+        out += " [";
+        for (size_t i = 0; i < e.inputs.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += "N" + std::to_string(Find(e.inputs[i]));
+        }
+        out += "]";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace auxview

@@ -1,0 +1,144 @@
+#ifndef AUXVIEW_MEMO_MEMO_H_
+#define AUXVIEW_MEMO_MEMO_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "common/status.h"
+
+namespace auxview {
+
+/// Identifier of an equivalence node (group) in the expression DAG.
+using GroupId = int;
+
+/// An operation node: one operator applied to input equivalence nodes.
+///
+/// `op` carries the operator's parameters (predicate, join attributes,
+/// group-by list, ...); its original children are ignored — `inputs` are the
+/// authoritative child equivalence nodes.
+struct MemoExpr {
+  int id = -1;
+  GroupId group = -1;
+  Expr::Ptr op;
+  std::vector<GroupId> inputs;
+  /// The operator's natural output schema given the input groups' canonical
+  /// schemas. May be a superset-permutation of the group's canonical schema
+  /// (e.g. the Yan-Larson join tree carries extra key-determined columns);
+  /// results are aligned to the canonical schema at the group boundary.
+  Schema natural_schema;
+  bool dead = false;  // superseded by a group merge
+
+  OpKind kind() const { return op->kind(); }
+};
+
+/// An equivalence node: a set of operation nodes computing the same relation
+/// (up to alignment to the canonical schema).
+struct MemoGroup {
+  GroupId id = -1;
+  Schema schema;               // canonical schema
+  std::vector<int> exprs;      // member operation-node ids
+  bool is_leaf = false;        // base relation
+  std::string table;           // leaf only
+  bool dead = false;           // merged into another group
+};
+
+/// The expression DAG (Volcano-style memo): a bipartite DAG of equivalence
+/// nodes and operation nodes (paper Section 2.1). Leaf equivalence nodes are
+/// base relations. Deduplicates operation nodes by signature and merges
+/// groups proven equal.
+class Memo {
+ public:
+  /// Inserts a whole expression tree, returning its (possibly pre-existing)
+  /// equivalence node. The first insertion defines the root.
+  StatusOr<GroupId> AddTree(const Expr::Ptr& tree);
+
+  /// Adds operator `op` (parameters only) over `inputs` to group `group`.
+  /// Returns the operation-node id, or the existing node's id when the
+  /// signature is already present. May merge groups.
+  StatusOr<int> AddExpr(GroupId group, const Expr::Ptr& op,
+                        std::vector<GroupId> inputs);
+
+  /// Adds operator `op` over `inputs`, creating a new group (or returning
+  /// the group that already contains this operation node).
+  StatusOr<GroupId> AddExprNewGroup(const Expr::Ptr& op,
+                                    std::vector<GroupId> inputs);
+
+  /// Canonical id of a group (follows merge links).
+  GroupId Find(GroupId g) const;
+
+  const MemoGroup& group(GroupId g) const { return groups_[Find(g)]; }
+  const MemoExpr& expr(int id) const { return exprs_[id]; }
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  int num_exprs() const { return static_cast<int>(exprs_.size()); }
+
+  /// Live (non-merged) groups, in id order.
+  std::vector<GroupId> LiveGroups() const;
+  /// Live operation nodes, in id order.
+  std::vector<int> LiveExprs() const;
+
+  /// Live groups that are not base relations (the candidate view space E_V,
+  /// Definition 3.1).
+  std::vector<GroupId> NonLeafGroups() const;
+
+  GroupId root() const { return Find(root_); }
+  void set_root(GroupId g) { root_ = g; }
+
+  /// Groups whose operation nodes mention group `g` as an input.
+  std::vector<int> ParentExprsOf(GroupId g) const;
+
+  /// True iff `target` is reachable from `from` through operation-node
+  /// inputs (i.e. target is a descendant of from, or equal).
+  bool ReachableFrom(GroupId from, GroupId target) const;
+
+  /// Internal invariant: the group/input graph is acyclic (rule and merge
+  /// machinery must preserve this; exposed for tests).
+  bool VerifyAcyclic() const;
+
+  /// Builds a concrete expression tree for `g` using `choice` (group ->
+  /// operation-node id). Groups absent from `choice` use their first member.
+  /// Inserts a projection wherever an operation node's natural schema differs
+  /// from the group's canonical schema.
+  StatusOr<Expr::Ptr> ExtractTree(GroupId g,
+                                  const std::map<GroupId, int>& choice) const;
+
+  /// ExtractTree with every group using its first (original) operator.
+  StatusOr<Expr::Ptr> ExtractOriginalTree(GroupId g) const {
+    return ExtractTree(g, {});
+  }
+
+  /// Wraps `expr` in a projection onto `target` when schemas differ
+  /// (column-name based; `expr`'s schema must contain all target columns).
+  static StatusOr<Expr::Ptr> AlignExpr(Expr::Ptr expr, const Schema& target);
+
+  /// Multi-line human-readable dump (N<i> equivalence nodes with their
+  /// operation-node children, Figure 2 style).
+  std::string ToString() const;
+
+ private:
+  StatusOr<GroupId> AddTreeImpl(const Expr::Ptr& tree);
+  std::string SignatureOf(const Expr::Ptr& op,
+                          const std::vector<GroupId>& inputs) const;
+  /// Computes the natural schema of op over the inputs' canonical schemas.
+  StatusOr<Schema> NaturalSchema(const Expr::Ptr& op,
+                                 const std::vector<GroupId>& inputs) const;
+  /// True iff `schema` contains every column of `canonical` (same types).
+  static bool Covers(const Schema& schema, const Schema& canonical);
+  Status MergeGroups(GroupId keep, GroupId drop);
+  /// Rebuilds the dedup map and re-canonicalizes expr inputs after merges;
+  /// may trigger cascading merges.
+  Status Recanonicalize();
+
+  std::vector<MemoGroup> groups_;
+  std::vector<MemoExpr> exprs_;
+  std::vector<GroupId> merged_into_;       // parallel to groups_
+  std::map<std::string, int> dedup_;       // signature -> expr id
+  std::map<std::string, GroupId> leaves_;  // table name -> leaf group
+  GroupId root_ = -1;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_MEMO_MEMO_H_

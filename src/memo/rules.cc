@@ -1,0 +1,388 @@
+#include "memo/rules.h"
+
+#include <algorithm>
+
+namespace auxview {
+
+namespace {
+
+Expr::Ptr Placeholder(const Memo& memo, GroupId g) {
+  const MemoGroup& grp = memo.group(g);
+  return Expr::Scan("@g" + std::to_string(grp.id), grp.schema);
+}
+
+std::set<std::string> AttrsOf(const Memo& memo, GroupId g) {
+  std::set<std::string> out;
+  for (const Column& c : memo.group(g).schema.columns()) out.insert(c.name);
+  return out;
+}
+
+bool Subset(const std::set<std::string>& a, const std::set<std::string>& b) {
+  return std::all_of(a.begin(), a.end(),
+                     [&](const std::string& x) { return b.count(x) > 0; });
+}
+
+/// Live operation-node ids of a group, snapshotted.
+std::vector<int> LiveExprsOf(const Memo& memo, GroupId g) {
+  std::vector<int> out;
+  for (int eid : memo.group(g).exprs) {
+    if (!memo.expr(eid).dead) out.push_back(eid);
+  }
+  return out;
+}
+
+/// Attempts AddExpr; counts a success, swallows inapplicability errors.
+int TryAddExpr(Memo* memo, GroupId group, const Expr::Ptr& op,
+               std::vector<GroupId> inputs) {
+  if (op == nullptr) return 0;
+  const int before = memo->num_exprs();
+  StatusOr<int> result = memo->AddExpr(group, op, std::move(inputs));
+  if (!result.ok()) return 0;
+  return memo->num_exprs() > before ? 1 : 0;
+}
+
+Expr::Ptr TryJoinOp(const Memo& memo, GroupId l, GroupId r,
+                    std::vector<std::string> attrs) {
+  StatusOr<Expr::Ptr> op =
+      Expr::Join(Placeholder(memo, l), Placeholder(memo, r), std::move(attrs));
+  return op.ok() ? std::move(op).value() : nullptr;
+}
+
+Expr::Ptr TrySelectOp(const Memo& memo, GroupId child, Scalar::Ptr pred) {
+  StatusOr<Expr::Ptr> op =
+      Expr::Select(Placeholder(memo, child), std::move(pred));
+  return op.ok() ? std::move(op).value() : nullptr;
+}
+
+Expr::Ptr TryAggOp(const Memo& memo, GroupId child,
+                   std::vector<std::string> group_by,
+                   std::vector<AggSpec> aggs) {
+  StatusOr<Expr::Ptr> op = Expr::Aggregate(
+      Placeholder(memo, child), std::move(group_by), std::move(aggs));
+  return op.ok() ? std::move(op).value() : nullptr;
+}
+
+}  // namespace
+
+StatusOr<int> JoinCommuteRule::Apply(RuleContext& ctx, int expr_id) const {
+  const MemoExpr e = ctx.memo->expr(expr_id);  // copy: memo mutation reallocates
+  if (e.dead || e.kind() != OpKind::kJoin) return 0;
+  const GroupId group = ctx.memo->Find(e.group);
+  Expr::Ptr op = TryJoinOp(*ctx.memo, e.inputs[1], e.inputs[0],
+                           e.op->join_attrs());
+  return TryAddExpr(ctx.memo, group, op, {e.inputs[1], e.inputs[0]});
+}
+
+StatusOr<int> JoinAssocRule::Apply(RuleContext& ctx, int expr_id) const {
+  const MemoExpr e = ctx.memo->expr(expr_id);  // copy: memo mutation reallocates
+  if (e.dead || e.kind() != OpKind::kJoin) return 0;
+  Memo& memo = *ctx.memo;
+  const GroupId group = memo.Find(e.group);
+  const GroupId left = memo.Find(e.inputs[0]);
+  const GroupId right = memo.Find(e.inputs[1]);
+  const std::vector<std::string> s2 = e.op->join_attrs();
+  int added = 0;
+  for (int fid : LiveExprsOf(memo, left)) {
+    const MemoExpr f = memo.expr(fid);  // copy
+    if (f.kind() != OpKind::kJoin) continue;
+    const GroupId a = memo.Find(f.inputs[0]);
+    const GroupId b = memo.Find(f.inputs[1]);
+    const std::vector<std::string> s1 = f.op->join_attrs();
+    const std::set<std::string> attrs_b = AttrsOf(memo, b);
+    std::vector<std::string> s2_inner;   // S2 that lands on B
+    std::vector<std::string> s2_outer;   // S2 that must stay with A
+    for (const std::string& x : s2) {
+      (attrs_b.count(x) > 0 ? s2_inner : s2_outer).push_back(x);
+    }
+    if (s2_inner.empty()) continue;  // would need a cross product
+    std::vector<std::string> s1_outer = s1;
+    for (const std::string& x : s2_outer) {
+      if (std::find(s1_outer.begin(), s1_outer.end(), x) == s1_outer.end()) {
+        s1_outer.push_back(x);
+      }
+    }
+    Expr::Ptr inner_op = TryJoinOp(memo, b, right, s2_inner);
+    if (inner_op == nullptr) continue;
+    StatusOr<GroupId> inner = memo.AddExprNewGroup(inner_op, {b, right});
+    if (!inner.ok()) continue;
+    Expr::Ptr outer_op = TryJoinOp(memo, a, *inner, s1_outer);
+    added += TryAddExpr(&memo, group, outer_op, {a, *inner});
+  }
+  return added;
+}
+
+StatusOr<int> SelectPushdownRule::Apply(RuleContext& ctx, int expr_id) const {
+  const MemoExpr e = ctx.memo->expr(expr_id);  // copy: memo mutation reallocates
+  if (e.dead || e.kind() != OpKind::kSelect) return 0;
+  Memo& memo = *ctx.memo;
+  const GroupId group = memo.Find(e.group);
+  const GroupId input = memo.Find(e.inputs[0]);
+  const std::set<std::string> pred_cols = e.op->predicate()->Columns();
+  int added = 0;
+  for (int fid : LiveExprsOf(memo, input)) {
+    const MemoExpr f = memo.expr(fid);  // copy
+    if (f.kind() == OpKind::kJoin) {
+      for (int side = 0; side < 2; ++side) {
+        const GroupId target = memo.Find(f.inputs[side]);
+        const GroupId other = memo.Find(f.inputs[1 - side]);
+        if (!Subset(pred_cols, AttrsOf(memo, target))) continue;
+        Expr::Ptr sel_op = TrySelectOp(memo, target, e.op->predicate());
+        if (sel_op == nullptr) continue;
+        StatusOr<GroupId> sel = memo.AddExprNewGroup(sel_op, {target});
+        if (!sel.ok()) continue;
+        const GroupId l = side == 0 ? *sel : other;
+        const GroupId r = side == 0 ? other : *sel;
+        Expr::Ptr join_op = TryJoinOp(memo, l, r, f.op->join_attrs());
+        added += TryAddExpr(&memo, group, join_op, {l, r});
+      }
+    } else if (f.kind() == OpKind::kAggregate) {
+      const std::set<std::string> gb(f.op->group_by().begin(),
+                                     f.op->group_by().end());
+      if (!Subset(pred_cols, gb)) continue;
+      const GroupId child = memo.Find(f.inputs[0]);
+      Expr::Ptr sel_op = TrySelectOp(memo, child, e.op->predicate());
+      if (sel_op == nullptr) continue;
+      StatusOr<GroupId> sel = memo.AddExprNewGroup(sel_op, {child});
+      if (!sel.ok()) continue;
+      Expr::Ptr agg_op = TryAggOp(memo, *sel, f.op->group_by(), f.op->aggs());
+      added += TryAddExpr(&memo, group, agg_op, {*sel});
+    }
+  }
+  return added;
+}
+
+StatusOr<int> SelectMergeRule::Apply(RuleContext& ctx, int expr_id) const {
+  const MemoExpr e = ctx.memo->expr(expr_id);  // copy: memo mutation reallocates
+  if (e.dead || e.kind() != OpKind::kSelect) return 0;
+  Memo& memo = *ctx.memo;
+  const GroupId group = memo.Find(e.group);
+  const GroupId input = memo.Find(e.inputs[0]);
+  int added = 0;
+  for (int fid : LiveExprsOf(memo, input)) {
+    const MemoExpr f = memo.expr(fid);  // copy
+    if (f.kind() != OpKind::kSelect) continue;
+    const GroupId child = memo.Find(f.inputs[0]);
+    Scalar::Ptr combined =
+        Scalar::And(f.op->predicate(), e.op->predicate());
+    Expr::Ptr sel_op = TrySelectOp(memo, child, std::move(combined));
+    added += TryAddExpr(&memo, group, sel_op, {child});
+  }
+  return added;
+}
+
+StatusOr<int> EagerAggregationRule::Apply(RuleContext& ctx,
+                                          int expr_id) const {
+  const MemoExpr e = ctx.memo->expr(expr_id);  // copy: memo mutation reallocates
+  if (e.dead || e.kind() != OpKind::kAggregate) return 0;
+  Memo& memo = *ctx.memo;
+  const GroupId group = memo.Find(e.group);
+  const GroupId input = memo.Find(e.inputs[0]);
+  const std::vector<std::string>& group_by = e.op->group_by();
+  const std::set<std::string> gb(group_by.begin(), group_by.end());
+  int added = 0;
+  for (int fid : LiveExprsOf(memo, input)) {
+    const MemoExpr f = memo.expr(fid);  // copy
+    if (f.kind() != OpKind::kJoin) continue;
+    const GroupId a = memo.Find(f.inputs[0]);
+    const GroupId b = memo.Find(f.inputs[1]);
+    const std::vector<std::string>& s = f.op->join_attrs();
+    const std::set<std::string> s_set(s.begin(), s.end());
+    // Condition 1: join attributes are grouped on (groups stay intact).
+    if (!Subset(s_set, gb)) continue;
+    // Condition 2: aggregate arguments come entirely from A.
+    const std::set<std::string> attrs_a = AttrsOf(memo, a);
+    bool args_from_a = true;
+    for (const AggSpec& agg : e.op->aggs()) {
+      if (agg.arg != nullptr && !Subset(agg.arg->Columns(), attrs_a)) {
+        args_from_a = false;
+        break;
+      }
+    }
+    if (!args_from_a) continue;
+    // Condition 3: S is a key of B (the join neither duplicates nor drops
+    // rows within a group, and B's other attributes are determined by S).
+    if (!ctx.fds->IsKeyOf(s_set, b)) continue;
+    // Inner grouping: the A-side group-by attributes (includes S).
+    std::vector<std::string> inner_gb;
+    for (const std::string& g : group_by) {
+      if (attrs_a.count(g) > 0) inner_gb.push_back(g);
+    }
+    Expr::Ptr inner_op = TryAggOp(memo, a, inner_gb, e.op->aggs());
+    if (inner_op == nullptr) continue;
+    StatusOr<GroupId> inner = memo.AddExprNewGroup(inner_op, {a});
+    if (!inner.ok()) continue;
+    Expr::Ptr outer_op = TryJoinOp(memo, *inner, b, s);
+    added += TryAddExpr(&memo, group, outer_op, {*inner, b});
+  }
+  if (added > 0) ctx.fds->Clear();
+  return added;
+}
+
+StatusOr<int> LazyAggregationRule::Apply(RuleContext& ctx, int expr_id) const {
+  const MemoExpr e = ctx.memo->expr(expr_id);  // copy: memo mutation reallocates
+  if (e.dead || e.kind() != OpKind::kJoin) return 0;
+  Memo& memo = *ctx.memo;
+  const GroupId group = memo.Find(e.group);
+  const GroupId left = memo.Find(e.inputs[0]);
+  const GroupId right = memo.Find(e.inputs[1]);
+  const std::vector<std::string>& s = e.op->join_attrs();
+  const std::set<std::string> s_set(s.begin(), s.end());
+  int added = 0;
+  for (int fid : LiveExprsOf(memo, left)) {
+    const MemoExpr f = memo.expr(fid);  // copy
+    if (f.kind() != OpKind::kAggregate) continue;
+    const std::vector<std::string>& inner_gb = f.op->group_by();
+    const std::set<std::string> inner_gb_set(inner_gb.begin(), inner_gb.end());
+    if (!Subset(s_set, inner_gb_set)) continue;
+    if (!ctx.fds->IsKeyOf(s_set, right)) continue;
+    const GroupId a = memo.Find(f.inputs[0]);
+    Expr::Ptr join_op = TryJoinOp(memo, a, right, s);
+    if (join_op == nullptr) continue;
+    StatusOr<GroupId> inner = memo.AddExprNewGroup(join_op, {a, right});
+    if (!inner.ok()) continue;
+    // Outer grouping adds B's surviving attributes — but only those the
+    // group's canonical schema needs (the rest are determined by S anyway,
+    // since S is a key of B).
+    const Schema& canonical = memo.group(group).schema;
+    std::vector<std::string> outer_gb = inner_gb;
+    for (const Column& c : memo.group(right).schema.columns()) {
+      if (s_set.count(c.name) == 0 && canonical.Contains(c.name)) {
+        outer_gb.push_back(c.name);
+      }
+    }
+    Expr::Ptr agg_op = TryAggOp(memo, *inner, outer_gb, f.op->aggs());
+    added += TryAddExpr(&memo, group, agg_op, {*inner});
+  }
+  if (added > 0) ctx.fds->Clear();
+  return added;
+}
+
+StatusOr<int> GeneralEagerAggregationRule::Apply(RuleContext& ctx,
+                                                 int expr_id) const {
+  const MemoExpr e = ctx.memo->expr(expr_id);  // copy: memo mutation reallocates
+  if (e.dead || e.kind() != OpKind::kAggregate) return 0;
+  Memo& memo = *ctx.memo;
+  const GroupId group = memo.Find(e.group);
+  const GroupId input = memo.Find(e.inputs[0]);
+  const std::vector<std::string>& group_by = e.op->group_by();
+
+  // Guard: an aggregate whose every item is FUNC(col) AS col is itself the
+  // re-aggregation this rule produces — firing again would pre-aggregate
+  // partials forever.
+  bool already_reaggregation = !e.op->aggs().empty();
+  for (const AggSpec& agg : e.op->aggs()) {
+    const bool self_named = agg.arg != nullptr &&
+                            agg.arg->op() == ScalarOp::kColumn &&
+                            agg.arg->column_name() == agg.output_name;
+    if (!self_named) already_reaggregation = false;
+  }
+  if (already_reaggregation) return 0;
+
+  // AVG does not decompose into partials (without a count column).
+  for (const AggSpec& agg : e.op->aggs()) {
+    if (agg.func == AggFunc::kAvg) return 0;
+  }
+
+  int added = 0;
+  for (int fid : LiveExprsOf(memo, input)) {
+    const MemoExpr f = memo.expr(fid);  // copy
+    if (f.kind() != OpKind::kJoin) continue;
+    const GroupId a = memo.Find(f.inputs[0]);
+    const GroupId b = memo.Find(f.inputs[1]);
+    const std::vector<std::string>& s = f.op->join_attrs();
+    const std::set<std::string> attrs_a = AttrsOf(memo, a);
+    // One level of pre-aggregation only: pushing partials below partials
+    // multiplies the memo without adding useful plans.
+    bool a_already_aggregated = false;
+    for (int aid : memo.group(a).exprs) {
+      if (!memo.expr(aid).dead &&
+          memo.expr(aid).kind() == OpKind::kAggregate) {
+        a_already_aggregated = true;
+      }
+    }
+    if (a_already_aggregated) continue;
+    // Every aggregate argument must come from A.
+    bool args_from_a = true;
+    for (const AggSpec& agg : e.op->aggs()) {
+      if (agg.arg != nullptr && !Subset(agg.arg->Columns(), attrs_a)) {
+        args_from_a = false;
+        break;
+      }
+    }
+    if (!args_from_a) continue;
+    // Inner grouping: A's share of the group-by plus the join attributes —
+    // sorted, so permuted derivations of the same partial deduplicate.
+    std::set<std::string> inner_gb_set;
+    for (const std::string& g : group_by) {
+      if (attrs_a.count(g) > 0) inner_gb_set.insert(g);
+    }
+    inner_gb_set.insert(s.begin(), s.end());
+    std::vector<std::string> inner_gb(inner_gb_set.begin(),
+                                      inner_gb_set.end());
+    // Partial aggregates keep the original output names (so the special-
+    // case push-down's result deduplicates with this one where both apply);
+    // outer aggregates re-aggregate those columns under the same names.
+    std::vector<AggSpec> outer_aggs;
+    bool ok = true;
+    for (const AggSpec& agg : e.op->aggs()) {
+      AggSpec outer;
+      outer.output_name = agg.output_name;
+      outer.arg = Scalar::Column(agg.output_name);
+      switch (agg.func) {
+        case AggFunc::kSum:
+        case AggFunc::kCount:
+          outer.func = AggFunc::kSum;  // partial counts re-add as sums
+          break;
+        case AggFunc::kMin:
+          outer.func = AggFunc::kMin;
+          break;
+        case AggFunc::kMax:
+          outer.func = AggFunc::kMax;
+          break;
+        case AggFunc::kAvg:
+          ok = false;
+          break;
+      }
+      outer_aggs.push_back(std::move(outer));
+    }
+    if (!ok) continue;
+    Expr::Ptr inner_op = TryAggOp(memo, a, inner_gb, e.op->aggs());
+    if (inner_op == nullptr) continue;
+    StatusOr<GroupId> partial = memo.AddExprNewGroup(inner_op, {a});
+    if (!partial.ok()) continue;
+    Expr::Ptr join_op = TryJoinOp(memo, *partial, b, s);
+    if (join_op == nullptr) continue;
+    StatusOr<GroupId> joined = memo.AddExprNewGroup(join_op, {*partial, b});
+    if (!joined.ok()) continue;
+    Expr::Ptr outer_op = TryAggOp(memo, *joined, group_by, outer_aggs);
+    added += TryAddExpr(&memo, group, outer_op, {*joined});
+  }
+  if (added > 0) ctx.fds->Clear();
+  return added;
+}
+
+std::vector<std::unique_ptr<Rule>> DefaultRuleSet() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<JoinCommuteRule>());
+  rules.push_back(std::make_unique<JoinAssocRule>());
+  rules.push_back(std::make_unique<SelectPushdownRule>());
+  rules.push_back(std::make_unique<SelectMergeRule>());
+  rules.push_back(std::make_unique<EagerAggregationRule>());
+  rules.push_back(std::make_unique<LazyAggregationRule>());
+  return rules;
+}
+
+std::vector<std::unique_ptr<Rule>> ExtendedRuleSet() {
+  std::vector<std::unique_ptr<Rule>> rules = DefaultRuleSet();
+  rules.push_back(std::make_unique<GeneralEagerAggregationRule>());
+  return rules;
+}
+
+std::vector<std::unique_ptr<Rule>> AggregationOnlyRuleSet() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<EagerAggregationRule>());
+  rules.push_back(std::make_unique<LazyAggregationRule>());
+  return rules;
+}
+
+}  // namespace auxview

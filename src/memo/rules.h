@@ -1,0 +1,119 @@
+#ifndef AUXVIEW_MEMO_RULES_H_
+#define AUXVIEW_MEMO_RULES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "memo/fd_analysis.h"
+#include "memo/memo.h"
+
+namespace auxview {
+
+/// Shared state handed to rules during expansion.
+struct RuleContext {
+  Memo* memo = nullptr;
+  const Catalog* catalog = nullptr;
+  FdAnalysis* fds = nullptr;
+};
+
+/// A Volcano-style transformation rule. Rules inspect one operation node and
+/// add equivalent alternatives to the memo (possibly creating new groups for
+/// new subexpressions). Rules must be sound; inapplicable patterns simply add
+/// nothing.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const char* name() const = 0;
+  /// Returns the number of operation nodes added.
+  virtual StatusOr<int> Apply(RuleContext& ctx, int expr_id) const = 0;
+};
+
+/// Join(A, B) => Join(B, A).
+class JoinCommuteRule : public Rule {
+ public:
+  const char* name() const override { return "JoinCommute"; }
+  StatusOr<int> Apply(RuleContext& ctx, int expr_id) const override;
+};
+
+/// Join(Join(A, B), C) => Join(A, Join(B, C)) (with commute this explores
+/// all bushy join orders of a connected join graph).
+class JoinAssocRule : public Rule {
+ public:
+  const char* name() const override { return "JoinAssoc"; }
+  StatusOr<int> Apply(RuleContext& ctx, int expr_id) const override;
+};
+
+/// Select(p, Join(A, B)) => Join(Select(p, A), B) / Join(A, Select(p, B))
+/// when p references only one side, and
+/// Select(p, Aggregate(X)) => Aggregate(Select(p, X)) when p references only
+/// group-by columns.
+class SelectPushdownRule : public Rule {
+ public:
+  const char* name() const override { return "SelectPushdown"; }
+  StatusOr<int> Apply(RuleContext& ctx, int expr_id) const override;
+};
+
+/// Select(p, Select(q, X)) => Select(p AND q, X).
+class SelectMergeRule : public Rule {
+ public:
+  const char* name() const override { return "SelectMerge"; }
+  StatusOr<int> Apply(RuleContext& ctx, int expr_id) const override;
+};
+
+/// Eager aggregation (Yan-Larson): Aggregate[G,aggs](Join(A, B, S)) =>
+/// Join(Aggregate[(G inter attrs(A)) union S, aggs](A), B, S), legal when the
+/// aggregate arguments come from A, S is a subset of G, and S is a key of B
+/// (so the join neither duplicates nor splits groups). This is the rule that
+/// produces the paper's Figure 1 left tree from the right tree.
+class EagerAggregationRule : public Rule {
+ public:
+  const char* name() const override { return "EagerAggregation"; }
+  StatusOr<int> Apply(RuleContext& ctx, int expr_id) const override;
+};
+
+/// Lazy aggregation (the reverse direction):
+/// Join(Aggregate[G',aggs](A), B, S) => Aggregate[G' + (attrs(B)-S), aggs](
+/// Join(A, B, S)) under the same key condition.
+class LazyAggregationRule : public Rule {
+ public:
+  const char* name() const override { return "LazyAggregation"; }
+  StatusOr<int> Apply(RuleContext& ctx, int expr_id) const override;
+};
+
+/// General eager aggregation with re-aggregation (Yan-Larson):
+///   Aggregate[G, aggs](Join(A, B, S)) =>
+///   Aggregate[G, re-aggs](Join(Aggregate[(G inter attrs(A)) + S, aggs](A),
+///                               B, S))
+/// where SUM re-aggregates partial SUMs, COUNT re-aggregates as SUM of
+/// partial counts, MIN/MAX re-aggregate themselves. Unlike
+/// EagerAggregationRule this needs neither S inside G nor a key on B: rows
+/// of a partial group share their S-value, so join duplication multiplies
+/// whole partials, which the outer aggregate absorbs. AVG does not
+/// decompose and blocks the rule.
+class GeneralEagerAggregationRule : public Rule {
+ public:
+  const char* name() const override { return "GeneralEagerAggregation"; }
+  StatusOr<int> Apply(RuleContext& ctx, int expr_id) const override;
+};
+
+/// The default rule set: join commute/assoc, select pushdown/merge, and the
+/// exact aggregation swaps. (The paper's results are independent of the rule
+/// set; "a larger set of rules would obviously allow us to explore a larger
+/// search space".)
+std::vector<std::unique_ptr<Rule>> DefaultRuleSet();
+
+/// Default plus GeneralEagerAggregationRule — a much larger search space
+/// (partial rollups at every join position), suited to warehouse-style
+/// star/snowflake views. Pair with ExpandOptions caps on big schemas.
+std::vector<std::unique_ptr<Rule>> ExtendedRuleSet();
+
+/// Only the aggregation swap rules (reproduces the paper's Figure 2 DAG
+/// exactly, with no commuted join variants).
+std::vector<std::unique_ptr<Rule>> AggregationOnlyRuleSet();
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_MEMO_RULES_H_

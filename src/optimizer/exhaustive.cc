@@ -1,0 +1,165 @@
+#include <algorithm>
+#include <limits>
+
+#include "optimizer/optimizer.h"
+
+namespace auxview {
+
+ViewSelector::ViewSelector(const Memo* memo, const Catalog* catalog,
+                           IoCostModel model)
+    : memo_(memo),
+      catalog_(catalog),
+      model_(model),
+      stats_(memo, catalog),
+      fds_(memo, catalog),
+      delta_(memo, catalog, &stats_) {}
+
+StatusOr<TxnPlan> ViewSelector::BestTrack(const ViewSet& views,
+                                          const TransactionType& txn,
+                                          const OptimizeOptions& options) {
+  QueryCoster query(memo_, catalog_, &stats_, &fds_, model_, options.query);
+  TrackCoster coster(memo_, catalog_, &stats_, &fds_, &delta_, &query,
+                     options.cost);
+  TrackEnumerator enumerator(memo_, &delta_);
+  AUXVIEW_ASSIGN_OR_RETURN(std::vector<UpdateTrack> tracks,
+                           enumerator.Enumerate(views, txn, options.tracks));
+  TxnPlan best;
+  best.txn_name = txn.name;
+  best.weight = txn.weight;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const UpdateTrack& track : tracks) {
+    AUXVIEW_ASSIGN_OR_RETURN(TrackCost cost, coster.Cost(track, views, txn));
+    if (cost.total() < best_cost) {
+      best_cost = cost.total();
+      best.track = track;
+      best.cost = std::move(cost);
+    }
+  }
+  if (tracks.empty()) {
+    return Status::Internal("no update track for transaction " + txn.name);
+  }
+  return best;
+}
+
+StatusOr<OptimizeResult> ViewSelector::CostViewSet(
+    const std::vector<TransactionType>& txns, const ViewSet& views,
+    const OptimizeOptions& options) {
+  OptimizeResult result;
+  result.views = views;
+  result.views.insert(memo_->root());
+  double weighted = 0;
+  double total_weight = 0;
+  for (const TransactionType& txn : txns) {
+    AUXVIEW_ASSIGN_OR_RETURN(TxnPlan plan,
+                             BestTrack(result.views, txn, options));
+    weighted += plan.cost.total() * txn.weight;
+    total_weight += txn.weight;
+    result.plans.push_back(std::move(plan));
+  }
+  result.weighted_cost = total_weight > 0 ? weighted / total_weight : 0;
+  result.viewsets_costed = 1;
+  return result;
+}
+
+StatusOr<OptimizeResult> ViewSelector::ExhaustiveOver(
+    const std::vector<TransactionType>& txns, const OptimizeOptions& options,
+    std::set<GroupId> roots, std::set<GroupId> candidates,
+    const std::function<bool(const ViewSet&)>& filter) {
+  std::set<GroupId> roots_canon;
+  for (GroupId r : roots) roots_canon.insert(memo_->Find(r));
+  for (GroupId r : roots_canon) candidates.erase(r);
+  std::vector<GroupId> cand(candidates.begin(), candidates.end());
+  if (static_cast<int>(cand.size()) > options.max_candidates) {
+    return Status::FailedPrecondition(
+        "too many candidate groups for exhaustive enumeration (" +
+        std::to_string(cand.size()) + " > " +
+        std::to_string(options.max_candidates) +
+        "); raise max_candidates or use a heuristic strategy");
+  }
+
+  QueryCoster query(memo_, catalog_, &stats_, &fds_, model_, options.query);
+  TrackCoster coster(memo_, catalog_, &stats_, &fds_, &delta_, &query,
+                     options.cost);
+  TrackEnumerator enumerator(memo_, &delta_);
+
+  OptimizeResult best;
+  best.weighted_cost = std::numeric_limits<double>::infinity();
+
+  const uint64_t num_sets = 1ull << cand.size();
+  for (uint64_t mask = 0; mask < num_sets; ++mask) {
+    ViewSet views = roots_canon;
+    for (size_t i = 0; i < cand.size(); ++i) {
+      if (mask & (1ull << i)) views.insert(cand[i]);
+    }
+    if (filter != nullptr && !filter(views)) {
+      ++best.viewsets_pruned;
+      continue;
+    }
+    double weighted = 0;
+    double total_weight = 0;
+    std::vector<TxnPlan> plans;
+    bool feasible = true;
+    for (const TransactionType& txn : txns) {
+      AUXVIEW_ASSIGN_OR_RETURN(std::vector<UpdateTrack> tracks,
+                               enumerator.Enumerate(views, txn,
+                                                    options.tracks));
+      double txn_best = std::numeric_limits<double>::infinity();
+      TxnPlan plan;
+      plan.txn_name = txn.name;
+      plan.weight = txn.weight;
+      for (const UpdateTrack& track : tracks) {
+        AUXVIEW_ASSIGN_OR_RETURN(TrackCost cost,
+                                 coster.Cost(track, views, txn));
+        ++best.tracks_costed;
+        if (cost.total() < txn_best) {
+          txn_best = cost.total();
+          plan.track = track;
+          plan.cost = std::move(cost);
+        }
+      }
+      if (tracks.empty()) {
+        feasible = false;
+        break;
+      }
+      weighted += txn_best * txn.weight;
+      total_weight += txn.weight;
+      plans.push_back(std::move(plan));
+    }
+    if (!feasible) continue;
+    const double avg = total_weight > 0 ? weighted / total_weight : 0;
+    ++best.viewsets_costed;
+    if (options.keep_all) best.all_costs.emplace_back(views, avg);
+    if (avg < best.weighted_cost) {
+      best.weighted_cost = avg;
+      best.views = views;
+      best.plans = std::move(plans);
+    }
+  }
+  return best;
+}
+
+StatusOr<OptimizeResult> ViewSelector::Exhaustive(
+    const std::vector<TransactionType>& txns, const OptimizeOptions& options) {
+  std::set<GroupId> candidates;
+  for (GroupId g : memo_->NonLeafGroups()) candidates.insert(g);
+  return ExhaustiveOver(txns, options, {memo_->root()},
+                        std::move(candidates));
+}
+
+StatusOr<OptimizeResult> ViewSelector::ExhaustiveMultiView(
+    const std::vector<GroupId>& roots,
+    const std::vector<TransactionType>& txns, const OptimizeOptions& options) {
+  if (roots.empty()) {
+    return Status::InvalidArgument("multi-view optimization needs roots");
+  }
+  std::set<GroupId> root_set(roots.begin(), roots.end());
+  std::set<GroupId> candidates;
+  for (GroupId g : memo_->NonLeafGroups()) candidates.insert(g);
+  // User views are first-class materializations: count their update costs.
+  OptimizeOptions multi = options;
+  multi.cost.include_root_update_cost = true;
+  return ExhaustiveOver(txns, multi, std::move(root_set),
+                        std::move(candidates));
+}
+
+}  // namespace auxview

@@ -1,0 +1,73 @@
+#include "optimizer/explain.h"
+
+#include <cstdio>
+
+namespace auxview {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExplainTrack(const Memo& memo, const UpdateTrack& track,
+                         const TrackCost& cost) {
+  std::string out;
+  if (track.choice.empty()) {
+    return "  (no marked view is affected; nothing to do)\n";
+  }
+  out += "  update track:\n";
+  for (const auto& [g, eid] : track.choice) {
+    const MemoExpr& e = memo.expr(eid);
+    out += "    N" + std::to_string(g) + " <- " + e.op->LocalToString();
+    auto delta_it = cost.deltas.find(g);
+    if (delta_it != cost.deltas.end() && delta_it->second.affected()) {
+      out += "   // " + delta_it->second.ToString();
+    }
+    out += "\n";
+  }
+  if (!cost.queries.empty()) {
+    out += "  queries posed:\n";
+    for (const QueryRecord& q : cost.queries) {
+      out += "    " + q.ToString() + "\n";
+    }
+  }
+  out += "  query cost " + Num(cost.query_cost) + " + update cost " +
+         Num(cost.update_cost) + " = " + Num(cost.total()) + " page I/Os\n";
+  return out;
+}
+
+std::string ExplainPlan(const Memo& memo, const OptimizeResult& result) {
+  std::string out = "view set " + ViewSetToString(result.views) +
+                    ", weighted cost " + Num(result.weighted_cost) +
+                    " page I/Os per transaction\n";
+  for (GroupId g : result.views) {
+    if (memo.group(memo.Find(g)).is_leaf) continue;
+    auto tree = memo.ExtractOriginalTree(g);
+    if (!tree.ok()) continue;
+    out += "materialized N" + std::to_string(memo.Find(g)) +
+           (memo.Find(g) == memo.root() ? " (root view)" : " (auxiliary)") +
+           ":\n";
+    std::string rendered = (*tree)->TreeToString();
+    // Indent the tree.
+    size_t pos = 0;
+    while (pos < rendered.size()) {
+      const size_t eol = rendered.find('\n', pos);
+      out += "  " + rendered.substr(pos, eol - pos) + "\n";
+      if (eol == std::string::npos) break;
+      pos = eol + 1;
+    }
+  }
+  for (const TxnPlan& plan : result.plans) {
+    out += "transaction " + plan.txn_name + " (weight " + Num(plan.weight) +
+           "):\n";
+    out += ExplainTrack(memo, plan.track, plan.cost);
+  }
+  return out;
+}
+
+}  // namespace auxview

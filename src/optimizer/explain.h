@@ -1,0 +1,24 @@
+#ifndef AUXVIEW_OPTIMIZER_EXPLAIN_H_
+#define AUXVIEW_OPTIMIZER_EXPLAIN_H_
+
+#include <string>
+
+#include "memo/memo.h"
+#include "optimizer/optimizer.h"
+
+namespace auxview {
+
+/// Human-readable rendering of one costed update track: the chosen
+/// operation node per equivalence node, the queries posed (Example 3.2
+/// style, with probe counts and costs), the expected delta at each node,
+/// and the update-application cost.
+std::string ExplainTrack(const Memo& memo, const UpdateTrack& track,
+                         const TrackCost& cost);
+
+/// Full optimizer-result report: the chosen view set (with each auxiliary
+/// view's defining expression) and the per-transaction plans.
+std::string ExplainPlan(const Memo& memo, const OptimizeResult& result);
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_OPTIMIZER_EXPLAIN_H_

@@ -1,0 +1,53 @@
+#include "optimizer/optimizer.h"
+
+#include "optimizer/select_views.h"
+
+namespace auxview {
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kExhaustive:
+      return "exhaustive";
+    case Strategy::kShielding:
+      return "shielding";
+    case Strategy::kSingleTree:
+      return "single-tree";
+    case Strategy::kHeuristicMarking:
+      return "heuristic-marking";
+    case Strategy::kGreedy:
+      return "greedy";
+  }
+  return "?";
+}
+
+StatusOr<SelectViewsResult> SelectViews(const Expr::Ptr& view,
+                                        const Catalog& catalog,
+                                        const std::vector<TransactionType>& txns,
+                                        Strategy strategy,
+                                        const OptimizeOptions& options,
+                                        const ExpandOptions& expand) {
+  AUXVIEW_ASSIGN_OR_RETURN(Memo memo, BuildExpandedMemo(view, catalog, expand));
+  SelectViewsResult out;
+  out.memo = std::move(memo);
+  ViewSelector selector(&out.memo, &catalog);
+  StatusOr<OptimizeResult> result = [&]() -> StatusOr<OptimizeResult> {
+    switch (strategy) {
+      case Strategy::kExhaustive:
+        return selector.Exhaustive(txns, options);
+      case Strategy::kShielding:
+        return selector.Shielding(txns, options);
+      case Strategy::kSingleTree:
+        return selector.SingleTree(txns, options);
+      case Strategy::kHeuristicMarking:
+        return selector.HeuristicMarking(txns, options);
+      case Strategy::kGreedy:
+        return selector.Greedy(txns, options);
+    }
+    return Status::InvalidArgument("unknown strategy");
+  }();
+  AUXVIEW_RETURN_IF_ERROR(result.status());
+  out.result = std::move(result).value();
+  return out;
+}
+
+}  // namespace auxview

@@ -1,0 +1,42 @@
+#ifndef AUXVIEW_OPTIMIZER_SELECT_VIEWS_H_
+#define AUXVIEW_OPTIMIZER_SELECT_VIEWS_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "catalog/catalog.h"
+#include "memo/expand.h"
+#include "optimizer/optimizer.h"
+
+namespace auxview {
+
+/// Optimization strategies (Sections 3-5).
+enum class Strategy {
+  kExhaustive,
+  kShielding,
+  kSingleTree,
+  kHeuristicMarking,
+  kGreedy,
+};
+
+const char* StrategyName(Strategy strategy);
+
+/// End-to-end view selection: builds the expression DAG for `view` with the
+/// default rule set, expands it, and runs the requested strategy. This is
+/// the one-call public entry point; use ViewSelector directly for control
+/// over the memo and rule set.
+struct SelectViewsResult {
+  Memo memo;
+  OptimizeResult result;
+};
+
+StatusOr<SelectViewsResult> SelectViews(
+    const Expr::Ptr& view, const Catalog& catalog,
+    const std::vector<TransactionType>& txns,
+    Strategy strategy = Strategy::kExhaustive,
+    const OptimizeOptions& options = {}, const ExpandOptions& expand = {});
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_OPTIMIZER_SELECT_VIEWS_H_

@@ -1,0 +1,106 @@
+#include <algorithm>
+#include <map>
+
+#include "memo/articulation.h"
+#include "optimizer/optimizer.h"
+
+namespace auxview {
+
+namespace {
+
+/// The interior of an articulation group: the nodes separated from the root
+/// when `a` is removed from the undirected DAG — i.e. the live groups not
+/// reachable from the root without passing through `a`.
+std::set<GroupId> InteriorOf(const Memo& memo, GroupId a) {
+  a = memo.Find(a);
+  const GroupId root = memo.root();
+  std::set<GroupId> reachable;
+  if (root != a) {
+    // BFS over the undirected group/op graph, never entering `a`.
+    std::vector<GroupId> queue = {root};
+    reachable.insert(root);
+    while (!queue.empty()) {
+      const GroupId g = queue.back();
+      queue.pop_back();
+      // Neighbors via member ops (their inputs) and via parent ops.
+      auto visit = [&](GroupId next) {
+        next = memo.Find(next);
+        if (next == a) return;
+        if (reachable.insert(next).second) queue.push_back(next);
+      };
+      for (int eid : memo.group(g).exprs) {
+        const MemoExpr& e = memo.expr(eid);
+        if (e.dead) continue;
+        for (GroupId in : e.inputs) visit(in);
+      }
+      for (int eid : memo.ParentExprsOf(g)) {
+        visit(memo.expr(eid).group);
+      }
+    }
+  }
+  std::set<GroupId> interior;
+  for (GroupId g : memo.LiveGroups()) {
+    if (g != a && reachable.count(g) == 0 && !memo.group(g).is_leaf) {
+      interior.insert(g);
+    }
+  }
+  return interior;
+}
+
+}  // namespace
+
+StatusOr<OptimizeResult> ViewSelector::Shielding(
+    const std::vector<TransactionType>& txns, const OptimizeOptions& options) {
+  const GroupId root = memo_->root();
+  const std::set<GroupId> arts_all = FindArticulationGroups(*memo_);
+
+  // Articulation groups usable for shielding: non-leaf, non-root, with a
+  // non-empty interior.
+  std::map<GroupId, std::set<GroupId>> interiors;
+  for (GroupId a : arts_all) {
+    const GroupId canon = memo_->Find(a);
+    if (canon == root || memo_->group(canon).is_leaf) continue;
+    std::set<GroupId> interior = InteriorOf(*memo_, canon);
+    if (!interior.empty()) interiors.emplace(canon, std::move(interior));
+  }
+
+  // Local optimization of each shielded sub-DAG (Theorem 4.1: when `a` is
+  // materialized in the global optimum, the selection inside its interior
+  // equals the local optimum for maintaining `a` alone).
+  std::map<GroupId, ViewSet> local_interior_opt;
+  for (const auto& [a, interior] : interiors) {
+    std::set<GroupId> candidates;
+    const std::set<GroupId> desc = DescendantGroups(*memo_, a);
+    for (GroupId g : interior) {
+      if (desc.count(g) > 0) candidates.insert(g);
+    }
+    AUXVIEW_ASSIGN_OR_RETURN(
+        OptimizeResult local,
+        ExhaustiveOver(txns, options, {a}, std::move(candidates)));
+    ViewSet chosen;
+    for (GroupId g : local.views) {
+      if (interior.count(g) > 0) chosen.insert(g);
+    }
+    local_interior_opt.emplace(a, std::move(chosen));
+  }
+
+  // Global enumeration with pruning.
+  auto filter = [&](const ViewSet& views) {
+    for (const auto& [a, interior] : interiors) {
+      if (views.count(a) == 0) continue;
+      const ViewSet& expected = local_interior_opt.at(a);
+      for (GroupId g : interior) {
+        const bool in_views = views.count(g) > 0;
+        const bool in_expected = expected.count(g) > 0;
+        if (in_views != in_expected) return false;
+      }
+    }
+    return true;
+  };
+
+  std::set<GroupId> candidates;
+  for (GroupId g : memo_->NonLeafGroups()) candidates.insert(g);
+  return ExhaustiveOver(txns, options, {root}, std::move(candidates), filter);
+}
+
+}  // namespace auxview

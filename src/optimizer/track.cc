@@ -1,0 +1,125 @@
+#include "optimizer/track.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace auxview {
+
+std::string UpdateTrack::ToString(const Memo& memo) const {
+  std::string out = "track{";
+  bool first = true;
+  for (const auto& [g, eid] : choice) {
+    if (!first) out += ", ";
+    out += "N" + std::to_string(g) + "<-" +
+           memo.expr(eid).op->LocalToString();
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+StatusOr<std::vector<UpdateTrack>> TrackEnumerator::Enumerate(
+    const ViewSet& marked, const TransactionType& txn,
+    const TrackEnumOptions& options) const {
+  const std::set<GroupId> affected = delta_->AffectedGroups(txn);
+
+  // Needed roots: marked affected non-leaf groups.
+  std::vector<GroupId> roots;
+  for (GroupId g : marked) {
+    const GroupId canon = memo_->Find(g);
+    if (affected.count(canon) > 0 && !memo_->group(canon).is_leaf) {
+      roots.push_back(canon);
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  if (roots.empty()) return std::vector<UpdateTrack>{UpdateTrack{}};
+
+  // Per-group candidate operation nodes (those with an affected input).
+  std::map<GroupId, std::vector<int>> candidates;
+  for (GroupId g : memo_->LiveGroups()) {
+    if (memo_->group(g).is_leaf || affected.count(g) == 0) continue;
+    std::vector<int> ops;
+    for (int eid : memo_->group(g).exprs) {
+      const MemoExpr& e = memo_->expr(eid);
+      if (e.dead) continue;
+      if (!options.allowed_ops.empty() &&
+          options.allowed_ops.count(eid) == 0) {
+        continue;
+      }
+      for (GroupId in : e.inputs) {
+        if (affected.count(memo_->Find(in)) > 0) {
+          ops.push_back(eid);
+          break;
+        }
+      }
+    }
+    // A group can lose all its candidates under an allowed_ops restriction;
+    // that only matters if a track actually needs it (checked on demand).
+    if (ops.empty()) continue;
+    if (options.greedy) {
+      // Keep the operation node with the fewest affected inputs; ties by id.
+      auto affected_inputs = [&](int eid) {
+        int n = 0;
+        for (GroupId in : memo_->expr(eid).inputs) {
+          if (affected.count(memo_->Find(in)) > 0) ++n;
+        }
+        return n;
+      };
+      int best = ops[0];
+      for (int eid : ops) {
+        if (affected_inputs(eid) < affected_inputs(best)) best = eid;
+      }
+      ops = {best};
+    }
+    candidates[g] = std::move(ops);
+  }
+
+  std::vector<UpdateTrack> tracks;
+  UpdateTrack current;
+  bool truncated = false;
+
+  // DFS over unassigned needed groups.
+  std::function<void(std::vector<GroupId>)> recurse =
+      [&](std::vector<GroupId> pending) {
+        if (truncated) return;
+        // Find the first pending group without an assignment.
+        GroupId next = -1;
+        while (!pending.empty()) {
+          const GroupId g = pending.back();
+          if (current.choice.count(g) == 0) {
+            next = g;
+            break;
+          }
+          pending.pop_back();
+        }
+        if (next < 0) {
+          tracks.push_back(current);
+          if (static_cast<int>(tracks.size()) >= options.max_tracks) {
+            truncated = true;
+          }
+          return;
+        }
+        pending.pop_back();
+        auto cand_it = candidates.find(next);
+        if (cand_it == candidates.end()) return;  // dead branch
+        for (int eid : cand_it->second) {
+          current.choice[next] = eid;
+          std::vector<GroupId> next_pending = pending;
+          for (GroupId in : memo_->expr(eid).inputs) {
+            const GroupId canon = memo_->Find(in);
+            if (affected.count(canon) > 0 && !memo_->group(canon).is_leaf &&
+                current.choice.count(canon) == 0) {
+              next_pending.push_back(canon);
+            }
+          }
+          recurse(std::move(next_pending));
+          current.choice.erase(next);
+          if (truncated) return;
+        }
+      };
+  recurse(roots);
+  return tracks;
+}
+
+}  // namespace auxview

@@ -1,0 +1,60 @@
+#ifndef AUXVIEW_OPTIMIZER_TRACK_H_
+#define AUXVIEW_OPTIMIZER_TRACK_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "delta/analysis.h"
+#include "memo/memo.h"
+#include "optimizer/view_set.h"
+
+namespace auxview {
+
+/// An update track (Definition 3.3): for every affected equivalence node
+/// that must produce a delta — every marked affected node plus, transitively,
+/// every affected input of a chosen operation node — exactly one affected
+/// operation-node child is chosen. The choice is global (a shared group gets
+/// one operation node), matching the subdag condition of Definition 3.2.
+struct UpdateTrack {
+  std::map<GroupId, int> choice;  // group -> chosen operation-node id
+
+  std::string ToString(const Memo& memo) const;
+};
+
+/// Options for track enumeration.
+struct TrackEnumOptions {
+  /// Hard cap on enumerated tracks per (view set, transaction).
+  int max_tracks = 4096;
+  /// When true, pick one locally-cheapest operation node per group instead
+  /// of enumerating (Section 5's greedy/approximate costing).
+  bool greedy = false;
+  /// When non-empty, only these operation nodes may appear on tracks
+  /// (Section 5's single-expression-tree restriction).
+  std::set<int> allowed_ops;
+};
+
+/// Enumerates the update tracks of the DAG for a view set and transaction.
+class TrackEnumerator {
+ public:
+  TrackEnumerator(const Memo* memo, DeltaAnalysis* delta)
+      : memo_(memo), delta_(delta) {}
+
+  /// All (or up to max_tracks) update tracks for maintaining `marked` under
+  /// `txn`. Returns one empty track when the transaction touches no marked
+  /// view. With options.greedy, returns exactly one track built by choosing,
+  /// per group, the operation node with the fewest affected inputs (ties by
+  /// id) — a cheap deterministic stand-in for local choice.
+  StatusOr<std::vector<UpdateTrack>> Enumerate(
+      const ViewSet& marked, const TransactionType& txn,
+      const TrackEnumOptions& options = {}) const;
+
+ private:
+  const Memo* memo_;
+  DeltaAnalysis* delta_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_OPTIMIZER_TRACK_H_

@@ -1,0 +1,17 @@
+#include "optimizer/view_set.h"
+
+namespace auxview {
+
+std::string ViewSetToString(const ViewSet& views) {
+  std::string out = "{";
+  bool first = true;
+  for (GroupId g : views) {
+    if (!first) out += ", ";
+    out += "N" + std::to_string(g);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace auxview

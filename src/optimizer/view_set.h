@@ -1,0 +1,21 @@
+#ifndef AUXVIEW_OPTIMIZER_VIEW_SET_H_
+#define AUXVIEW_OPTIMIZER_VIEW_SET_H_
+
+#include <set>
+#include <string>
+
+#include "memo/memo.h"
+
+namespace auxview {
+
+/// A view set (Definition 3.1): the equivalence nodes chosen for
+/// materialization. Always contains the root view; leaf groups (base
+/// relations) are implicitly materialized and never listed.
+using ViewSet = std::set<GroupId>;
+
+/// "{N2, N3}" rendering.
+std::string ViewSetToString(const ViewSet& views);
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_OPTIMIZER_VIEW_SET_H_

@@ -1,0 +1,30 @@
+#include "parser/ast.h"
+
+namespace auxview {
+
+std::string SqlExpr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return qualifier.empty() ? name : qualifier + "." + name;
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kBinary:
+      return "(" + args[0]->ToString() + " " + op + " " + args[1]->ToString() +
+             ")";
+    case Kind::kUnaryNot:
+      return "NOT (" + args[0]->ToString() + ")";
+    case Kind::kFuncCall: {
+      std::string out = name + "(";
+      if (star) {
+        out += "*";
+      } else if (!args.empty()) {
+        out += args[0]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace auxview

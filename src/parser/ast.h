@@ -1,0 +1,123 @@
+#ifndef AUXVIEW_PARSER_AST_H_
+#define AUXVIEW_PARSER_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace auxview {
+
+/// SQL expression AST (pre-binding). Distinct from algebra::Scalar because it
+/// still contains qualified names and aggregate function calls.
+struct SqlExpr {
+  using Ptr = std::shared_ptr<const SqlExpr>;
+
+  enum class Kind {
+    kColumn,    // qualifier.name or name
+    kLiteral,
+    kBinary,    // op in {+,-,*,/,=,<>,<,<=,>,>=,AND,OR}
+    kUnaryNot,
+    kFuncCall,  // SUM/COUNT/MIN/MAX/AVG; star=true for COUNT(*)
+  };
+
+  Kind kind = Kind::kColumn;
+  std::string qualifier;  // kColumn
+  std::string name;       // kColumn / kFuncCall (upper-case func name)
+  Value literal;          // kLiteral
+  std::string op;         // kBinary
+  bool star = false;      // kFuncCall
+  std::vector<Ptr> args;  // kBinary (2), kUnaryNot (1), kFuncCall (0..1)
+
+  std::string ToString() const;
+};
+
+/// One item of a SELECT list: expression with optional alias ("AS name").
+struct SelectItem {
+  SqlExpr::Ptr expr;
+  std::string alias;  // empty when none
+  bool star = false;  // SELECT *
+};
+
+/// A parsed SELECT query (no nesting except via CREATE ASSERTION).
+struct SelectQuery {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<std::string> from;  // table / view names, in syntactic order
+  SqlExpr::Ptr where;             // may be null
+  std::vector<SqlExpr::Ptr> group_by;
+  SqlExpr::Ptr having;            // may be null
+};
+
+struct ColumnSpec {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// CREATE TABLE name (col type [PRIMARY KEY], ..., [PRIMARY KEY (cols)],
+/// [INDEX (cols)]...).
+struct CreateTableStmt {
+  std::string name;
+  std::vector<ColumnSpec> columns;
+  std::vector<std::string> primary_key;
+  std::vector<std::vector<std::string>> indexes;
+};
+
+/// CREATE VIEW name [(col, ...)] AS select.
+struct CreateViewStmt {
+  std::string name;
+  std::vector<std::string> column_names;  // optional rename list
+  SelectQuery select;
+};
+
+/// CREATE ASSERTION name CHECK (NOT EXISTS (select)).
+struct CreateAssertionStmt {
+  std::string name;
+  SelectQuery select;  // the inner query that must stay empty
+};
+
+/// INSERT INTO t VALUES (lit, ...), (lit, ...).
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<SqlExpr::Ptr>> rows;
+};
+
+/// DELETE FROM t [WHERE pred].
+struct DeleteStmt {
+  std::string table;
+  SqlExpr::Ptr where;  // null = all rows
+};
+
+/// UPDATE t SET col = expr [, col = expr]* [WHERE pred].
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, SqlExpr::Ptr>> sets;
+  SqlExpr::Ptr where;  // null = all rows
+};
+
+/// A parsed SQL statement.
+struct Statement {
+  enum class Kind {
+    kCreateTable,
+    kCreateView,
+    kCreateAssertion,
+    kSelect,
+    kInsert,
+    kDelete,
+    kUpdate,
+  };
+  Kind kind = Kind::kSelect;
+  std::optional<CreateTableStmt> create_table;
+  std::optional<CreateViewStmt> create_view;
+  std::optional<CreateAssertionStmt> create_assertion;
+  std::optional<SelectQuery> select;
+  std::optional<InsertStmt> insert;
+  std::optional<DeleteStmt> del;
+  std::optional<UpdateStmt> update;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_PARSER_AST_H_

@@ -1,0 +1,481 @@
+#include "parser/binder.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "parser/parser.h"
+
+namespace auxview {
+
+namespace {
+
+/// One FROM entry resolved to an algebra subtree.
+struct Source {
+  std::string name;  // table or view name (the usable qualifier)
+  Expr::Ptr expr;
+  bool joined = false;
+};
+
+/// Where a column reference resolves among the sources.
+struct Resolution {
+  int source = -1;  // index into sources
+  std::string column;
+};
+
+StatusOr<Resolution> ResolveColumn(const std::vector<Source>& sources,
+                                   const std::string& qualifier,
+                                   const std::string& name) {
+  Resolution res;
+  res.column = name;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (!qualifier.empty() && sources[i].name != qualifier) continue;
+    if (sources[i].expr->output_schema().Contains(name)) {
+      if (res.source >= 0 && qualifier.empty()) {
+        // Ambiguous without a qualifier is fine in this dialect only when the
+        // column is a join attribute (both occurrences are merged); accept
+        // the first source.
+        continue;
+      }
+      res.source = static_cast<int>(i);
+    }
+  }
+  if (res.source < 0) {
+    return Status::InvalidArgument(
+        "cannot resolve column " +
+        (qualifier.empty() ? name : qualifier + "." + name));
+  }
+  return res;
+}
+
+StatusOr<AggFunc> AggFuncFromName(const std::string& name) {
+  if (name == "SUM") return AggFunc::kSum;
+  if (name == "COUNT") return AggFunc::kCount;
+  if (name == "MIN") return AggFunc::kMin;
+  if (name == "MAX") return AggFunc::kMax;
+  if (name == "AVG") return AggFunc::kAvg;
+  return Status::InvalidArgument("unknown aggregate function: " + name);
+}
+
+bool ContainsAggregate(const SqlExpr::Ptr& e) {
+  if (e == nullptr) return false;
+  if (e->kind == SqlExpr::Kind::kFuncCall) return true;
+  for (const SqlExpr::Ptr& a : e->args) {
+    if (ContainsAggregate(a)) return true;
+  }
+  return false;
+}
+
+/// Converts a pure (aggregate-free) SQL expression to a Scalar, dropping
+/// qualifiers after validating them against `sources`.
+StatusOr<Scalar::Ptr> ToScalar(const SqlExpr::Ptr& e,
+                               const std::vector<Source>& sources) {
+  switch (e->kind) {
+    case SqlExpr::Kind::kColumn: {
+      AUXVIEW_ASSIGN_OR_RETURN(Resolution res,
+                               ResolveColumn(sources, e->qualifier, e->name));
+      (void)res;
+      return Scalar::Column(e->name);
+    }
+    case SqlExpr::Kind::kLiteral:
+      return Scalar::Literal(e->literal);
+    case SqlExpr::Kind::kUnaryNot: {
+      AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr inner, ToScalar(e->args[0], sources));
+      return Scalar::Not(inner);
+    }
+    case SqlExpr::Kind::kBinary: {
+      AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr l, ToScalar(e->args[0], sources));
+      AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr r, ToScalar(e->args[1], sources));
+      ScalarOp op;
+      if (e->op == "+") {
+        op = ScalarOp::kAdd;
+      } else if (e->op == "-") {
+        op = ScalarOp::kSub;
+      } else if (e->op == "*") {
+        op = ScalarOp::kMul;
+      } else if (e->op == "/") {
+        op = ScalarOp::kDiv;
+      } else if (e->op == "=") {
+        op = ScalarOp::kEq;
+      } else if (e->op == "<>") {
+        op = ScalarOp::kNe;
+      } else if (e->op == "<") {
+        op = ScalarOp::kLt;
+      } else if (e->op == "<=") {
+        op = ScalarOp::kLe;
+      } else if (e->op == ">") {
+        op = ScalarOp::kGt;
+      } else if (e->op == ">=") {
+        op = ScalarOp::kGe;
+      } else if (e->op == "AND") {
+        op = ScalarOp::kAnd;
+      } else if (e->op == "OR") {
+        op = ScalarOp::kOr;
+      } else {
+        return Status::InvalidArgument("unsupported operator: " + e->op);
+      }
+      return Scalar::Binary(op, l, r);
+    }
+    case SqlExpr::Kind::kFuncCall:
+      return Status::InvalidArgument(
+          "aggregate function not allowed here: " + e->ToString());
+  }
+  return Status::Internal("unhandled SqlExpr kind");
+}
+
+/// Splits the WHERE AST into conjuncts.
+void SplitWhere(const SqlExpr::Ptr& e, std::vector<SqlExpr::Ptr>* out) {
+  if (e == nullptr) return;
+  if (e->kind == SqlExpr::Kind::kBinary && e->op == "AND") {
+    SplitWhere(e->args[0], out);
+    SplitWhere(e->args[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+}  // namespace
+
+const Expr::Ptr* Binder::FindView(const std::string& name) const {
+  for (const BoundView& v : views_) {
+    if (v.name == name) return &v.expr;
+  }
+  return nullptr;
+}
+
+Status Binder::Bind(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateTable: {
+      const CreateTableStmt& ct = *stmt.create_table;
+      TableDef def;
+      def.name = ct.name;
+      std::vector<Column> cols;
+      for (const ColumnSpec& c : ct.columns) {
+        cols.push_back(Column{c.name, c.type});
+      }
+      AUXVIEW_ASSIGN_OR_RETURN(def.schema, Schema::Create(std::move(cols)));
+      def.primary_key = ct.primary_key;
+      for (const auto& idx : ct.indexes) {
+        def.indexes.push_back(IndexDef{idx});
+      }
+      return catalog_->AddTable(std::move(def));
+    }
+    case Statement::Kind::kCreateView: {
+      const CreateViewStmt& cv = *stmt.create_view;
+      AUXVIEW_ASSIGN_OR_RETURN(Expr::Ptr expr,
+                               BindSelect(cv.select, cv.column_names));
+      views_.push_back(BoundView{cv.name, std::move(expr)});
+      return Status::Ok();
+    }
+    case Statement::Kind::kCreateAssertion: {
+      const CreateAssertionStmt& ca = *stmt.create_assertion;
+      AUXVIEW_ASSIGN_OR_RETURN(Expr::Ptr expr, BindSelect(ca.select));
+      assertions_.push_back(BoundAssertion{ca.name, std::move(expr)});
+      return Status::Ok();
+    }
+    case Statement::Kind::kSelect:
+      // Stand-alone SELECTs are bound on demand via BindSelect.
+      return Status::Ok();
+    case Statement::Kind::kInsert:
+    case Statement::Kind::kDelete:
+    case Statement::Kind::kUpdate:
+      return Status::FailedPrecondition(
+          "DML statements execute through a Session, not the binder");
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Status Binder::Run(const std::string& sql) {
+  AUXVIEW_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseSql(sql));
+  for (const Statement& stmt : stmts) {
+    AUXVIEW_RETURN_IF_ERROR(Bind(stmt));
+  }
+  return Status::Ok();
+}
+
+StatusOr<Expr::Ptr> Binder::BindSelect(
+    const SelectQuery& query, const std::vector<std::string>& out_names) {
+  if (query.from.empty()) {
+    return Status::InvalidArgument("SELECT requires a FROM clause");
+  }
+  // 1. Resolve FROM sources (base tables and previously bound views).
+  std::vector<Source> sources;
+  for (const std::string& name : query.from) {
+    Source src;
+    src.name = name;
+    if (const Expr::Ptr* view = FindView(name); view != nullptr) {
+      src.expr = *view;
+    } else if (const TableDef* def = catalog_->FindTable(name);
+               def != nullptr) {
+      src.expr = Expr::Scan(name, def->schema);
+    } else {
+      return Status::NotFound("FROM names unknown table or view: " + name);
+    }
+    sources.push_back(std::move(src));
+  }
+
+  // 2. Partition WHERE conjuncts into equi-join conditions (same-named
+  //    columns of two different sources) and residual predicates.
+  std::vector<SqlExpr::Ptr> conjuncts;
+  SplitWhere(query.where, &conjuncts);
+  struct JoinCond {
+    int a = -1;
+    int b = -1;
+    std::string attr;
+    bool used = false;
+  };
+  std::vector<JoinCond> join_conds;
+  std::vector<SqlExpr::Ptr> residual;
+  for (const SqlExpr::Ptr& c : conjuncts) {
+    bool is_join = false;
+    if (c->kind == SqlExpr::Kind::kBinary && c->op == "=" &&
+        c->args[0]->kind == SqlExpr::Kind::kColumn &&
+        c->args[1]->kind == SqlExpr::Kind::kColumn) {
+      const SqlExpr& l = *c->args[0];
+      const SqlExpr& r = *c->args[1];
+      AUXVIEW_ASSIGN_OR_RETURN(Resolution lr,
+                               ResolveColumn(sources, l.qualifier, l.name));
+      AUXVIEW_ASSIGN_OR_RETURN(Resolution rr,
+                               ResolveColumn(sources, r.qualifier, r.name));
+      if (lr.source != rr.source) {
+        if (l.name != r.name) {
+          return Status::Unimplemented(
+              "equi-joins must use same-named columns (got " + l.name + " = " +
+              r.name + ")");
+        }
+        join_conds.push_back(JoinCond{lr.source, rr.source, l.name, false});
+        is_join = true;
+      }
+    }
+    if (!is_join) residual.push_back(c);
+  }
+
+  // 3. Greedy left-deep join of all sources; reject cross products.
+  std::set<int> in_tree = {0};
+  sources[0].joined = true;
+  Expr::Ptr current = sources[0].expr;
+  size_t remaining = sources.size() - 1;
+  while (remaining > 0) {
+    int next = -1;
+    std::vector<std::string> attrs;
+    for (JoinCond& jc : join_conds) {
+      if (jc.used) continue;
+      const bool a_in = in_tree.count(jc.a) > 0;
+      const bool b_in = in_tree.count(jc.b) > 0;
+      if (a_in == b_in) continue;  // both in (handled later) or both out
+      const int candidate = a_in ? jc.b : jc.a;
+      if (next == -1 || candidate == next) {
+        next = candidate;
+        attrs.push_back(jc.attr);
+        jc.used = true;
+      }
+    }
+    if (next == -1) {
+      return Status::Unimplemented(
+          "FROM list requires a cross product or disconnected join graph");
+    }
+    // Deduplicate attrs.
+    std::sort(attrs.begin(), attrs.end());
+    attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+    AUXVIEW_ASSIGN_OR_RETURN(current,
+                             Expr::Join(current, sources[next].expr, attrs));
+    in_tree.insert(next);
+    --remaining;
+  }
+  // Join conditions between sources already in the tree become residual
+  // equality predicates (both columns merged to one name — always true) —
+  // reject them as redundant rather than silently dropping.
+  for (const JoinCond& jc : join_conds) {
+    if (!jc.used) {
+      return Status::Unimplemented("redundant join condition on " + jc.attr);
+    }
+  }
+
+  // 4. Residual WHERE predicates.
+  if (!residual.empty()) {
+    std::vector<Scalar::Ptr> preds;
+    for (const SqlExpr::Ptr& c : residual) {
+      AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr s, ToScalar(c, sources));
+      preds.push_back(std::move(s));
+    }
+    AUXVIEW_ASSIGN_OR_RETURN(
+        current, Expr::Select(current, Scalar::CombineConjuncts(preds)));
+  }
+
+  // 5. Aggregation.
+  const bool has_aggregates =
+      std::any_of(query.items.begin(), query.items.end(),
+                  [](const SelectItem& i) {
+                    return !i.star && ContainsAggregate(i.expr);
+                  }) ||
+      ContainsAggregate(query.having);
+  std::vector<AggSpec> agg_specs;      // deduplicated aggregates
+  std::vector<std::string> agg_keys;   // canonical "FUNC(arg)" strings
+  auto agg_output_name = [&](const std::string& key) -> std::string {
+    for (size_t i = 0; i < agg_keys.size(); ++i) {
+      if (agg_keys[i] == key) return agg_specs[i].output_name;
+    }
+    return "";
+  };
+  // Registers an aggregate call, returning its output column name.
+  auto register_agg = [&](const SqlExpr& call,
+                          const std::string& preferred_name)
+      -> StatusOr<std::string> {
+    AUXVIEW_ASSIGN_OR_RETURN(AggFunc func, AggFuncFromName(call.name));
+    Scalar::Ptr arg;
+    std::string key = call.name + "(";
+    if (call.star) {
+      key += "*";
+    } else {
+      AUXVIEW_ASSIGN_OR_RETURN(arg, ToScalar(call.args[0], sources));
+      key += arg->ToString();
+    }
+    key += ")";
+    const std::string existing = agg_output_name(key);
+    if (!existing.empty()) return existing;
+    std::string name = preferred_name;
+    if (name.empty()) {
+      // Synthesize e.g. SUM_Salary.
+      name = call.name;
+      if (!call.star) {
+        for (const std::string& c : arg->Columns()) name += "_" + c;
+      }
+    }
+    agg_specs.push_back(AggSpec{func, arg, name});
+    agg_keys.push_back(key);
+    return name;
+  };
+  // Rewrites an SQL expression over the aggregate output (column refs stay,
+  // aggregate calls become their output columns).
+  std::function<StatusOr<Scalar::Ptr>(const SqlExpr::Ptr&)> rewrite_agg_expr =
+      [&](const SqlExpr::Ptr& e) -> StatusOr<Scalar::Ptr> {
+    if (e->kind == SqlExpr::Kind::kFuncCall) {
+      AUXVIEW_ASSIGN_OR_RETURN(std::string name, register_agg(*e, ""));
+      return Scalar::Column(name);
+    }
+    if (e->kind == SqlExpr::Kind::kColumn) {
+      AUXVIEW_ASSIGN_OR_RETURN(Resolution res,
+                               ResolveColumn(sources, e->qualifier, e->name));
+      (void)res;
+      return Scalar::Column(e->name);
+    }
+    if (e->kind == SqlExpr::Kind::kLiteral) return Scalar::Literal(e->literal);
+    if (e->kind == SqlExpr::Kind::kUnaryNot) {
+      AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr inner, rewrite_agg_expr(e->args[0]));
+      return Scalar::Not(inner);
+    }
+    // Binary: rebuild with rewritten children through ToScalar-style mapping.
+    AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr l, rewrite_agg_expr(e->args[0]));
+    AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr r, rewrite_agg_expr(e->args[1]));
+    // Reuse ToScalar's operator mapping by building a tiny shim.
+    static const std::map<std::string, ScalarOp> kOps = {
+        {"+", ScalarOp::kAdd}, {"-", ScalarOp::kSub},  {"*", ScalarOp::kMul},
+        {"/", ScalarOp::kDiv}, {"=", ScalarOp::kEq},   {"<>", ScalarOp::kNe},
+        {"<", ScalarOp::kLt},  {"<=", ScalarOp::kLe},  {">", ScalarOp::kGt},
+        {">=", ScalarOp::kGe}, {"AND", ScalarOp::kAnd}, {"OR", ScalarOp::kOr}};
+    auto it = kOps.find(e->op);
+    if (it == kOps.end()) {
+      return Status::InvalidArgument("unsupported operator: " + e->op);
+    }
+    return Scalar::Binary(it->second, l, r);
+  };
+
+  std::vector<std::string> group_by;
+  if (!query.group_by.empty() || has_aggregates) {
+    for (const SqlExpr::Ptr& g : query.group_by) {
+      AUXVIEW_ASSIGN_OR_RETURN(Resolution res,
+                               ResolveColumn(sources, g->qualifier, g->name));
+      (void)res;
+      group_by.push_back(g->name);
+    }
+    // Register aggregates from the select list first so CREATE VIEW renames
+    // apply to them positionally.
+    for (size_t i = 0; i < query.items.size(); ++i) {
+      const SelectItem& item = query.items[i];
+      if (item.star) {
+        return Status::InvalidArgument("SELECT * with GROUP BY is not allowed");
+      }
+      if (item.expr->kind == SqlExpr::Kind::kFuncCall) {
+        std::string preferred = item.alias;
+        if (preferred.empty() && i < out_names.size()) {
+          preferred = out_names[i];
+        }
+        AUXVIEW_RETURN_IF_ERROR(register_agg(*item.expr, preferred).status());
+      } else if (ContainsAggregate(item.expr)) {
+        AUXVIEW_RETURN_IF_ERROR(rewrite_agg_expr(item.expr).status());
+      }
+    }
+    // HAVING may introduce more aggregates.
+    Scalar::Ptr having;
+    if (query.having != nullptr) {
+      AUXVIEW_ASSIGN_OR_RETURN(having, rewrite_agg_expr(query.having));
+    }
+    if (agg_specs.empty()) {
+      // GROUP BY without aggregates degenerates to duplicate elimination of
+      // the group-by columns; express as COUNT(*) then project it away is
+      // overkill — use COUNT(*) named with a synthetic column.
+      agg_specs.push_back(AggSpec{AggFunc::kCount, nullptr, "__count"});
+    }
+    AUXVIEW_ASSIGN_OR_RETURN(current,
+                             Expr::Aggregate(current, group_by, agg_specs));
+    if (having != nullptr) {
+      AUXVIEW_ASSIGN_OR_RETURN(current, Expr::Select(current, having));
+    }
+  }
+
+  // 6. Final projection. SELECT * keeps the schema as-is.
+  const bool select_star =
+      query.items.size() == 1 && query.items[0].star;
+  if (!select_star) {
+    std::vector<ProjectItem> items;
+    for (size_t i = 0; i < query.items.size(); ++i) {
+      const SelectItem& item = query.items[i];
+      if (item.star) {
+        return Status::InvalidArgument("mixed * and expressions in SELECT");
+      }
+      Scalar::Ptr scalar;
+      if (!group_by.empty() || has_aggregates) {
+        AUXVIEW_ASSIGN_OR_RETURN(scalar, rewrite_agg_expr(item.expr));
+      } else {
+        AUXVIEW_ASSIGN_OR_RETURN(scalar, ToScalar(item.expr, sources));
+      }
+      std::string name = item.alias;
+      if (i < out_names.size()) name = out_names[i];
+      if (name.empty()) {
+        if (scalar->op() == ScalarOp::kColumn) {
+          name = scalar->column_name();
+        } else {
+          name = "col" + std::to_string(i + 1);
+        }
+      }
+      items.push_back(ProjectItem{std::move(scalar), std::move(name)});
+    }
+    // Skip the Project when it is an exact identity of the current schema.
+    const Schema& cur = current->output_schema();
+    bool identity = static_cast<int>(items.size()) == cur.num_columns();
+    if (identity) {
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (items[i].expr->op() != ScalarOp::kColumn ||
+            items[i].expr->column_name() != cur.column(static_cast<int>(i)).name ||
+            items[i].name != cur.column(static_cast<int>(i)).name) {
+          identity = false;
+          break;
+        }
+      }
+    }
+    if (!identity) {
+      AUXVIEW_ASSIGN_OR_RETURN(current, Expr::Project(current, items));
+    }
+  } else if (!out_names.empty()) {
+    return Status::InvalidArgument(
+        "CREATE VIEW column list requires an explicit select list");
+  }
+
+  if (query.distinct) {
+    AUXVIEW_ASSIGN_OR_RETURN(current, Expr::DupElim(current));
+  }
+  return current;
+}
+
+}  // namespace auxview

@@ -1,0 +1,67 @@
+#ifndef AUXVIEW_PARSER_BINDER_H_
+#define AUXVIEW_PARSER_BINDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace auxview {
+
+/// A bound CREATE VIEW: the view name and its algebra tree.
+struct BoundView {
+  std::string name;
+  Expr::Ptr expr;
+};
+
+/// A bound CREATE ASSERTION: a view that must remain empty.
+struct BoundAssertion {
+  std::string name;
+  Expr::Ptr expr;
+};
+
+/// Resolves parsed statements against a catalog, producing algebra trees.
+///
+/// - CREATE TABLE registers the table in the catalog.
+/// - CREATE VIEW binds the SELECT to an algebra tree; later queries may name
+///   the view in FROM (the definition is inlined).
+/// - CREATE ASSERTION binds the inner NOT EXISTS query.
+///
+/// Supported SELECT shape: conjunctive equi-join predicates over same-named
+/// columns (the paper's natural-join style), residual selection predicates,
+/// one grouping level with SUM/COUNT/MIN/MAX/AVG, HAVING over group-by
+/// columns and aggregate results, optional DISTINCT.
+class Binder {
+ public:
+  explicit Binder(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Binds one statement; records created views/assertions internally.
+  Status Bind(const Statement& stmt);
+
+  /// Parses and binds a whole ';'-separated script.
+  Status Run(const std::string& sql);
+
+  /// Binds a stand-alone SELECT. `out_names` optionally renames the output
+  /// columns positionally (the CREATE VIEW (c1, c2, ...) list).
+  StatusOr<Expr::Ptr> BindSelect(const SelectQuery& query,
+                                 const std::vector<std::string>& out_names = {});
+
+  const std::vector<BoundView>& views() const { return views_; }
+  const std::vector<BoundAssertion>& assertions() const { return assertions_; }
+
+  /// nullptr when no view of that name was bound.
+  const Expr::Ptr* FindView(const std::string& name) const;
+
+ private:
+  Catalog* catalog_;
+  std::vector<BoundView> views_;
+  std::vector<BoundAssertion> assertions_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_PARSER_BINDER_H_

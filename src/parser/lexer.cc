@@ -1,0 +1,118 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace auxview {
+
+namespace {
+
+const char* const kKeywords[] = {
+    "CREATE",  "TABLE",   "VIEW",    "ASSERTION", "CHECK",  "NOT",
+    "EXISTS",  "SELECT",  "DISTINCT", "FROM",     "WHERE",  "GROUP",
+    "BY",      "GROUPBY", "HAVING",  "AS",        "AND",    "OR",
+    "SUM",     "COUNT",   "MIN",     "MAX",       "AVG",    "PRIMARY",
+    "KEY",     "INDEX",   "INT",     "INTEGER",   "BIGINT", "DOUBLE",
+    "FLOAT",   "REAL",    "STRING",  "VARCHAR",   "TEXT",   "CHAR",
+    "NULL",    "TRUE",    "FALSE",   "ON",        "JOIN",   "INSERT",
+    "INTO",    "VALUES",  "DELETE",  "UPDATE",    "SET",
+};
+
+bool IsKeywordWord(const std::string& upper) {
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+bool IsIdentStart(char c) { return std::isalpha(c) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(c) || c == '_'; }
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      std::string word = input.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      if (IsKeywordWord(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = word;
+      }
+      i = j;
+    } else if (std::isdigit(c) ||
+               (c == '.' && i + 1 < n && std::isdigit(input[i + 1]))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(input[j]) || input[j] == '.')) {
+        if (input[j] == '.') {
+          // "1." followed by another '.' or identifier is malformed; a single
+          // dot makes it a float literal.
+          if (is_float) break;
+          is_float = true;
+        }
+        ++j;
+      }
+      tok.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      tok.text = input.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string text;
+      while (j < n && input[j] != '\'') {
+        text += input[j];
+        ++j;
+      }
+      if (j >= n) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      i = j + 1;
+    } else {
+      // Multi-char operators first.
+      auto two = (i + 1 < n) ? input.substr(i, 2) : std::string();
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tok.type = TokenType::kSymbol;
+        tok.text = two == "!=" ? "<>" : two;
+        i += 2;
+      } else if (std::string("(),.;*=<>+-/").find(c) != std::string::npos) {
+        tok.type = TokenType::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at offset " + std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace auxview

@@ -1,0 +1,18 @@
+#ifndef AUXVIEW_PARSER_LEXER_H_
+#define AUXVIEW_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/token.h"
+
+namespace auxview {
+
+/// Tokenizes the SQL subset. Keywords are case-insensitive and normalized to
+/// upper case; identifiers keep their spelling. `--` starts a line comment.
+StatusOr<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_PARSER_LEXER_H_

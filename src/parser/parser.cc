@@ -1,0 +1,511 @@
+#include "parser/parser.h"
+
+#include <cstdlib>
+
+#include "parser/lexer.h"
+
+namespace auxview {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<std::vector<Statement>> ParseScript() {
+    std::vector<Statement> stmts;
+    while (!Peek().IsSymbol(";") && Peek().type != TokenType::kEnd) {
+      AUXVIEW_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      stmts.push_back(std::move(stmt));
+      while (Peek().IsSymbol(";")) Advance();
+    }
+    return stmts;
+  }
+
+  StatusOr<SelectQuery> ParseSelectOnly() {
+    AUXVIEW_ASSIGN_OR_RETURN(SelectQuery q, ParseSelectQuery());
+    while (Peek().IsSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Error("trailing input after SELECT");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " (near offset " +
+                                   std::to_string(Peek().position) + ", got '" +
+                                   Peek().text + "')");
+  }
+
+  Status Expect(const char* what, bool symbol) {
+    if (symbol ? Peek().IsSymbol(what) : Peek().IsKeyword(what)) {
+      Advance();
+      return Status::Ok();
+    }
+    return Error(std::string("expected '") + what + "'");
+  }
+  Status ExpectKeyword(const char* kw) { return Expect(kw, false); }
+  Status ExpectSymbol(const char* sym) { return Expect(sym, true); }
+
+  StatusOr<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected identifier");
+    }
+    return Advance().text;
+  }
+
+  StatusOr<Statement> ParseStatement() {
+    if (Peek().IsKeyword("CREATE")) {
+      Advance();
+      if (Peek().IsKeyword("TABLE")) {
+        Advance();
+        AUXVIEW_ASSIGN_OR_RETURN(CreateTableStmt ct, ParseCreateTable());
+        Statement stmt;
+        stmt.kind = Statement::Kind::kCreateTable;
+        stmt.create_table = std::move(ct);
+        return stmt;
+      }
+      if (Peek().IsKeyword("VIEW")) {
+        Advance();
+        AUXVIEW_ASSIGN_OR_RETURN(CreateViewStmt cv, ParseCreateView());
+        Statement stmt;
+        stmt.kind = Statement::Kind::kCreateView;
+        stmt.create_view = std::move(cv);
+        return stmt;
+      }
+      if (Peek().IsKeyword("ASSERTION")) {
+        Advance();
+        AUXVIEW_ASSIGN_OR_RETURN(CreateAssertionStmt ca,
+                                 ParseCreateAssertion());
+        Statement stmt;
+        stmt.kind = Statement::Kind::kCreateAssertion;
+        stmt.create_assertion = std::move(ca);
+        return stmt;
+      }
+      return Error("expected TABLE, VIEW or ASSERTION after CREATE");
+    }
+    if (Peek().IsKeyword("SELECT")) {
+      AUXVIEW_ASSIGN_OR_RETURN(SelectQuery q, ParseSelectQuery());
+      Statement stmt;
+      stmt.kind = Statement::Kind::kSelect;
+      stmt.select = std::move(q);
+      return stmt;
+    }
+    if (Peek().IsKeyword("INSERT")) {
+      Advance();
+      AUXVIEW_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+      InsertStmt ins;
+      AUXVIEW_ASSIGN_OR_RETURN(ins.table, ExpectIdentifier());
+      AUXVIEW_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+      while (true) {
+        AUXVIEW_RETURN_IF_ERROR(ExpectSymbol("("));
+        std::vector<SqlExpr::Ptr> row;
+        while (true) {
+          AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr v, ParseExpr());
+          row.push_back(std::move(v));
+          if (Peek().IsSymbol(",")) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+        AUXVIEW_RETURN_IF_ERROR(ExpectSymbol(")"));
+        ins.rows.push_back(std::move(row));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      Statement stmt;
+      stmt.kind = Statement::Kind::kInsert;
+      stmt.insert = std::move(ins);
+      return stmt;
+    }
+    if (Peek().IsKeyword("DELETE")) {
+      Advance();
+      AUXVIEW_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+      DeleteStmt del;
+      AUXVIEW_ASSIGN_OR_RETURN(del.table, ExpectIdentifier());
+      if (Peek().IsKeyword("WHERE")) {
+        Advance();
+        AUXVIEW_ASSIGN_OR_RETURN(del.where, ParseExpr());
+      }
+      Statement stmt;
+      stmt.kind = Statement::Kind::kDelete;
+      stmt.del = std::move(del);
+      return stmt;
+    }
+    if (Peek().IsKeyword("UPDATE")) {
+      Advance();
+      UpdateStmt upd;
+      AUXVIEW_ASSIGN_OR_RETURN(upd.table, ExpectIdentifier());
+      AUXVIEW_RETURN_IF_ERROR(ExpectKeyword("SET"));
+      while (true) {
+        AUXVIEW_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        AUXVIEW_RETURN_IF_ERROR(ExpectSymbol("="));
+        AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr value, ParseExpr());
+        upd.sets.emplace_back(std::move(col), std::move(value));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (Peek().IsKeyword("WHERE")) {
+        Advance();
+        AUXVIEW_ASSIGN_OR_RETURN(upd.where, ParseExpr());
+      }
+      Statement stmt;
+      stmt.kind = Statement::Kind::kUpdate;
+      stmt.update = std::move(upd);
+      return stmt;
+    }
+    return Error("expected CREATE, SELECT, INSERT, DELETE or UPDATE");
+  }
+
+  StatusOr<ValueType> ParseColumnType() {
+    const Token& tok = Peek();
+    if (tok.type != TokenType::kKeyword) return Error("expected column type");
+    const std::string& t = tok.text;
+    ValueType type;
+    if (t == "INT" || t == "INTEGER" || t == "BIGINT") {
+      type = ValueType::kInt64;
+    } else if (t == "DOUBLE" || t == "FLOAT" || t == "REAL") {
+      type = ValueType::kDouble;
+    } else if (t == "STRING" || t == "VARCHAR" || t == "TEXT" || t == "CHAR") {
+      type = ValueType::kString;
+    } else {
+      return Error("unknown column type " + t);
+    }
+    Advance();
+    // Optional length, e.g. VARCHAR(32).
+    if (Peek().IsSymbol("(")) {
+      Advance();
+      if (Peek().type != TokenType::kInteger) return Error("expected length");
+      Advance();
+      AUXVIEW_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    return type;
+  }
+
+  StatusOr<std::vector<std::string>> ParseNameList() {
+    AUXVIEW_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<std::string> names;
+    while (true) {
+      AUXVIEW_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      names.push_back(std::move(name));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    AUXVIEW_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return names;
+  }
+
+  StatusOr<CreateTableStmt> ParseCreateTable() {
+    CreateTableStmt ct;
+    AUXVIEW_ASSIGN_OR_RETURN(ct.name, ExpectIdentifier());
+    AUXVIEW_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      if (Peek().IsKeyword("PRIMARY")) {
+        Advance();
+        AUXVIEW_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        AUXVIEW_ASSIGN_OR_RETURN(ct.primary_key, ParseNameList());
+      } else if (Peek().IsKeyword("INDEX")) {
+        Advance();
+        AUXVIEW_ASSIGN_OR_RETURN(std::vector<std::string> idx,
+                                 ParseNameList());
+        ct.indexes.push_back(std::move(idx));
+      } else {
+        ColumnSpec col;
+        AUXVIEW_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+        AUXVIEW_ASSIGN_OR_RETURN(col.type, ParseColumnType());
+        if (Peek().IsKeyword("PRIMARY")) {
+          Advance();
+          AUXVIEW_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+          ct.primary_key.push_back(col.name);
+        }
+        ct.columns.push_back(std::move(col));
+      }
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    AUXVIEW_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return ct;
+  }
+
+  StatusOr<CreateViewStmt> ParseCreateView() {
+    CreateViewStmt cv;
+    AUXVIEW_ASSIGN_OR_RETURN(cv.name, ExpectIdentifier());
+    if (Peek().IsSymbol("(")) {
+      AUXVIEW_ASSIGN_OR_RETURN(cv.column_names, ParseNameList());
+    }
+    AUXVIEW_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    AUXVIEW_ASSIGN_OR_RETURN(cv.select, ParseSelectQuery());
+    return cv;
+  }
+
+  StatusOr<CreateAssertionStmt> ParseCreateAssertion() {
+    CreateAssertionStmt ca;
+    AUXVIEW_ASSIGN_OR_RETURN(ca.name, ExpectIdentifier());
+    AUXVIEW_RETURN_IF_ERROR(ExpectKeyword("CHECK"));
+    AUXVIEW_RETURN_IF_ERROR(ExpectSymbol("("));
+    AUXVIEW_RETURN_IF_ERROR(ExpectKeyword("NOT"));
+    AUXVIEW_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+    AUXVIEW_RETURN_IF_ERROR(ExpectSymbol("("));
+    AUXVIEW_ASSIGN_OR_RETURN(ca.select, ParseSelectQuery());
+    AUXVIEW_RETURN_IF_ERROR(ExpectSymbol(")"));
+    AUXVIEW_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return ca;
+  }
+
+  StatusOr<SelectQuery> ParseSelectQuery() {
+    AUXVIEW_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectQuery q;
+    if (Peek().IsKeyword("DISTINCT")) {
+      Advance();
+      q.distinct = true;
+    }
+    while (true) {
+      SelectItem item;
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        item.star = true;
+      } else {
+        AUXVIEW_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Peek().IsKeyword("AS")) {
+          Advance();
+          AUXVIEW_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        }
+      }
+      q.items.push_back(std::move(item));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    AUXVIEW_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    while (true) {
+      AUXVIEW_ASSIGN_OR_RETURN(std::string table, ExpectIdentifier());
+      q.from.push_back(std::move(table));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      AUXVIEW_ASSIGN_OR_RETURN(q.where, ParseExpr());
+    }
+    bool has_group_by = false;
+    if (Peek().IsKeyword("GROUPBY")) {
+      Advance();
+      has_group_by = true;
+    } else if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      AUXVIEW_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      has_group_by = true;
+    }
+    if (has_group_by) {
+      while (true) {
+        AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr col, ParsePrimary());
+        if (col->kind != SqlExpr::Kind::kColumn) {
+          return Error("GROUP BY supports column references only");
+        }
+        q.group_by.push_back(std::move(col));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().IsKeyword("HAVING")) {
+      Advance();
+      AUXVIEW_ASSIGN_OR_RETURN(q.having, ParseExpr());
+    }
+    return q;
+  }
+
+  // Expression grammar: or_expr > and_expr > not_expr > comparison > additive
+  // > multiplicative > primary.
+  StatusOr<SqlExpr::Ptr> ParseExpr() { return ParseOr(); }
+
+  static SqlExpr::Ptr MakeBinary(std::string op, SqlExpr::Ptr l,
+                                 SqlExpr::Ptr r) {
+    auto e = std::make_shared<SqlExpr>();
+    e->kind = SqlExpr::Kind::kBinary;
+    e->op = std::move(op);
+    e->args = {std::move(l), std::move(r)};
+    return e;
+  }
+
+  StatusOr<SqlExpr::Ptr> ParseOr() {
+    AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr lhs, ParseAnd());
+    while (Peek().IsKeyword("OR")) {
+      Advance();
+      AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr rhs, ParseAnd());
+      lhs = MakeBinary("OR", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<SqlExpr::Ptr> ParseAnd() {
+    AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr lhs, ParseNot());
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr rhs, ParseNot());
+      lhs = MakeBinary("AND", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<SqlExpr::Ptr> ParseNot() {
+    if (Peek().IsKeyword("NOT")) {
+      Advance();
+      AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr inner, ParseNot());
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kUnaryNot;
+      e->args = {std::move(inner)};
+      return SqlExpr::Ptr(e);
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<SqlExpr::Ptr> ParseComparison() {
+    AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr lhs, ParseAdditive());
+    const Token& tok = Peek();
+    if (tok.type == TokenType::kSymbol &&
+        (tok.text == "=" || tok.text == "<>" || tok.text == "<" ||
+         tok.text == "<=" || tok.text == ">" || tok.text == ">=")) {
+      std::string op = Advance().text;
+      AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr rhs, ParseAdditive());
+      return MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<SqlExpr::Ptr> ParseAdditive() {
+    AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr lhs, ParseMultiplicative());
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      std::string op = Advance().text;
+      AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr rhs, ParseMultiplicative());
+      lhs = MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<SqlExpr::Ptr> ParseMultiplicative() {
+    AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr lhs, ParsePrimary());
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/")) {
+      std::string op = Advance().text;
+      AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr rhs, ParsePrimary());
+      lhs = MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<SqlExpr::Ptr> ParsePrimary() {
+    const Token& tok = Peek();
+    if (tok.IsSymbol("(")) {
+      Advance();
+      AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr inner, ParseExpr());
+      AUXVIEW_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (tok.type == TokenType::kInteger) {
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kLiteral;
+      e->literal = Value::Int64(std::strtoll(Advance().text.c_str(), nullptr, 10));
+      return SqlExpr::Ptr(e);
+    }
+    if (tok.type == TokenType::kFloat) {
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kLiteral;
+      e->literal = Value::Double(std::strtod(Advance().text.c_str(), nullptr));
+      return SqlExpr::Ptr(e);
+    }
+    if (tok.type == TokenType::kString) {
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kLiteral;
+      e->literal = Value::String(Advance().text);
+      return SqlExpr::Ptr(e);
+    }
+    if (tok.IsKeyword("NULL")) {
+      Advance();
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kLiteral;
+      e->literal = Value::Null();
+      return SqlExpr::Ptr(e);
+    }
+    if (tok.IsKeyword("TRUE") || tok.IsKeyword("FALSE")) {
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kLiteral;
+      e->literal = Value::Bool(Advance().text == "TRUE");
+      return SqlExpr::Ptr(e);
+    }
+    if (tok.IsKeyword("SUM") || tok.IsKeyword("COUNT") ||
+        tok.IsKeyword("MIN") || tok.IsKeyword("MAX") || tok.IsKeyword("AVG")) {
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kFuncCall;
+      e->name = Advance().text;
+      AUXVIEW_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        e->star = true;
+      } else {
+        AUXVIEW_ASSIGN_OR_RETURN(SqlExpr::Ptr arg, ParseExpr());
+        e->args.push_back(std::move(arg));
+      }
+      AUXVIEW_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return SqlExpr::Ptr(e);
+    }
+    if (tok.type == TokenType::kIdentifier) {
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kColumn;
+      e->name = Advance().text;
+      if (Peek().IsSymbol(".")) {
+        Advance();
+        e->qualifier = e->name;
+        AUXVIEW_ASSIGN_OR_RETURN(e->name, ExpectIdentifier());
+      }
+      return SqlExpr::Ptr(e);
+    }
+    return Error("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::vector<Statement>> ParseSql(const std::string& input) {
+  AUXVIEW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseScript();
+}
+
+StatusOr<SelectQuery> ParseSelect(const std::string& input) {
+  AUXVIEW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelectOnly();
+}
+
+}  // namespace auxview

@@ -1,0 +1,29 @@
+#ifndef AUXVIEW_PARSER_PARSER_H_
+#define AUXVIEW_PARSER_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace auxview {
+
+/// Parses a script of ';'-separated statements in the supported SQL subset:
+///
+///   CREATE TABLE t (c TYPE [PRIMARY KEY], ... [, PRIMARY KEY (c, ...)]
+///                   [, INDEX (c, ...)]...)
+///   CREATE VIEW v [(c, ...)] AS SELECT ...
+///   CREATE ASSERTION a CHECK (NOT EXISTS (SELECT ...))
+///   SELECT [DISTINCT] items FROM t1, t2, ... [WHERE p]
+///          [GROUP BY cols | GROUPBY cols] [HAVING p]
+///
+/// `GROUPBY` (one word) is accepted because the paper spells it that way.
+StatusOr<std::vector<Statement>> ParseSql(const std::string& input);
+
+/// Parses a single SELECT query.
+StatusOr<SelectQuery> ParseSelect(const std::string& input);
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_PARSER_PARSER_H_

@@ -1,0 +1,33 @@
+#ifndef AUXVIEW_PARSER_TOKEN_H_
+#define AUXVIEW_PARSER_TOKEN_H_
+
+#include <string>
+
+namespace auxview {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,   // normalized to upper case in `text`
+  kInteger,
+  kFloat,
+  kString,    // contents without quotes
+  kSymbol,    // punctuation / operator in `text`: ( ) , . ; * = <> < <= > >= + - /
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int position = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_PARSER_TOKEN_H_

@@ -1,0 +1,46 @@
+#include "storage/database.h"
+
+namespace auxview {
+
+StatusOr<Table*> Database::CreateTable(TableDef def) {
+  if (tables_.count(def.name) > 0) {
+    return Status::AlreadyExists("table already exists: " + def.name);
+  }
+  const std::string name = def.name;
+  auto table = std::make_unique<Table>(std::move(def), &counter_);
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  return raw;
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return Status::Ok();
+}
+
+Table* Database::FindTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+StatusOr<RelationStats> Database::RefreshStats(const std::string& name) const {
+  const Table* table = FindTable(name);
+  if (table == nullptr) return Status::NotFound("no such table: " + name);
+  return table->ComputeStats();
+}
+
+}  // namespace auxview

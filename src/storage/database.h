@@ -1,0 +1,54 @@
+#ifndef AUXVIEW_STORAGE_DATABASE_H_
+#define AUXVIEW_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "storage/page_counter.h"
+#include "storage/table.h"
+
+namespace auxview {
+
+/// A collection of stored relations sharing one page-I/O counter. Holds both
+/// base relations and materialized views (views are stored tables whose
+/// definitions live in the view manager).
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table; fails on duplicates.
+  StatusOr<Table*> CreateTable(TableDef def);
+
+  /// Drops a table; fails with NotFound when absent.
+  Status DropTable(const std::string& name);
+
+  /// nullptr when absent.
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return FindTable(name) != nullptr;
+  }
+
+  std::vector<std::string> TableNames() const;
+
+  PageCounter& counter() { return counter_; }
+  const PageCounter& counter() const { return counter_; }
+
+  /// Refreshes catalog-style statistics for table `name` from its contents.
+  StatusOr<RelationStats> RefreshStats(const std::string& name) const;
+
+ private:
+  PageCounter counter_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_STORAGE_DATABASE_H_

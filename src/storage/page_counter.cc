@@ -1,0 +1,27 @@
+#include "storage/page_counter.h"
+
+#include <cstdio>
+
+namespace auxview {
+
+void PageCounter::Reset() {
+  index_reads_ = 0;
+  index_writes_ = 0;
+  tuple_reads_ = 0;
+  tuple_writes_ = 0;
+}
+
+std::string PageCounter::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "io{total=%lld, index_r=%lld, index_w=%lld, tuple_r=%lld, "
+                "tuple_w=%lld}",
+                static_cast<long long>(total()),
+                static_cast<long long>(index_reads_),
+                static_cast<long long>(index_writes_),
+                static_cast<long long>(tuple_reads_),
+                static_cast<long long>(tuple_writes_));
+  return buf;
+}
+
+}  // namespace auxview

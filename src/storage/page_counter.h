@@ -1,0 +1,67 @@
+#ifndef AUXVIEW_STORAGE_PAGE_COUNTER_H_
+#define AUXVIEW_STORAGE_PAGE_COUNTER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace auxview {
+
+/// Page-I/O accounting that mirrors the paper's cost model (Section 3.6):
+/// hash indexes with no overflow pages, no clustering, one tuple per relation
+/// page. Every index probe costs one index-page read; every tuple touched
+/// costs one relation-page read and/or write.
+///
+/// The storage engine charges this counter on real operations so that
+/// model-estimated costs can be validated against counted I/Os
+/// (bench_v1_model_validation).
+class PageCounter {
+ public:
+  void Reset();
+
+  /// Suspends charging (bulk loads, view materialization, test oracles).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void AddIndexRead(int64_t n = 1) { if (enabled_) index_reads_ += n; }
+  void AddIndexWrite(int64_t n = 1) { if (enabled_) index_writes_ += n; }
+  void AddTupleRead(int64_t n = 1) { if (enabled_) tuple_reads_ += n; }
+  void AddTupleWrite(int64_t n = 1) { if (enabled_) tuple_writes_ += n; }
+
+  int64_t index_reads() const { return index_reads_; }
+  int64_t index_writes() const { return index_writes_; }
+  int64_t tuple_reads() const { return tuple_reads_; }
+  int64_t tuple_writes() const { return tuple_writes_; }
+  int64_t total() const {
+    return index_reads_ + index_writes_ + tuple_reads_ + tuple_writes_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  bool enabled_ = true;
+  int64_t index_reads_ = 0;
+  int64_t index_writes_ = 0;
+  int64_t tuple_reads_ = 0;
+  int64_t tuple_writes_ = 0;
+};
+
+/// RAII guard that disables a counter for a scope.
+class ScopedCountingDisabled {
+ public:
+  explicit ScopedCountingDisabled(PageCounter* counter)
+      : counter_(counter), was_enabled_(counter->enabled()) {
+    counter_->set_enabled(false);
+  }
+  ~ScopedCountingDisabled() { counter_->set_enabled(was_enabled_); }
+
+  ScopedCountingDisabled(const ScopedCountingDisabled&) = delete;
+  ScopedCountingDisabled& operator=(const ScopedCountingDisabled&) = delete;
+
+ private:
+  PageCounter* counter_;
+  bool was_enabled_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_STORAGE_PAGE_COUNTER_H_

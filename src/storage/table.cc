@@ -1,0 +1,268 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace auxview {
+
+Table::Table(TableDef def, PageCounter* counter)
+    : def_(std::move(def)), counter_(counter) {
+  AUXVIEW_CHECK(counter_ != nullptr);
+  auto add_index = [&](const std::vector<std::string>& attrs) {
+    if (attrs.empty()) return;
+    // Skip duplicates (primary key may also be listed as an index).
+    for (const IndexState& existing : indexes_) {
+      if (existing.attrs == attrs) return;
+    }
+    IndexState idx;
+    idx.attrs = attrs;
+    for (const std::string& a : attrs) {
+      const int col = def_.schema.IndexOf(a);
+      AUXVIEW_CHECK_MSG(col >= 0, ("index attr missing from schema: " + a).c_str());
+      idx.col_idxs.push_back(col);
+    }
+    indexes_.push_back(std::move(idx));
+  };
+  add_index(def_.primary_key);
+  for (const IndexDef& idx : def_.indexes) add_index(idx.attrs);
+}
+
+Row Table::ProjectKey(const IndexState& idx, const Row& row) const {
+  Row key;
+  key.reserve(idx.col_idxs.size());
+  for (int col : idx.col_idxs) key.push_back(row[col]);
+  return key;
+}
+
+void Table::IndexInsert(const Row& row) {
+  for (IndexState& idx : indexes_) {
+    idx.map[ProjectKey(idx, row)].push_back(row);
+  }
+}
+
+void Table::IndexErase(const Row& row) {
+  RowEq eq;
+  for (IndexState& idx : indexes_) {
+    auto it = idx.map.find(ProjectKey(idx, row));
+    if (it == idx.map.end()) continue;
+    auto& rows = it->second;
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [&](const Row& r) { return eq(r, row); }),
+               rows.end());
+    if (rows.empty()) idx.map.erase(it);
+  }
+}
+
+Status Table::Apply(const Row& row, int64_t count) {
+  if (count == 0) return Status::Ok();
+  if (static_cast<int>(row.size()) != def_.schema.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch for table " +
+                                   def_.name);
+  }
+  auto it = rows_.find(row);
+  const int64_t old = it == rows_.end() ? 0 : it->second;
+  const int64_t next = old + count;
+  if (next < 0) {
+    return Status::FailedPrecondition("bag multiplicity would go negative in " +
+                                      def_.name + " for row " +
+                                      RowToString(row));
+  }
+  // Charge I/O per the paper's update model. One index page per index
+  // (read; write only when the index contents change, which they do for
+  // inserts/deletes of a distinct row).
+  const int64_t tuples = count > 0 ? count : -count;
+  counter_->AddIndexRead(static_cast<int64_t>(indexes_.size()));
+  if (count > 0) {
+    counter_->AddTupleWrite(tuples);
+  } else {
+    counter_->AddTupleRead(tuples);
+    counter_->AddTupleWrite(tuples);
+  }
+  if (old == 0 && next > 0) {
+    IndexInsert(row);
+    counter_->AddIndexWrite(static_cast<int64_t>(indexes_.size()));
+  } else if (old > 0 && next == 0) {
+    IndexErase(row);
+    counter_->AddIndexWrite(static_cast<int64_t>(indexes_.size()));
+  }
+  if (next == 0) {
+    rows_.erase(it);
+  } else if (it == rows_.end()) {
+    rows_.emplace(row, next);
+  } else {
+    it->second = next;
+  }
+  total_count_ += count;
+  return Status::Ok();
+}
+
+Status Table::Modify(const Row& old_row, const Row& new_row) {
+  return ModifyBatch({{old_row, new_row}});
+}
+
+Status Table::ModifyBatch(const std::vector<std::pair<Row, Row>>& pairs) {
+  if (pairs.empty()) return Status::Ok();
+  // Paper's modify model: per index one index-page read for the batch
+  // (write only when the indexed attributes change); per tuple one read
+  // (old value) + one write.
+  counter_->AddIndexRead(static_cast<int64_t>(indexes_.size()));
+  RowEq eq;
+  for (const IndexState& idx : indexes_) {
+    for (const auto& [old_row, new_row] : pairs) {
+      if (!eq(ProjectKey(idx, old_row), ProjectKey(idx, new_row))) {
+        counter_->AddIndexWrite(1);
+        break;
+      }
+    }
+  }
+  for (const auto& [old_row, new_row] : pairs) {
+    auto it = rows_.find(old_row);
+    if (it == rows_.end()) {
+      return Status::NotFound("modify of absent row in " + def_.name + ": " +
+                              RowToString(old_row));
+    }
+    const int64_t count = it->second;
+    counter_->AddTupleRead(count);
+    counter_->AddTupleWrite(count);
+    // Structural update without re-charging.
+    IndexErase(old_row);
+    rows_.erase(it);
+    auto [new_it, inserted] = rows_.try_emplace(new_row, 0);
+    new_it->second += count;
+    // A pre-existing row (inserted == false) is already indexed; zero-count
+    // rows never persist in rows_, so this is exhaustive.
+    if (inserted) IndexInsert(new_row);
+  }
+  return Status::Ok();
+}
+
+int64_t Table::CountOf(const Row& row) const {
+  auto it = rows_.find(row);
+  return it == rows_.end() ? 0 : it->second;
+}
+
+const Table::IndexState* Table::FindIndex(
+    const std::vector<std::string>& attrs) const {
+  // Best index whose attributes are a subset of the probe attributes
+  // (residual attributes are filtered after the fetch); ties prefer more
+  // index attributes (more selective).
+  const IndexState* best = nullptr;
+  for (const IndexState& idx : indexes_) {
+    if (idx.attrs.size() > attrs.size()) continue;
+    bool subset = true;
+    for (const std::string& a : idx.attrs) {
+      if (std::find(attrs.begin(), attrs.end(), a) == attrs.end()) {
+        subset = false;
+        break;
+      }
+    }
+    if (!subset) continue;
+    if (best == nullptr || idx.attrs.size() > best->attrs.size()) {
+      best = &idx;
+    }
+  }
+  return best;
+}
+
+bool Table::HasIndexOn(const std::vector<std::string>& attrs) const {
+  return FindIndex(attrs) != nullptr;
+}
+
+std::vector<CountedRow> Table::Lookup(const std::vector<std::string>& attrs,
+                                      const Row& key) const {
+  std::vector<CountedRow> out;
+  const IndexState* idx = FindIndex(attrs);
+  if (idx != nullptr) {
+    counter_->AddIndexRead(1);
+    // Reorder key to the index's attribute order (the index may cover only
+    // a subset of the probe attributes; the rest filter after the fetch).
+    Row ordered_key(idx->attrs.size());
+    for (size_t i = 0; i < idx->attrs.size(); ++i) {
+      auto pos = std::find(attrs.begin(), attrs.end(), idx->attrs[i]);
+      ordered_key[i] = key[static_cast<size_t>(pos - attrs.begin())];
+    }
+    std::vector<int> residual_cols;
+    std::vector<const Value*> residual_vals;
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (std::find(idx->attrs.begin(), idx->attrs.end(), attrs[i]) ==
+          idx->attrs.end()) {
+        const int col = def_.schema.IndexOf(attrs[i]);
+        AUXVIEW_CHECK_MSG(col >= 0, ("lookup attr missing: " + attrs[i]).c_str());
+        residual_cols.push_back(col);
+        residual_vals.push_back(&key[i]);
+      }
+    }
+    auto it = idx->map.find(ordered_key);
+    if (it != idx->map.end()) {
+      for (const Row& row : it->second) {
+        const int64_t count = CountOf(row);
+        counter_->AddTupleRead(count);
+        bool match = true;
+        for (size_t i = 0; i < residual_cols.size(); ++i) {
+          if (row[residual_cols[i]] != *residual_vals[i]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) out.push_back(CountedRow{row, count});
+      }
+    }
+    return out;
+  }
+  // No index: full scan.
+  std::vector<int> cols;
+  for (const std::string& a : attrs) {
+    const int col = def_.schema.IndexOf(a);
+    AUXVIEW_CHECK_MSG(col >= 0, ("lookup attr missing: " + a).c_str());
+    cols.push_back(col);
+  }
+  for (const auto& [row, count] : rows_) {
+    counter_->AddTupleRead(count);
+    bool match = true;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (row[cols[i]] != key[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(CountedRow{row, count});
+  }
+  return out;
+}
+
+std::vector<CountedRow> Table::ScanAll() const {
+  std::vector<CountedRow> out;
+  out.reserve(rows_.size());
+  for (const auto& [row, count] : rows_) {
+    counter_->AddTupleRead(count);
+    out.push_back(CountedRow{row, count});
+  }
+  return out;
+}
+
+std::vector<CountedRow> Table::SnapshotUncharged() const {
+  std::vector<CountedRow> out;
+  out.reserve(rows_.size());
+  for (const auto& [row, count] : rows_) {
+    out.push_back(CountedRow{row, count});
+  }
+  return out;
+}
+
+RelationStats Table::ComputeStats() const {
+  RelationStats stats;
+  stats.row_count = static_cast<double>(total_count_);
+  for (int c = 0; c < def_.schema.num_columns(); ++c) {
+    std::unordered_map<Row, int, RowHash, RowEq> seen;
+    for (const auto& [row, count] : rows_) {
+      (void)count;
+      seen.try_emplace(Row{row[c]}, 1);
+    }
+    stats.distinct[def_.schema.column(c).name] =
+        static_cast<double>(seen.size());
+  }
+  return stats;
+}
+
+}  // namespace auxview

@@ -1,0 +1,56 @@
+#ifndef AUXVIEW_WORKLOAD_CHAIN_H_
+#define AUXVIEW_WORKLOAD_CHAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "catalog/catalog.h"
+#include "delta/transaction.h"
+#include "storage/database.h"
+
+namespace auxview {
+
+/// A k-relation chain-join workload for scaling and heuristic-quality
+/// experiments: R1(A0, A1, V1), R2(A1, A2, V2), ..., joined on the shared
+/// A_i attributes, with A_{i-1} the key of R_i. The view is the full chain
+/// join, optionally topped with SUM(V_k) BY A0.
+struct ChainConfig {
+  int num_relations = 3;
+  int rows_per_relation = 1000;
+  /// Average matching tuples per join value in the next relation.
+  int fanout = 4;
+  bool with_aggregate = false;
+  uint64_t seed = 7;
+};
+
+class ChainWorkload {
+ public:
+  explicit ChainWorkload(ChainConfig config);
+
+  const Catalog& catalog() const { return catalog_; }
+  const ChainConfig& config() const { return config_; }
+
+  Status Populate(Database* db) const;
+
+  /// The left-deep chain-join view (with the optional aggregate on top).
+  StatusOr<Expr::Ptr> ChainViewTree() const;
+
+  /// A transaction modifying the value column of one tuple of relation `i`
+  /// (0-based).
+  TransactionType TxnModify(int i, double weight = 1) const;
+
+  /// One modify transaction per relation, with the given weights (padded
+  /// with 1s).
+  std::vector<TransactionType> AllTxns(std::vector<double> weights = {}) const;
+
+  std::string RelationName(int i) const;
+
+ private:
+  ChainConfig config_;
+  Catalog catalog_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_WORKLOAD_CHAIN_H_

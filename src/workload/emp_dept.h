@@ -1,0 +1,66 @@
+#ifndef AUXVIEW_WORKLOAD_EMP_DEPT_H_
+#define AUXVIEW_WORKLOAD_EMP_DEPT_H_
+
+#include <cstdint>
+
+#include "algebra/expr.h"
+#include "catalog/catalog.h"
+#include "delta/transaction.h"
+#include "storage/database.h"
+
+namespace auxview {
+
+/// The paper's running example (Examples 1.1 and 3.1): a corporate database
+/// with Dept(DName, MName, Budget), Emp(EName, DName, Salary) and optionally
+/// ADepts(DName).
+struct EmpDeptConfig {
+  int num_depts = 1000;
+  int emps_per_dept = 10;
+  /// Salaries are uniform in [salary_min, salary_max].
+  int64_t salary_min = 40000;
+  int64_t salary_max = 60000;
+  /// Fraction of departments whose budget is below their salary sum
+  /// (assertion violations); 0 reproduces the paper's "rarely violated".
+  double violation_fraction = 0;
+  bool with_adepts = false;
+  int num_adepts = 50;
+  uint64_t seed = 42;
+};
+
+class EmpDeptWorkload {
+ public:
+  explicit EmpDeptWorkload(EmpDeptConfig config);
+
+  const Catalog& catalog() const { return catalog_; }
+  const EmpDeptConfig& config() const { return config_; }
+
+  /// Creates and fills Emp/Dept (and ADepts) tables. Not I/O-charged.
+  Status Populate(Database* db) const;
+
+  /// The ProblemDept view exactly as the paper's Figure 1 right tree:
+  /// Select(SumSal > Budget, Aggregate(Join(Emp, Dept, DName),
+  ///                                   {DName, Budget}, SUM(Salary))).
+  StatusOr<Expr::Ptr> ProblemDeptTree() const;
+
+  /// Figure 1 left tree: Select over Join(Aggregate(Emp BY DName), Dept).
+  StatusOr<Expr::Ptr> ProblemDeptLeftTree() const;
+
+  /// Example 3.1's ADeptsStatus view:
+  /// Aggregate(Join(Join(Emp, Dept), ADepts), {DName, Budget}, SUM(Salary)).
+  StatusOr<Expr::Ptr> ADeptsStatusTree() const;
+
+  /// The paper's transactions: ">Emp" modifies the Salary of one employee,
+  /// ">Dept" modifies the Budget of one department.
+  TransactionType TxnModEmp(double weight = 1) const;
+  TransactionType TxnModDept(double weight = 1) const;
+  /// Example 3.1: insert one department into ADepts.
+  TransactionType TxnInsertADept(double weight = 1) const;
+
+ private:
+  EmpDeptConfig config_;
+  Catalog catalog_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_WORKLOAD_EMP_DEPT_H_

@@ -1,0 +1,52 @@
+#ifndef AUXVIEW_WORKLOAD_FIG5_H_
+#define AUXVIEW_WORKLOAD_FIG5_H_
+
+#include <cstdint>
+
+#include "algebra/expr.h"
+#include "catalog/catalog.h"
+#include "delta/transaction.h"
+#include "storage/database.h"
+
+namespace auxview {
+
+/// The paper's Figure 5 workload: an order-lines schema where the view is
+///
+///   Join (Item) ( R, Aggregate (SUM(Quantity * Price) BY Item) (S Join T) )
+///
+/// with S(OrderId, Item, Quantity), T(Item, Price), R(RowId, Item, Target).
+/// The aggregate cannot be pushed below the S-T join (its argument spans
+/// both inputs) nor pulled above the R join (Item is not a key of R), so the
+/// aggregate's equivalence node is an articulation node of the DAG — the
+/// Shielding Principle's showcase.
+struct Fig5Config {
+  int num_items = 500;
+  int orders_per_item = 8;
+  int r_rows_per_item = 3;
+  uint64_t seed = 13;
+};
+
+class Fig5Workload {
+ public:
+  explicit Fig5Workload(Fig5Config config);
+
+  const Catalog& catalog() const { return catalog_; }
+
+  Status Populate(Database* db) const;
+
+  /// The Figure 5 view tree.
+  StatusOr<Expr::Ptr> ViewTree() const;
+
+  /// Transactions: modify one S.Quantity, one T.Price, one R.Target.
+  TransactionType TxnModS(double weight = 1) const;
+  TransactionType TxnModT(double weight = 1) const;
+  TransactionType TxnModR(double weight = 1) const;
+
+ private:
+  Fig5Config config_;
+  Catalog catalog_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_WORKLOAD_FIG5_H_

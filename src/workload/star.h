@@ -1,0 +1,57 @@
+#ifndef AUXVIEW_WORKLOAD_STAR_H_
+#define AUXVIEW_WORKLOAD_STAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "catalog/catalog.h"
+#include "delta/transaction.h"
+#include "storage/database.h"
+
+namespace auxview {
+
+/// A star-schema rollup workload: Fact(FId, D1..Dk, M) joined to dimensions
+/// Dim_i(D_i, A_i), with the view SUM(M) BY A_1 [, A_2]. Every join is on a
+/// dimension key, so the eager-aggregation rule can pre-aggregate the fact
+/// table — the classic data-warehouse instance of the paper's problem.
+struct StarConfig {
+  int num_dims = 3;
+  int fact_rows = 2000;
+  int dim_rows = 50;
+  /// Distinct values of each dimension attribute A_i.
+  int attr_values = 10;
+  /// Group by A_1 and A_2 (else only A_1).
+  bool group_by_two = false;
+  uint64_t seed = 21;
+};
+
+class StarWorkload {
+ public:
+  explicit StarWorkload(StarConfig config);
+
+  const Catalog& catalog() const { return catalog_; }
+  const StarConfig& config() const { return config_; }
+
+  Status Populate(Database* db) const;
+
+  /// The rollup view: Aggregate(SUM(M) BY A1 [, A2]) over the star join.
+  StatusOr<Expr::Ptr> RollupTree() const;
+
+  /// Modify the measure of one fact row.
+  TransactionType TxnModMeasure(double weight = 1) const;
+  /// Modify A_i of one dimension row (moves whole slices between groups).
+  TransactionType TxnModDimAttr(int dim, double weight = 1) const;
+  /// Insert one fact row.
+  TransactionType TxnInsertFact(double weight = 1) const;
+
+  std::string DimName(int i) const;
+
+ private:
+  StarConfig config_;
+  Catalog catalog_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_WORKLOAD_STAR_H_

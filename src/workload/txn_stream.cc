@@ -1,0 +1,112 @@
+#include "workload/txn_stream.h"
+
+#include <algorithm>
+
+namespace auxview {
+
+StatusOr<ConcreteTxn> TxnGenerator::Generate(const TransactionType& type,
+                                             const Database& db) {
+  ConcreteTxn txn;
+  txn.type_name = type.name;
+  for (const UpdateSpec& spec : type.updates) {
+    const Table* table = db.FindTable(spec.relation);
+    if (table == nullptr) {
+      return Status::NotFound("no such relation: " + spec.relation);
+    }
+    const std::vector<CountedRow> rows = table->SnapshotUncharged();
+    TableUpdate update;
+    update.relation = spec.relation;
+    const int count = std::max(1, static_cast<int>(spec.count));
+    const Schema& schema = table->schema();
+
+    auto random_row = [&]() -> const Row& {
+      return rows[static_cast<size_t>(
+                      rng_.Uniform(0, static_cast<int64_t>(rows.size()) - 1))]
+          .row;
+    };
+
+    for (int i = 0; i < count && !rows.empty(); ++i) {
+      switch (spec.kind) {
+        case UpdateKind::kModify: {
+          const Row old_row = random_row();
+          // Skip rows already chosen this transaction.
+          bool dup = false;
+          for (const auto& [prev_old, prev_new] : update.modifies) {
+            (void)prev_new;
+            if (RowEq()(prev_old, old_row)) dup = true;
+          }
+          if (dup) {
+            --i;
+            continue;
+          }
+          Row new_row = old_row;
+          for (const std::string& attr : spec.modified_attrs) {
+            const int col = schema.IndexOf(attr);
+            if (col < 0) {
+              return Status::InvalidArgument("modified attr missing: " + attr);
+            }
+            const Value& old_val = old_row[col];
+            switch (old_val.type()) {
+              case ValueType::kInt64:
+                new_row[col] =
+                    Value::Int64(old_val.int64() + rng_.Uniform(1, 1000));
+                break;
+              case ValueType::kDouble:
+                new_row[col] = Value::Double(old_val.dbl() +
+                                             rng_.NextDouble() * 100 + 1);
+                break;
+              case ValueType::kString:
+                // Draw from the same column of another row (domain value).
+                new_row[col] = random_row()[col];
+                break;
+              default:
+                return Status::InvalidArgument("unsupported modify type");
+            }
+          }
+          if (!RowEq()(old_row, new_row)) {
+            update.modifies.emplace_back(old_row, new_row);
+          }
+          break;
+        }
+        case UpdateKind::kDelete: {
+          const Row victim = random_row();
+          bool dup = false;
+          for (const auto& [prev, c] : update.deletes) {
+            (void)c;
+            if (RowEq()(prev, victim)) dup = true;
+          }
+          if (dup) {
+            --i;
+            continue;
+          }
+          update.deletes.emplace_back(victim, table->CountOf(victim));
+          break;
+        }
+        case UpdateKind::kInsert: {
+          Row fresh = random_row();
+          // Fresh primary key values.
+          for (const std::string& pk : table->def().primary_key) {
+            const int col = schema.IndexOf(pk);
+            switch (schema.column(col).type) {
+              case ValueType::kInt64:
+                fresh[col] = Value::Int64(900000000 + fresh_counter_++);
+                break;
+              case ValueType::kString:
+                fresh[col] = Value::String(
+                    "fresh_" + std::to_string(fresh_counter_++));
+                break;
+              default:
+                return Status::InvalidArgument("unsupported key type");
+            }
+          }
+          update.inserts.emplace_back(std::move(fresh), 1);
+          break;
+        }
+      }
+    }
+    txn.updates.push_back(std::move(update));
+  }
+  return txn;
+}
+
+}  // namespace auxview

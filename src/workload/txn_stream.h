@@ -1,0 +1,34 @@
+#ifndef AUXVIEW_WORKLOAD_TXN_STREAM_H_
+#define AUXVIEW_WORKLOAD_TXN_STREAM_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "delta/transaction.h"
+#include "maintain/concrete.h"
+#include "storage/database.h"
+
+namespace auxview {
+
+/// Generates concrete transaction instances matching a declared
+/// TransactionType against the database's current contents:
+///  - modify: picks `count` random existing rows and perturbs the modified
+///    attributes (numbers are nudged; strings are replaced with a value
+///    drawn from the same column of another row, preserving the domain);
+///  - delete: removes random existing rows;
+///  - insert: builds new rows with fresh primary-key values and other
+///    attributes drawn from existing rows.
+class TxnGenerator {
+ public:
+  explicit TxnGenerator(uint64_t seed) : rng_(seed) {}
+
+  StatusOr<ConcreteTxn> Generate(const TransactionType& type,
+                                 const Database& db);
+
+ private:
+  Rng rng_;
+  int64_t fresh_counter_ = 0;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_WORKLOAD_TXN_STREAM_H_

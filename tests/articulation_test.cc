@@ -1,0 +1,124 @@
+#include "memo/articulation.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/builder.h"
+#include "memo/expand.h"
+#include "workload/emp_dept.h"
+#include "workload/fig5.h"
+
+namespace auxview {
+namespace {
+
+TEST(ArticulationTest, Figure5AggregateIsArticulation) {
+  Fig5Workload workload{Fig5Config{}};
+  auto tree = workload.ViewTree();
+  ASSERT_TRUE(tree.ok());
+  auto memo = BuildExpandedMemo(*tree, workload.catalog());
+  ASSERT_TRUE(memo.ok());
+  const std::set<GroupId> arts = FindArticulationGroups(*memo);
+  // The aggregate's equivalence node separates {S, T, S-join-T} from
+  // {R, root}: it must be an articulation node.
+  GroupId agg_group = -1;
+  for (GroupId g : memo->NonLeafGroups()) {
+    for (int eid : memo->group(g).exprs) {
+      if (!memo->expr(eid).dead &&
+          memo->expr(eid).kind() == OpKind::kAggregate) {
+        agg_group = g;
+      }
+    }
+  }
+  ASSERT_GE(agg_group, 0);
+  EXPECT_TRUE(arts.count(agg_group)) << memo->ToString();
+}
+
+TEST(ArticulationTest, ProblemDeptInteriorNotArticulation) {
+  // In Figure 2's DAG, N2 is an articulation node (everything flows through
+  // it) but N3/N4 are not (two alternative paths exist between N2 and the
+  // leaves).
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(*tree).ok());
+  auto rules = AggregationOnlyRuleSet();
+  ASSERT_TRUE(ExpandMemo(&memo, workload.catalog(), rules).ok());
+
+  GroupId n2 = -1, n3 = -1, n4 = -1;
+  for (GroupId g : memo.NonLeafGroups()) {
+    for (int eid : memo.group(g).exprs) {
+      const MemoExpr& e = memo.expr(eid);
+      if (e.dead) continue;
+      if (e.kind() == OpKind::kAggregate && e.op->group_by().size() == 2) {
+        n2 = g;
+      }
+      if (e.kind() == OpKind::kAggregate && e.op->group_by().size() == 1) {
+        n3 = g;
+      }
+      if (e.kind() == OpKind::kJoin) {
+        bool leaf_join = true;
+        for (GroupId in : e.inputs) {
+          if (!memo.group(memo.Find(in)).is_leaf) leaf_join = false;
+        }
+        if (leaf_join) n4 = g;
+      }
+    }
+  }
+  ASSERT_GE(n2, 0);
+  ASSERT_GE(n3, 0);
+  ASSERT_GE(n4, 0);
+  const std::set<GroupId> arts = FindArticulationGroups(memo);
+  EXPECT_TRUE(arts.count(n2));
+  EXPECT_FALSE(arts.count(n3));
+  EXPECT_FALSE(arts.count(n4));
+}
+
+TEST(ArticulationTest, LinearTreeEveryInteriorNodeIsArticulation) {
+  // Aggregate over Emp alone: Select -> Aggregate -> Emp is a path; the
+  // aggregate group is an articulation node.
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  ExprBuilder b(&workload.catalog());
+  auto tree = b.Select(
+      b.Aggregate(b.Scan("Emp"), {"DName"},
+                  {{AggFunc::kSum, Col("Salary"), "SumSal"}}),
+      Scalar::Gt(Col("SumSal"), Lit(int64_t{100})));
+  ASSERT_TRUE(b.ok());
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(tree).ok());
+  const std::set<GroupId> arts = FindArticulationGroups(memo);
+  int non_leaf_arts = 0;
+  for (GroupId g : memo.NonLeafGroups()) {
+    if (arts.count(g) && g != memo.root()) ++non_leaf_arts;
+  }
+  EXPECT_EQ(non_leaf_arts, 1);  // the aggregate group
+}
+
+TEST(ArticulationTest, DescendantGroups) {
+  Fig5Workload workload{Fig5Config{}};
+  auto tree = workload.ViewTree();
+  auto memo = BuildExpandedMemo(*tree, workload.catalog());
+  ASSERT_TRUE(memo.ok());
+  GroupId agg_group = -1;
+  for (GroupId g : memo->NonLeafGroups()) {
+    for (int eid : memo->group(g).exprs) {
+      if (!memo->expr(eid).dead &&
+          memo->expr(eid).kind() == OpKind::kAggregate) {
+        agg_group = g;
+      }
+    }
+  }
+  ASSERT_GE(agg_group, 0);
+  const std::set<GroupId> desc = DescendantGroups(*memo, agg_group);
+  // Contains itself, the S-T join group, and the S and T leaves; not the
+  // root or R.
+  EXPECT_TRUE(desc.count(agg_group));
+  EXPECT_FALSE(desc.count(memo->root()));
+  int leaves = 0;
+  for (GroupId g : desc) {
+    if (memo->group(g).is_leaf) ++leaves;
+  }
+  EXPECT_EQ(leaves, 2);
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,150 @@
+// End-to-end SQL-92 assertion checking (Section 6): parse the paper's DDL,
+// bind the assertion, pick auxiliary views, maintain, and check.
+
+#include <gtest/gtest.h>
+
+#include "auxview.h"
+
+namespace auxview {
+namespace {
+
+constexpr char kScript[] = R"(
+CREATE TABLE Emp (EName STRING PRIMARY KEY, DName STRING, Salary INT,
+                  INDEX (DName));
+CREATE TABLE Dept (DName STRING PRIMARY KEY, MName STRING, Budget INT);
+CREATE VIEW ProblemDept (DName) AS
+  SELECT Dept.DName FROM Emp, Dept
+  WHERE Dept.DName = Emp.DName
+  GROUPBY Dept.DName, Budget
+  HAVING SUM(Salary) > Budget;
+CREATE ASSERTION DeptConstraint CHECK
+  (NOT EXISTS (SELECT * FROM ProblemDept));
+)";
+
+class AssertionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    binder_ = std::make_unique<Binder>(&catalog_);
+    ASSERT_TRUE(binder_->Run(kScript).ok());
+
+    // Populate: 5 departments x 2 employees, budgets comfortably high.
+    auto emp_def = catalog_.GetTable("Emp");
+    auto dept_def = catalog_.GetTable("Dept");
+    ASSERT_TRUE(emp_def.ok() && dept_def.ok());
+    RelationStats emp_stats;
+    emp_stats.row_count = 10;
+    emp_stats.distinct = {{"EName", 10}, {"DName", 5}};
+    ASSERT_TRUE(catalog_.SetStats("Emp", emp_stats).ok());
+    RelationStats dept_stats;
+    dept_stats.row_count = 5;
+    dept_stats.distinct = {{"DName", 5}, {"Budget", 5}};
+    ASSERT_TRUE(catalog_.SetStats("Dept", dept_stats).ok());
+
+    ScopedCountingDisabled guard(&db_.counter());
+    Table* emp = *db_.CreateTable(*emp_def);
+    Table* dept = *db_.CreateTable(*dept_def);
+    for (int d = 0; d < 5; ++d) {
+      const std::string dname = "d" + std::to_string(d);
+      int64_t sum = 0;
+      for (int k = 0; k < 2; ++k) {
+        const int64_t salary = 1000 + 100 * d + k;
+        sum += salary;
+        ASSERT_TRUE(emp->Insert({Value::String(dname + "_e" +
+                                               std::to_string(k)),
+                                 Value::String(dname),
+                                 Value::Int64(salary)})
+                        .ok());
+      }
+      ASSERT_TRUE(dept->Insert({Value::String(dname),
+                                Value::String("m" + std::to_string(d)),
+                                Value::Int64(sum + 500)})
+                      .ok());
+    }
+
+    const BoundAssertion& assertion = binder_->assertions()[0];
+    auto memo = BuildExpandedMemo(assertion.expr, catalog_);
+    ASSERT_TRUE(memo.ok()) << memo.status().ToString();
+    memo_ = std::make_unique<Memo>(std::move(memo).value());
+    selector_ = std::make_unique<ViewSelector>(memo_.get(), &catalog_);
+    auto chosen = selector_->Exhaustive(
+        {SingleModifyTxn(">Emp", "Emp", {"Salary"}),
+         SingleModifyTxn(">Dept", "Dept", {"Budget"})});
+    ASSERT_TRUE(chosen.ok()) << chosen.status().ToString();
+    views_ = chosen->views;
+    manager_ = std::make_unique<ViewManager>(memo_.get(), &catalog_, &db_);
+    ASSERT_TRUE(manager_->Materialize(views_).ok());
+  }
+
+  /// Applies a budget change to department `d`.
+  void SetBudget(int d, int64_t budget) {
+    const std::string dname = "d" + std::to_string(d);
+    Table* dept = db_.FindTable("Dept");
+    auto rows = dept->SnapshotUncharged();
+    Row old_row;
+    for (const CountedRow& cr : rows) {
+      if (cr.row[0].str() == dname) old_row = cr.row;
+    }
+    ASSERT_FALSE(old_row.empty());
+    Row new_row = old_row;
+    new_row[2] = Value::Int64(budget);
+    ConcreteTxn txn;
+    txn.type_name = ">Dept";
+    TableUpdate update;
+    update.relation = "Dept";
+    update.modifies.emplace_back(old_row, new_row);
+    txn.updates.push_back(update);
+    const TransactionType type = SingleModifyTxn(">Dept", "Dept", {"Budget"});
+    auto plan = selector_->BestTrack(views_, type);
+    ASSERT_TRUE(plan.ok());
+    ASSERT_TRUE(manager_->ApplyTransaction(txn, type, plan->track).ok());
+  }
+
+  AssertionCheck Check() {
+    AssertionChecker checker(manager_.get());
+    auto check = checker.Check("DeptConstraint", memo_->root());
+    EXPECT_TRUE(check.ok());
+    return *check;
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<Binder> binder_;
+  Database db_;
+  std::unique_ptr<Memo> memo_;
+  std::unique_ptr<ViewSelector> selector_;
+  std::unique_ptr<ViewManager> manager_;
+  ViewSet views_;
+};
+
+TEST_F(AssertionTest, HoldsInitially) {
+  AssertionCheck check = Check();
+  EXPECT_TRUE(check.holds) << check.ToString();
+  EXPECT_NE(check.ToString().find("holds"), std::string::npos);
+}
+
+TEST_F(AssertionTest, ViolatedWhenBudgetDrops) {
+  SetBudget(2, 1);  // way below the salary sum
+  AssertionCheck check = Check();
+  EXPECT_FALSE(check.holds);
+  ASSERT_EQ(check.violations.size(), 1u);
+  EXPECT_EQ(check.violations[0][0].str(), "d2");
+  EXPECT_NE(check.ToString().find("VIOLATED"), std::string::npos);
+}
+
+TEST_F(AssertionTest, RestoredWhenBudgetRises) {
+  SetBudget(2, 1);
+  ASSERT_FALSE(Check().holds);
+  SetBudget(2, 1000000);
+  EXPECT_TRUE(Check().holds);
+  ASSERT_TRUE(manager_->CheckConsistency().ok());
+}
+
+TEST_F(AssertionTest, MultipleViolations) {
+  SetBudget(0, 1);
+  SetBudget(4, 2);
+  AssertionCheck check = Check();
+  EXPECT_FALSE(check.holds);
+  EXPECT_EQ(check.violations.size(), 2u);
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,187 @@
+#include "parser/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "workload/emp_dept.h"
+
+namespace auxview {
+namespace {
+
+constexpr char kDdl[] = R"(
+CREATE TABLE Emp (EName STRING PRIMARY KEY, DName STRING, Salary INT,
+                  INDEX (DName));
+CREATE TABLE Dept (DName STRING PRIMARY KEY, MName STRING, Budget INT);
+)";
+
+constexpr char kProblemDept[] = R"(
+CREATE VIEW ProblemDept (DName) AS
+SELECT Dept.DName FROM Emp, Dept
+WHERE Dept.DName = Emp.DName
+GROUPBY Dept.DName, Budget
+HAVING SUM(Salary) > Budget;
+)";
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    binder_ = std::make_unique<Binder>(&catalog_);
+    ASSERT_TRUE(binder_->Run(kDdl).ok());
+  }
+  Catalog catalog_;
+  std::unique_ptr<Binder> binder_;
+};
+
+TEST_F(BinderTest, CreateTableRegistersInCatalog) {
+  const TableDef* emp = catalog_.FindTable("Emp");
+  ASSERT_NE(emp, nullptr);
+  EXPECT_EQ(emp->primary_key, std::vector<std::string>{"EName"});
+  ASSERT_EQ(emp->indexes.size(), 1u);
+  EXPECT_EQ(emp->indexes[0].attrs, std::vector<std::string>{"DName"});
+  EXPECT_EQ(emp->schema.ToString(),
+            "EName:STRING, DName:STRING, Salary:INT64");
+}
+
+TEST_F(BinderTest, ProblemDeptBindsToPaperTree) {
+  Status st = binder_->Run(kProblemDept);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(binder_->views().size(), 1u);
+  const Expr::Ptr& view = binder_->views()[0].expr;
+  // Project(DName) over Select(HAVING) over Aggregate over Join.
+  ASSERT_EQ(view->kind(), OpKind::kProject);
+  EXPECT_EQ(view->output_schema().ToString(), "DName:STRING");
+  const Expr::Ptr& select = view->child(0);
+  ASSERT_EQ(select->kind(), OpKind::kSelect);
+  const Expr::Ptr& agg = select->child(0);
+  ASSERT_EQ(agg->kind(), OpKind::kAggregate);
+  EXPECT_EQ(agg->group_by(), (std::vector<std::string>{"DName", "Budget"}));
+  const Expr::Ptr& join = agg->child(0);
+  ASSERT_EQ(join->kind(), OpKind::kJoin);
+  EXPECT_EQ(join->join_attrs(), std::vector<std::string>{"DName"});
+}
+
+TEST_F(BinderTest, AssertionBindsInnerQuery) {
+  ASSERT_TRUE(binder_->Run(kProblemDept).ok());
+  Status st = binder_->Run(
+      "CREATE ASSERTION DeptConstraint CHECK "
+      "(NOT EXISTS (SELECT * FROM ProblemDept));");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(binder_->assertions().size(), 1u);
+  EXPECT_EQ(binder_->assertions()[0].name, "DeptConstraint");
+  // The view definition is inlined.
+  EXPECT_EQ(binder_->assertions()[0].expr->output_schema().ToString(),
+            "DName:STRING");
+}
+
+TEST_F(BinderTest, ViewRenameListNamesAggregates) {
+  Status st = binder_->Run(
+      "CREATE VIEW SumOfSals (DName, SalSum) AS "
+      "SELECT DName, SUM(Salary) FROM Emp GROUPBY DName;");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const Expr::Ptr& view = *binder_->FindView("SumOfSals");
+  // No projection needed: the aggregate output already matches.
+  ASSERT_EQ(view->kind(), OpKind::kAggregate);
+  EXPECT_EQ(view->output_schema().ToString(), "DName:STRING, SalSum:INT64");
+}
+
+TEST_F(BinderTest, ResidualPredicatesBecomeSelect) {
+  auto q = ParseSelect(
+      "SELECT EName FROM Emp, Dept "
+      "WHERE Emp.DName = Dept.DName AND Salary > 50000");
+  ASSERT_TRUE(q.ok());
+  auto bound = binder_->BindSelect(*q);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  // Project over Select over Join.
+  ASSERT_EQ((*bound)->kind(), OpKind::kProject);
+  EXPECT_EQ((*bound)->child(0)->kind(), OpKind::kSelect);
+  EXPECT_EQ((*bound)->child(0)->child(0)->kind(), OpKind::kJoin);
+}
+
+TEST_F(BinderTest, SelectStarSkipsProjection) {
+  auto q = ParseSelect("SELECT * FROM Dept");
+  ASSERT_TRUE(q.ok());
+  auto bound = binder_->BindSelect(*q);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ((*bound)->kind(), OpKind::kScan);
+}
+
+TEST_F(BinderTest, DistinctAddsDupElim) {
+  auto q = ParseSelect("SELECT DISTINCT DName FROM Emp");
+  ASSERT_TRUE(q.ok());
+  auto bound = binder_->BindSelect(*q);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ((*bound)->kind(), OpKind::kDupElim);
+  EXPECT_EQ((*bound)->child(0)->kind(), OpKind::kProject);
+}
+
+TEST_F(BinderTest, RejectsCrossProducts) {
+  auto q = ParseSelect("SELECT EName FROM Emp, Dept");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(binder_->BindSelect(*q).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST_F(BinderTest, RejectsUnknownColumnsAndTables) {
+  auto q1 = ParseSelect("SELECT Nope FROM Emp");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_FALSE(binder_->BindSelect(*q1).ok());
+  auto q2 = ParseSelect("SELECT x FROM NoSuchTable");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(binder_->BindSelect(*q2).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, QualifiedColumnValidation) {
+  auto q = ParseSelect("SELECT Dept.Salary FROM Emp, Dept "
+                       "WHERE Emp.DName = Dept.DName");
+  ASSERT_TRUE(q.ok());
+  // Salary belongs to Emp, not Dept.
+  EXPECT_FALSE(binder_->BindSelect(*q).ok());
+}
+
+TEST_F(BinderTest, ViewUsableInJoins) {
+  // A bound view can appear in FROM joined against a base relation; its
+  // definition is inlined.
+  ASSERT_TRUE(binder_->Run(
+      "CREATE VIEW SumOfSals (DName, SalSum) AS "
+      "SELECT DName, SUM(Salary) FROM Emp GROUPBY DName;").ok());
+  auto q = ParseSelect(
+      "SELECT Dept.DName, SalSum, Budget FROM SumOfSals, Dept "
+      "WHERE SumOfSals.DName = Dept.DName");
+  ASSERT_TRUE(q.ok());
+  auto bound = binder_->BindSelect(*q);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ((*bound)->BaseRelations(),
+            (std::set<std::string>{"Emp", "Dept"}));
+  EXPECT_EQ((*bound)->output_schema().ToString(),
+            "DName:STRING, SalSum:INT64, Budget:INT64");
+}
+
+TEST_F(BinderTest, ViewOverView) {
+  ASSERT_TRUE(binder_->Run(
+      "CREATE VIEW SumOfSals (DName, SalSum) AS "
+      "SELECT DName, SUM(Salary) FROM Emp GROUPBY DName;").ok());
+  Status st = binder_->Run(
+      "CREATE VIEW BigDepts (DName) AS "
+      "SELECT DName FROM SumOfSals WHERE SalSum > 100000;");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const Expr::Ptr& view = *binder_->FindView("BigDepts");
+  EXPECT_EQ(view->output_schema().ToString(), "DName:STRING");
+  EXPECT_EQ(view->BaseRelations(), std::set<std::string>{"Emp"});
+}
+
+TEST_F(BinderTest, ThreeWayJoinOrder) {
+  ASSERT_TRUE(binder_->Run("CREATE TABLE ADepts (DName STRING PRIMARY KEY);")
+                  .ok());
+  auto q = ParseSelect(
+      "SELECT Dept.DName, Budget, SUM(Salary) FROM Emp, Dept, ADepts "
+      "WHERE Dept.DName = Emp.DName AND Emp.DName = ADepts.DName "
+      "GROUPBY Dept.DName, Budget");
+  ASSERT_TRUE(q.ok());
+  auto bound = binder_->BindSelect(*q);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ((*bound)->BaseRelations(),
+            (std::set<std::string>{"Emp", "Dept", "ADepts"}));
+}
+
+}  // namespace
+}  // namespace auxview

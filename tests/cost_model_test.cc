@@ -1,0 +1,81 @@
+// Cost-model pluggability: the optimizer runs under any monotonic model
+// (Section 3.4, "our technique and results are applicable for any monotonic
+// cost model"); changing unit weights changes the numbers but not the
+// soundness, and extreme weights shift the chosen view set sensibly.
+
+#include <gtest/gtest.h>
+
+#include "optimizer/select_views.h"
+#include "workload/emp_dept.h"
+
+namespace auxview {
+namespace {
+
+TEST(CostModelTest, CustomWeightsScaleTotals) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto memo = BuildExpandedMemo(*tree, workload.catalog());
+  ASSERT_TRUE(memo.ok());
+
+  // Doubling every unit cost exactly doubles every plan's cost.
+  IoCostParams doubled;
+  doubled.index_page_read = 2;
+  doubled.index_page_write = 2;
+  doubled.tuple_page_read = 2;
+  doubled.tuple_page_write = 2;
+  ViewSelector base(&*memo, &workload.catalog());
+  ViewSelector scaled(&*memo, &workload.catalog(), IoCostModel(doubled));
+  const std::vector<TransactionType> txns = {workload.TxnModEmp(),
+                                             workload.TxnModDept()};
+  auto b = base.Exhaustive(txns);
+  auto s = scaled.Exhaustive(txns);
+  ASSERT_TRUE(b.ok() && s.ok());
+  EXPECT_DOUBLE_EQ(s->weighted_cost, 2 * b->weighted_cost);
+  EXPECT_EQ(s->views, b->views);
+}
+
+TEST(CostModelTest, FreeWritesFavorMoreMaterialization) {
+  // When applying updates is free (e.g. a write-back cache), materializing
+  // additional views can only help: the optimum's cost under free writes is
+  // at most the paper optimum's query cost.
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto memo = BuildExpandedMemo(*tree, workload.catalog());
+  ASSERT_TRUE(memo.ok());
+  IoCostParams free_writes;
+  free_writes.tuple_page_write = 0;
+  free_writes.index_page_write = 0;
+  ViewSelector selector(&*memo, &workload.catalog(),
+                        IoCostModel(free_writes));
+  const std::vector<TransactionType> txns = {workload.TxnModEmp(),
+                                             workload.TxnModDept()};
+  auto result = selector.Exhaustive(txns);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->weighted_cost, 3.5);
+  EXPECT_GE(result->views.size(), 2u);
+}
+
+TEST(CostModelTest, ExpensiveIndexPagesStillMonotonic) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto memo = BuildExpandedMemo(*tree, workload.catalog());
+  ASSERT_TRUE(memo.ok());
+  IoCostParams pricey;
+  pricey.index_page_read = 10;
+  ViewSelector selector(&*memo, &workload.catalog(), IoCostModel(pricey));
+  OptimizeOptions options;
+  options.keep_all = true;
+  auto result = selector.Exhaustive(
+      {workload.TxnModEmp(), workload.TxnModDept()}, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [views, cost] : result->all_costs) {
+    EXPECT_GE(cost + 1e-9, result->weighted_cost) << ViewSetToString(views);
+    EXPECT_GE(cost, 0);
+  }
+}
+
+}  // namespace
+}  // namespace auxview

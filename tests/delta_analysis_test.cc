@@ -1,0 +1,244 @@
+#include "delta/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/builder.h"
+#include "memo/expand.h"
+#include "workload/emp_dept.h"
+
+namespace auxview {
+namespace {
+
+class DeltaAnalysisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload_ = std::make_unique<EmpDeptWorkload>(EmpDeptConfig{});
+    auto tree = workload_->ProblemDeptTree();
+    ASSERT_TRUE(tree.ok());
+    auto memo = BuildExpandedMemo(*tree, workload_->catalog());
+    ASSERT_TRUE(memo.ok());
+    memo_ = std::make_unique<Memo>(std::move(memo).value());
+    stats_ = std::make_unique<StatsAnalysis>(memo_.get(),
+                                             &workload_->catalog());
+    analysis_ = std::make_unique<DeltaAnalysis>(
+        memo_.get(), &workload_->catalog(), stats_.get());
+    for (GroupId g : memo_->LiveGroups()) {
+      const MemoGroup& grp = memo_->group(g);
+      if (grp.is_leaf && grp.table == "Emp") emp_ = g;
+      if (grp.is_leaf && grp.table == "Dept") dept_ = g;
+      for (int eid : grp.exprs) {
+        const MemoExpr& e = memo_->expr(eid);
+        if (e.dead) continue;
+        if (e.kind() == OpKind::kJoin) {
+          bool leaf_join = true;
+          for (GroupId in : e.inputs) {
+            if (!memo_->group(memo_->Find(in)).is_leaf) leaf_join = false;
+          }
+          if (leaf_join && join_op_ < 0) {
+            join_op_ = eid;
+            n4_ = g;
+          }
+        }
+        if (e.kind() == OpKind::kAggregate && e.op->group_by().size() == 2 &&
+            memo_->Find(e.inputs[0]) != g) {
+          agg2_op_ = eid;
+        }
+        if (e.kind() == OpKind::kAggregate &&
+            e.op->group_by() == std::vector<std::string>{"DName"}) {
+          agg1_op_ = eid;
+          n3_ = g;
+        }
+      }
+    }
+    ASSERT_GE(join_op_, 0);
+    ASSERT_GE(agg1_op_, 0);
+    ASSERT_GE(agg2_op_, 0);
+  }
+
+  DeltaInfo EmpDelta() {
+    return analysis_->LeafDelta(*workload_->catalog().FindTable("Emp"),
+                                workload_->TxnModEmp().updates[0]);
+  }
+  DeltaInfo DeptDelta() {
+    return analysis_->LeafDelta(*workload_->catalog().FindTable("Dept"),
+                                workload_->TxnModDept().updates[0]);
+  }
+
+  std::unique_ptr<EmpDeptWorkload> workload_;
+  std::unique_ptr<Memo> memo_;
+  std::unique_ptr<StatsAnalysis> stats_;
+  std::unique_ptr<DeltaAnalysis> analysis_;
+  GroupId emp_ = -1, dept_ = -1, n3_ = -1, n4_ = -1;
+  int join_op_ = -1, agg1_op_ = -1, agg2_op_ = -1;
+};
+
+TEST_F(DeltaAnalysisTest, AffectedGroups) {
+  const auto affected_emp = analysis_->AffectedGroups(workload_->TxnModEmp());
+  EXPECT_TRUE(affected_emp.count(emp_));
+  EXPECT_FALSE(affected_emp.count(dept_));
+  EXPECT_TRUE(affected_emp.count(n3_));
+  EXPECT_TRUE(affected_emp.count(n4_));
+  EXPECT_TRUE(affected_emp.count(memo_->root()));
+
+  const auto affected_dept =
+      analysis_->AffectedGroups(workload_->TxnModDept());
+  EXPECT_FALSE(affected_dept.count(n3_));  // SumOfSals ignores Dept
+  EXPECT_TRUE(affected_dept.count(n4_));
+}
+
+TEST_F(DeltaAnalysisTest, LeafDeltaCompleteForPrimaryKey) {
+  DeltaInfo d = DeptDelta();
+  EXPECT_DOUBLE_EQ(d.size, 1);
+  EXPECT_EQ(d.kind, UpdateKind::kModify);
+  EXPECT_TRUE(d.CompleteWithin({"DName"}));
+  EXPECT_EQ(d.modified_attrs, std::set<std::string>{"Budget"});
+}
+
+TEST_F(DeltaAnalysisTest, JoinFanoutAndCompleteness) {
+  // Delta Dept joined with Emp: 10 rows, complete on DName.
+  const MemoExpr& join = memo_->expr(join_op_);
+  std::vector<DeltaInfo> children(2);
+  const bool emp_is_left = memo_->Find(join.inputs[0]) == emp_;
+  children[emp_is_left ? 1 : 0] = DeptDelta();
+  DeltaInfo out = analysis_->Propagate(join, children);
+  EXPECT_DOUBLE_EQ(out.size, 10);
+  EXPECT_TRUE(out.CompleteWithin({"DName"}));
+  EXPECT_TRUE(out.CompleteWithin({"DName", "Budget"}));
+
+  // Delta Emp joined with Dept: 1 row, complete only on EName.
+  std::vector<DeltaInfo> children2(2);
+  children2[emp_is_left ? 0 : 1] = EmpDelta();
+  DeltaInfo out2 = analysis_->Propagate(join, children2);
+  EXPECT_DOUBLE_EQ(out2.size, 1);
+  EXPECT_FALSE(out2.CompleteWithin({"DName"}));
+  EXPECT_TRUE(out2.CompleteWithin({"EName"}));
+}
+
+TEST_F(DeltaAnalysisTest, AggregateDeltaCountsGroups) {
+  const MemoExpr& join = memo_->expr(join_op_);
+  const MemoExpr& agg = memo_->expr(agg2_op_);
+  std::vector<DeltaInfo> children(2);
+  const bool emp_is_left = memo_->Find(join.inputs[0]) == emp_;
+  children[emp_is_left ? 1 : 0] = DeptDelta();
+  DeltaInfo join_delta = analysis_->Propagate(join, children);
+  DeltaInfo agg_delta = analysis_->Propagate(agg, {join_delta});
+  EXPECT_DOUBLE_EQ(agg_delta.size, 1);  // one affected department group
+  EXPECT_EQ(agg_delta.kind, UpdateKind::kModify);
+}
+
+TEST_F(DeltaAnalysisTest, Q3dElision) {
+  // >Dept through the join: the delta is group-complete, no query needed
+  // whether or not N2 is materialized.
+  const MemoExpr& join = memo_->expr(join_op_);
+  const MemoExpr& agg = memo_->expr(agg2_op_);
+  std::vector<DeltaInfo> children(2);
+  const bool emp_is_left = memo_->Find(join.inputs[0]) == emp_;
+  children[emp_is_left ? 1 : 0] = DeptDelta();
+  DeltaInfo join_delta = analysis_->Propagate(join, children);
+  EXPECT_FALSE(analysis_->AggregateNeedsQuery(agg, join_delta, false));
+  EXPECT_FALSE(analysis_->AggregateNeedsQuery(agg, join_delta, true));
+}
+
+TEST_F(DeltaAnalysisTest, Q4eElisionOnlyWhenMaterialized) {
+  // >Emp at Aggregate(Emp BY DName): query unless the view is materialized
+  // (SUM is self-maintainable under a Salary modify).
+  const MemoExpr& agg = memo_->expr(agg1_op_);
+  DeltaInfo emp_delta = EmpDelta();
+  EXPECT_TRUE(analysis_->AggregateNeedsQuery(agg, emp_delta, false));
+  EXPECT_FALSE(analysis_->AggregateNeedsQuery(agg, emp_delta, true));
+}
+
+TEST_F(DeltaAnalysisTest, GroupByAttributeModifyForcesQuery) {
+  // Moving an employee between departments empties groups potentially:
+  // self-maintenance must not apply (no COUNT column in the view).
+  const MemoExpr& agg = memo_->expr(agg1_op_);
+  DeltaInfo move = analysis_->LeafDelta(
+      *workload_->catalog().FindTable("Emp"),
+      SingleModifyTxn("move", "Emp", {"DName"}).updates[0]);
+  EXPECT_TRUE(analysis_->AggregateNeedsQuery(agg, move, true));
+}
+
+TEST_F(DeltaAnalysisTest, DeleteWithoutCountForcesQuery) {
+  const MemoExpr& agg = memo_->expr(agg1_op_);
+  DeltaInfo del;
+  del.size = 1;
+  del.kind = UpdateKind::kDelete;
+  del.AddComplete({"EName"});
+  EXPECT_TRUE(analysis_->AggregateNeedsQuery(agg, del, true));
+}
+
+TEST_F(DeltaAnalysisTest, JoinAttrModifyBreaksCountPreservation) {
+  // Regression (found by fuzzing): modifying a join attribute re-points the
+  // join, so a group downstream can lose all its rows; SUM-only
+  // self-maintenance must not be used.
+  const MemoExpr& join = memo_->expr(join_op_);
+  const bool emp_is_left = memo_->Find(join.inputs[0]) == emp_;
+  DeltaInfo fk_move = analysis_->LeafDelta(
+      *workload_->catalog().FindTable("Emp"),
+      SingleModifyTxn("rehome", "Emp", {"DName"}).updates[0]);
+  EXPECT_TRUE(fk_move.count_preserving);
+  std::vector<DeltaInfo> children(2);
+  children[emp_is_left ? 0 : 1] = fk_move;
+  DeltaInfo out = analysis_->Propagate(join, children);
+  EXPECT_FALSE(out.count_preserving);
+
+  // A value-only modify stays count-preserving through the join.
+  std::vector<DeltaInfo> children2(2);
+  children2[emp_is_left ? 0 : 1] = EmpDelta();
+  DeltaInfo out2 = analysis_->Propagate(join, children2);
+  EXPECT_TRUE(out2.count_preserving);
+}
+
+TEST_F(DeltaAnalysisTest, NonCountPreservingModifyForcesAggregateQuery) {
+  const MemoExpr& agg = memo_->expr(agg2_op_);
+  DeltaInfo delta;
+  delta.size = 1;
+  delta.kind = UpdateKind::kModify;
+  delta.count_preserving = false;
+  EXPECT_TRUE(analysis_->AggregateNeedsQuery(agg, delta, true));
+  delta.count_preserving = true;
+  EXPECT_FALSE(analysis_->AggregateNeedsQuery(agg, delta, true));
+}
+
+TEST_F(DeltaAnalysisTest, SelectOnModifiedColumnBreaksPreservation) {
+  EmpDeptWorkload w{EmpDeptConfig{}};
+  ExprBuilder b(&w.catalog());
+  auto sel = b.Select(b.Scan("Emp"),
+                      Scalar::Gt(Col("Salary"), Lit(int64_t{50000})));
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(sel).ok());
+  StatsAnalysis stats(&memo, &w.catalog());
+  DeltaAnalysis analysis(&memo, &w.catalog(), &stats);
+  const MemoExpr& e = memo.expr(memo.LiveExprs()[0]);
+  DeltaInfo in;
+  in.size = 1;
+  in.kind = UpdateKind::kModify;
+  in.modified_attrs = {"Salary"};  // the raise can flip the predicate
+  DeltaInfo out = analysis.Propagate(e, {in});
+  EXPECT_FALSE(out.count_preserving);
+  in.modified_attrs = {"DName"};  // irrelevant to the predicate
+  DeltaInfo out2 = analysis.Propagate(e, {in});
+  EXPECT_TRUE(out2.count_preserving);
+}
+
+TEST_F(DeltaAnalysisTest, SelectKeepsDeltaAlive) {
+  // Selection with a selective predicate must not zero out the delta (the
+  // node is still affected).
+  EmpDeptWorkload w{EmpDeptConfig{}};
+  ExprBuilder b(&w.catalog());
+  auto sel = b.Select(b.Scan("Emp"),
+                      Scalar::Eq(Col("DName"), Lit("d0001")));
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(sel).ok());
+  StatsAnalysis stats(&memo, &w.catalog());
+  DeltaAnalysis analysis(&memo, &w.catalog(), &stats);
+  DeltaInfo in;
+  in.size = 1;
+  in.kind = UpdateKind::kModify;
+  const MemoExpr& e = memo.expr(memo.LiveExprs()[0]);
+  DeltaInfo out = analysis.Propagate(e, {in});
+  EXPECT_GT(out.size, 0);
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,50 @@
+#include "memo/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/builder.h"
+#include "memo/expand.h"
+#include "workload/emp_dept.h"
+
+namespace auxview {
+namespace {
+
+TEST(DotTest, RendersGroupsOpsAndMarking) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto memo = BuildExpandedMemo(*tree, workload.catalog());
+  ASSERT_TRUE(memo.ok());
+  GroupId marked = -1;
+  for (GroupId g : memo->NonLeafGroups()) {
+    if (g != memo->root()) marked = g;
+  }
+  const std::string dot = MemoToDot(*memo, {marked});
+  EXPECT_EQ(dot.rfind("digraph memo {", 0), 0u);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth=2"), std::string::npos);  // root highlighted
+  EXPECT_NE(dot.find("Emp"), std::string::npos);
+  EXPECT_NE(dot.find("Join (DName)"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+TEST(DotTest, EscapesQuotes) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  ExprBuilder b(&workload.catalog());
+  auto tree = b.Select(b.Scan("Emp"), Scalar::Eq(Col("DName"), Lit("d'x")));
+  ASSERT_TRUE(b.ok());
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(tree).ok());
+  const std::string dot = MemoToDot(memo);
+  // The single quote inside the literal is fine; no raw double quotes leak
+  // into labels unescaped.
+  EXPECT_EQ(dot.find("label=\"Select ((DName = 'd'x'))\""),
+            dot.find("label=\"Select"));
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,57 @@
+#include "optimizer/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/select_views.h"
+#include "workload/emp_dept.h"
+
+namespace auxview {
+namespace {
+
+TEST(ExplainTest, PlanMentionsViewsTracksAndQueries) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto result = SelectViews(*tree, workload.catalog(),
+                            {workload.TxnModEmp(), workload.TxnModDept()});
+  ASSERT_TRUE(result.ok());
+  const std::string text = ExplainPlan(result->memo, result->result);
+  EXPECT_NE(text.find("weighted cost 3.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("(root view)"), std::string::npos);
+  EXPECT_NE(text.find("(auxiliary)"), std::string::npos);
+  EXPECT_NE(text.find("Aggregate (SUM(Salary) AS SumSal BY DName)"),
+            std::string::npos);
+  EXPECT_NE(text.find("transaction >Emp"), std::string::npos);
+  EXPECT_NE(text.find("transaction >Dept"), std::string::npos);
+  EXPECT_NE(text.find("update track:"), std::string::npos);
+  EXPECT_NE(text.find("queries posed:"), std::string::npos);
+  EXPECT_NE(text.find("page I/Os"), std::string::npos);
+}
+
+TEST(ExplainTest, EmptyTrackExplained) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto svr = SelectViews(*tree, workload.catalog(),
+                         {SingleModifyTxn(">Other", "Other", {"x"})});
+  ASSERT_TRUE(svr.ok());
+  const std::string text = ExplainPlan(svr->memo, svr->result);
+  EXPECT_NE(text.find("nothing to do"), std::string::npos) << text;
+}
+
+TEST(ExplainTest, TrackShowsDeltaAnnotations) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto result = SelectViews(*tree, workload.catalog(),
+                            {workload.TxnModDept()});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->result.plans.size(), 1u);
+  const std::string text =
+      ExplainTrack(result->memo, result->result.plans[0].track,
+                   result->result.plans[0].cost);
+  EXPECT_NE(text.find("delta{"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,140 @@
+#include "algebra/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/builder.h"
+#include "workload/emp_dept.h"
+
+namespace auxview {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  EmpDeptWorkload workload_{EmpDeptConfig{}};
+  ExprBuilder b_{&workload_.catalog()};
+};
+
+TEST_F(ExprTest, ScanSchema) {
+  Expr::Ptr scan = b_.Scan("Emp");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->kind(), OpKind::kScan);
+  EXPECT_EQ(scan->output_schema().ToString(),
+            "EName:STRING, DName:STRING, Salary:INT64");
+  EXPECT_EQ(b_.Scan("Nope"), nullptr);
+  EXPECT_FALSE(b_.ok());
+}
+
+TEST_F(ExprTest, JoinMergesSharedColumns) {
+  Expr::Ptr join = b_.Join(b_.Scan("Emp"), b_.Scan("Dept"), {"DName"});
+  ASSERT_NE(join, nullptr);
+  // Natural-join style: DName appears once.
+  EXPECT_EQ(join->output_schema().ToString(),
+            "EName:STRING, DName:STRING, Salary:INT64, MName:STRING, "
+            "Budget:INT64");
+}
+
+TEST_F(ExprTest, JoinRejectsUnmergedSharedColumns) {
+  // Joining Emp with Emp on Salary would leave EName/DName duplicated.
+  auto bad = Expr::Join(b_.Scan("Emp"), b_.Scan("Emp"), {"Salary"});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(ExprTest, JoinRequiresAttrInBothInputs) {
+  auto bad = Expr::Join(b_.Scan("Emp"), b_.Scan("Dept"), {"Salary"});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(ExprTest, AggregateSchema) {
+  Expr::Ptr agg = b_.Aggregate(b_.Scan("Emp"), {"DName"},
+                               {{AggFunc::kSum, Col("Salary"), "SalSum"},
+                                {AggFunc::kCount, nullptr, "N"},
+                                {AggFunc::kAvg, Col("Salary"), "AvgSal"}});
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->output_schema().ToString(),
+            "DName:STRING, SalSum:INT64, N:INT64, AvgSal:DOUBLE");
+}
+
+TEST_F(ExprTest, SelectValidatesColumns) {
+  auto bad = Expr::Select(b_.Scan("Emp"), Col("Budget"));
+  EXPECT_FALSE(bad.ok());
+  auto good = Expr::Select(b_.Scan("Emp"),
+                           Scalar::Gt(Col("Salary"), Lit(int64_t{0})));
+  EXPECT_TRUE(good.ok());
+}
+
+TEST_F(ExprTest, ProjectComputesTypes) {
+  auto proj = Expr::Project(
+      b_.Scan("Emp"),
+      {{Scalar::Mul(Col("Salary"), Lit(int64_t{2})), "Double"},
+       {Col("DName"), "DName"}});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ((*proj)->output_schema().ToString(),
+            "Double:INT64, DName:STRING");
+}
+
+TEST_F(ExprTest, WithChildrenRebuilds) {
+  Expr::Ptr join = b_.Join(b_.Scan("Emp"), b_.Scan("Dept"), {"DName"});
+  auto swapped = join->WithChildren({join->child(1), join->child(0)});
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ((*swapped)->kind(), OpKind::kJoin);
+  // Column order changes but the column set is preserved.
+  EXPECT_EQ((*swapped)->output_schema().num_columns(), 5);
+  EXPECT_FALSE(join->WithChildren({join->child(0)}).ok());
+}
+
+TEST_F(ExprTest, SignaturesAndPrinting) {
+  EmpDeptWorkload w2{EmpDeptConfig{}};
+  auto t1 = workload_.ProblemDeptTree();
+  auto t2 = w2.ProblemDeptTree();
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_EQ((*t1)->TreeSignature(), (*t2)->TreeSignature());
+  auto left = workload_.ProblemDeptLeftTree();
+  ASSERT_TRUE(left.ok());
+  EXPECT_NE((*t1)->TreeSignature(), (*left)->TreeSignature());
+  // Figure 1 style rendering.
+  EXPECT_EQ((*t1)->TreeToString(),
+            "Select ((SumSal > Budget))\n"
+            "  Aggregate (SUM(Salary) AS SumSal BY DName, Budget)\n"
+            "    Join (DName)\n"
+            "      Emp\n"
+            "      Dept\n");
+}
+
+TEST_F(ExprTest, BaseRelations) {
+  auto tree = workload_.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  std::set<std::string> expected = {"Emp", "Dept"};
+  EXPECT_EQ((*tree)->BaseRelations(), expected);
+}
+
+TEST_F(ExprTest, DupElimKeepsSchema) {
+  auto de = Expr::DupElim(b_.Scan("Dept"));
+  ASSERT_TRUE(de.ok());
+  EXPECT_EQ((*de)->output_schema(), b_.Scan("Dept")->output_schema());
+}
+
+TEST_F(ExprTest, JoinAttrsCanonicallySorted) {
+  TableDef a;
+  a.name = "A";
+  a.schema = Schema::Create({{"x", ValueType::kInt64},
+                             {"y", ValueType::kInt64},
+                             {"u", ValueType::kInt64}})
+                 .value();
+  TableDef b;
+  b.name = "B";
+  b.schema = Schema::Create({{"x", ValueType::kInt64},
+                             {"y", ValueType::kInt64},
+                             {"w", ValueType::kInt64}})
+                 .value();
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(a).ok());
+  ASSERT_TRUE(catalog.AddTable(b).ok());
+  ExprBuilder eb(&catalog);
+  Expr::Ptr j1 = eb.Join(eb.Scan("A"), eb.Scan("B"), {"y", "x"});
+  Expr::Ptr j2 = eb.Join(eb.Scan("A"), eb.Scan("B"), {"x", "y"});
+  ASSERT_TRUE(eb.ok());
+  EXPECT_EQ(j1->LocalSignature(), j2->LocalSignature());
+}
+
+}  // namespace
+}  // namespace auxview

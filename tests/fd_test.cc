@@ -1,0 +1,62 @@
+#include "catalog/fd.h"
+
+#include <gtest/gtest.h>
+
+namespace auxview {
+namespace {
+
+TEST(FdSetTest, ClosureTransitive) {
+  FdSet fds;
+  fds.Add({"a"}, {"b"});
+  fds.Add({"b"}, {"c"});
+  auto closure = fds.Closure({"a"});
+  EXPECT_TRUE(closure.count("a"));
+  EXPECT_TRUE(closure.count("b"));
+  EXPECT_TRUE(closure.count("c"));
+  EXPECT_EQ(fds.Closure({"c"}).size(), 1u);
+}
+
+TEST(FdSetTest, MultiAttributeLhs) {
+  FdSet fds;
+  fds.Add({"a", "b"}, {"c"});
+  EXPECT_FALSE(fds.Determines({"a"}, {"c"}));
+  EXPECT_TRUE(fds.Determines({"a", "b"}, {"c"}));
+}
+
+TEST(FdSetTest, IsKey) {
+  FdSet fds;
+  fds.Add({"k"}, {"x", "y"});
+  EXPECT_TRUE(fds.IsKey({"k"}, {"k", "x", "y"}));
+  EXPECT_FALSE(fds.IsKey({"x"}, {"k", "x", "y"}));
+  // A superset of a key is a key.
+  EXPECT_TRUE(fds.IsKey({"k", "x"}, {"k", "x", "y"}));
+}
+
+TEST(FdSetTest, RestrictDropsForeignAttributes) {
+  FdSet fds;
+  fds.Add({"a"}, {"b", "c"});
+  fds.Add({"c"}, {"d"});
+  FdSet restricted = fds.Restrict({"a", "b"});
+  EXPECT_TRUE(restricted.Determines({"a"}, {"b"}));
+  EXPECT_FALSE(restricted.Determines({"a"}, {"c"}));
+  // The c -> d dependency is gone entirely.
+  EXPECT_EQ(restricted.fds().size(), 1u);
+}
+
+TEST(FdSetTest, AddAllMerges) {
+  FdSet a;
+  a.Add({"x"}, {"y"});
+  FdSet b;
+  b.Add({"y"}, {"z"});
+  a.AddAll(b);
+  EXPECT_TRUE(a.Determines({"x"}, {"z"}));
+}
+
+TEST(FdSetTest, EmptySetDeterminesOnlyItself) {
+  FdSet fds;
+  EXPECT_TRUE(fds.Determines({"a"}, {"a"}));
+  EXPECT_FALSE(fds.Determines({"a"}, {"b"}));
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,219 @@
+#include "memo/memo.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/builder.h"
+#include "exec/executor.h"
+#include "memo/expand.h"
+#include "workload/chain.h"
+#include "workload/emp_dept.h"
+
+namespace auxview {
+namespace {
+
+class MemoTest : public ::testing::Test {
+ protected:
+  EmpDeptWorkload workload_{EmpDeptConfig{}};
+};
+
+TEST_F(MemoTest, AddTreeCreatesGroupsBottomUp) {
+  auto tree = workload_.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  Memo memo;
+  auto root = memo.AddTree(*tree);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(memo.root(), *root);
+  // Emp, Dept, Join, Aggregate, Select = 5 groups, 3 non-leaf ops.
+  EXPECT_EQ(memo.LiveGroups().size(), 5u);
+  EXPECT_EQ(memo.LiveExprs().size(), 3u);
+  EXPECT_EQ(memo.NonLeafGroups().size(), 3u);
+}
+
+TEST_F(MemoTest, AddingSameTreeTwiceDeduplicates) {
+  auto tree = workload_.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  Memo memo;
+  auto r1 = memo.AddTree(*tree);
+  auto r2 = memo.AddTree(*tree);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(*r1, *r2);
+  EXPECT_EQ(memo.LiveExprs().size(), 3u);
+}
+
+TEST_F(MemoTest, SharedLeavesAreShared) {
+  ExprBuilder b(&workload_.catalog());
+  auto join = b.Join(b.Scan("Emp"), b.Scan("Dept"), {"DName"});
+  auto agg = b.Aggregate(b.Scan("Emp"), {"DName"},
+                         {{AggFunc::kSum, Col("Salary"), "SumSal"}});
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(join).ok());
+  ASSERT_TRUE(memo.AddTree(agg).ok());
+  int emp_leaves = 0;
+  for (GroupId g : memo.LiveGroups()) {
+    if (memo.group(g).is_leaf && memo.group(g).table == "Emp") ++emp_leaves;
+  }
+  EXPECT_EQ(emp_leaves, 1);
+}
+
+TEST_F(MemoTest, ExtractOriginalTreeRoundTrips) {
+  auto tree = workload_.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(*tree).ok());
+  auto extracted = memo.ExtractOriginalTree(memo.root());
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_EQ((*extracted)->TreeSignature(), (*tree)->TreeSignature());
+}
+
+TEST_F(MemoTest, ExtractWithChoiceSelectsAlternative) {
+  auto tree = workload_.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto memo = BuildExpandedMemo(*tree, workload_.catalog());
+  ASSERT_TRUE(memo.ok());
+  // Find the Join alternative of the Select's input group (Figure 1 left).
+  GroupId n2 = -1;
+  int join_op = -1;
+  for (GroupId g : memo->NonLeafGroups()) {
+    for (int eid : memo->group(g).exprs) {
+      const MemoExpr& e = memo->expr(eid);
+      if (e.dead) continue;
+      if (e.kind() == OpKind::kAggregate && e.op->group_by().size() == 2) {
+        n2 = g;
+      }
+    }
+  }
+  ASSERT_GE(n2, 0);
+  for (int eid : memo->group(n2).exprs) {
+    if (!memo->expr(eid).dead && memo->expr(eid).kind() == OpKind::kJoin) {
+      join_op = eid;
+    }
+  }
+  ASSERT_GE(join_op, 0) << memo->ToString();
+  auto alt = memo->ExtractTree(memo->root(), {{n2, join_op}});
+  ASSERT_TRUE(alt.ok()) << alt.status().ToString();
+  // The alternative plan must compute the same relation.
+  Database db;
+  ASSERT_TRUE(workload_.Populate(&db).ok());
+  Executor executor(&db);
+  auto original = executor.Execute(**memo->ExtractOriginalTree(memo->root()));
+  auto alternative = executor.Execute(**alt);
+  ASSERT_TRUE(original.ok() && alternative.ok());
+  EXPECT_TRUE(original->BagEquals(*alternative));
+}
+
+TEST_F(MemoTest, AddExprValidatesSchemaCoverage) {
+  ExprBuilder b(&workload_.catalog());
+  auto agg = b.Aggregate(b.Scan("Emp"), {"DName"},
+                         {{AggFunc::kSum, Col("Salary"), "SumSal"}});
+  Memo memo;
+  auto root = memo.AddTree(agg);
+  ASSERT_TRUE(root.ok());
+  // A Dept scan's schema does not cover the aggregate group's schema.
+  GroupId dept = *memo.AddTree(b.Scan("Dept"));
+  auto op = Expr::DupElim(Expr::Scan("@x", memo.group(dept).schema));
+  ASSERT_TRUE(op.ok());
+  auto bad = memo.AddExpr(*root, *op, {dept});
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MemoTest, SelfInputRejected) {
+  auto tree = workload_.ProblemDeptTree();
+  Memo memo;
+  auto root = memo.AddTree(*tree);
+  ASSERT_TRUE(root.ok());
+  auto op = Expr::DupElim(Expr::Scan("@x", memo.group(*root).schema));
+  ASSERT_TRUE(op.ok());
+  EXPECT_FALSE(memo.AddExpr(*root, *op, {*root}).ok());
+}
+
+TEST_F(MemoTest, ParentExprsOf) {
+  auto tree = workload_.ProblemDeptTree();
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(*tree).ok());
+  GroupId emp = -1;
+  for (GroupId g : memo.LiveGroups()) {
+    if (memo.group(g).is_leaf && memo.group(g).table == "Emp") emp = g;
+  }
+  ASSERT_GE(emp, 0);
+  auto parents = memo.ParentExprsOf(emp);
+  ASSERT_EQ(parents.size(), 1u);
+  EXPECT_EQ(memo.expr(parents[0]).kind(), OpKind::kJoin);
+}
+
+TEST_F(MemoTest, RuleDiscoversTwoTreesAreEqualAndMergesGroups) {
+  // Two syntactically different chain-join trees added as separate roots:
+  // join associativity proves them equal, and the memo merges the groups.
+  ChainConfig config;
+  config.num_relations = 3;
+  ChainWorkload chain{config};
+  ExprBuilder b(&chain.catalog());
+  // (R1 join R2) join R3  vs  R1 join (R2 join R3).
+  Expr::Ptr left_deep = b.Join(b.Join(b.Scan("R1"), b.Scan("R2"), {"A1"}),
+                               b.Scan("R3"), {"A2"});
+  Expr::Ptr right_deep = b.Join(b.Scan("R1"),
+                                b.Join(b.Scan("R2"), b.Scan("R3"), {"A2"}),
+                                {"A1"});
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_NE(left_deep->TreeSignature(), right_deep->TreeSignature());
+
+  Memo memo;
+  GroupId g1 = *memo.AddTree(left_deep);
+  GroupId g2 = *memo.AddTree(right_deep);
+  EXPECT_NE(memo.Find(g1), memo.Find(g2));  // not yet proven equal
+  const auto rules = DefaultRuleSet();
+  ASSERT_TRUE(ExpandMemo(&memo, chain.catalog(), rules).ok());
+  EXPECT_EQ(memo.Find(g1), memo.Find(g2)) << memo.ToString();
+  // Dead groups are excluded from the live listings.
+  for (GroupId g : memo.LiveGroups()) {
+    EXPECT_FALSE(memo.group(g).dead);
+  }
+}
+
+TEST_F(MemoTest, ExtractAfterMergeStillWorks) {
+  ChainConfig config;
+  config.num_relations = 3;
+  ChainWorkload chain{config};
+  ExprBuilder b(&chain.catalog());
+  Expr::Ptr left_deep = b.Join(b.Join(b.Scan("R1"), b.Scan("R2"), {"A1"}),
+                               b.Scan("R3"), {"A2"});
+  Expr::Ptr right_deep = b.Join(b.Scan("R1"),
+                                b.Join(b.Scan("R2"), b.Scan("R3"), {"A2"}),
+                                {"A1"});
+  Memo memo;
+  GroupId g1 = *memo.AddTree(left_deep);
+  ASSERT_TRUE(memo.AddTree(right_deep).ok());
+  const auto rules = DefaultRuleSet();
+  ASSERT_TRUE(ExpandMemo(&memo, chain.catalog(), rules).ok());
+  // Every surviving operation node of the merged group still extracts and
+  // evaluates to the same relation.
+  Database db;
+  ASSERT_TRUE(chain.Populate(&db).ok());
+  Executor executor(&db);
+  const GroupId merged = memo.Find(g1);
+  auto reference = executor.Execute(**memo.ExtractOriginalTree(merged));
+  ASSERT_TRUE(reference.ok());
+  int live_ops = 0;
+  for (int eid : memo.group(merged).exprs) {
+    if (memo.expr(eid).dead) continue;
+    ++live_ops;
+    auto plan = memo.ExtractTree(merged, {{merged, eid}});
+    ASSERT_TRUE(plan.ok());
+    auto value = executor.Execute(**plan);
+    ASSERT_TRUE(value.ok());
+    EXPECT_TRUE(reference->BagEquals(*value));
+  }
+  EXPECT_GE(live_ops, 2);
+}
+
+TEST_F(MemoTest, ToStringListsGroupsAndOps) {
+  auto tree = workload_.ProblemDeptTree();
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(*tree).ok());
+  const std::string dump = memo.ToString();
+  EXPECT_NE(dump.find("relation Emp"), std::string::npos);
+  EXPECT_NE(dump.find("Join (DName)"), std::string::npos);
+  EXPECT_NE(dump.find("(root)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace auxview

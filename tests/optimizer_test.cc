@@ -1,0 +1,156 @@
+#include "optimizer/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/select_views.h"
+#include "workload/chain.h"
+#include "workload/emp_dept.h"
+
+namespace auxview {
+namespace {
+
+TEST(OptimizerTest, SelectViewsEndToEnd) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto result = SelectViews(*tree, workload.catalog(),
+                            {workload.TxnModEmp(), workload.TxnModDept()});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // SumOfSals (plus the root) wins; weighted cost 3.5.
+  EXPECT_EQ(result->result.views.size(), 2u);
+  EXPECT_DOUBLE_EQ(result->result.weighted_cost, 3.5);
+  EXPECT_EQ(result->result.plans.size(), 2u);
+  EXPECT_GT(result->result.viewsets_costed, 0);
+  EXPECT_GT(result->result.tracks_costed, 0);
+}
+
+TEST(OptimizerTest, WeightedAverageRespectsWeights) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto result = SelectViews(
+      *tree, workload.catalog(),
+      {workload.TxnModEmp(3), workload.TxnModDept(1)});
+  ASSERT_TRUE(result.ok());
+  // With {N3}: (5*3 + 2*1) / 4 = 4.25.
+  EXPECT_DOUBLE_EQ(result->result.weighted_cost, 4.25);
+}
+
+TEST(OptimizerTest, Example31ChoosesV1ForADeptsOnlyUpdates) {
+  // The paper's Example 3.1 / Figure 3: when only ADepts is updated, the
+  // optimal additional view is V1 = Join(Aggregate(Emp), Dept) — the memo
+  // group containing that expression — because an ADepts update then only
+  // needs one lookup and V1 itself never changes.
+  EmpDeptConfig config;
+  config.with_adepts = true;
+  EmpDeptWorkload workload{config};
+  auto tree = workload.ADeptsStatusTree();
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto result = SelectViews(*tree, workload.catalog(),
+                            {workload.TxnInsertADept()});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const Memo& memo = result->memo;
+  // Find the group computing Emp-join-Dept with the salary aggregation
+  // (V1): it contains a Join op over the SumOfSals aggregate and Dept.
+  GroupId v1 = -1;
+  for (GroupId g : memo.NonLeafGroups()) {
+    for (int eid : memo.group(g).exprs) {
+      const MemoExpr& e = memo.expr(eid);
+      if (e.dead || e.kind() != OpKind::kJoin) continue;
+      // V1's inputs: one aggregate group, one Dept leaf.
+      bool has_agg_input = false;
+      bool has_dept_input = false;
+      for (GroupId in : e.inputs) {
+        const MemoGroup& ing = memo.group(memo.Find(in));
+        if (ing.is_leaf && ing.table == "Dept") has_dept_input = true;
+        if (!ing.is_leaf) {
+          for (int ieid : ing.exprs) {
+            if (!memo.expr(ieid).dead &&
+                memo.expr(ieid).kind() == OpKind::kAggregate) {
+              has_agg_input = true;
+            }
+          }
+        }
+      }
+      if (has_agg_input && has_dept_input) v1 = g;
+    }
+  }
+  ASSERT_GE(v1, 0) << memo.ToString();
+  EXPECT_TRUE(result->result.views.count(v1))
+      << "chosen: " << ViewSetToString(result->result.views) << "\n"
+      << memo.ToString();
+  // V1 is never updated by ADepts transactions: zero update cost, tiny
+  // query cost.
+  EXPECT_LE(result->result.weighted_cost, 5);
+}
+
+TEST(OptimizerTest, CandidateCapFails) {
+  ChainConfig config;
+  config.num_relations = 4;
+  ChainWorkload workload{config};
+  auto tree = workload.ChainViewTree();
+  ASSERT_TRUE(tree.ok());
+  OptimizeOptions options;
+  options.max_candidates = 2;
+  auto result = SelectViews(*tree, workload.catalog(), workload.AllTxns(),
+                            Strategy::kExhaustive, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(OptimizerTest, KeepAllRecordsEveryViewSet) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  OptimizeOptions options;
+  options.keep_all = true;
+  auto result = SelectViews(*tree, workload.catalog(),
+                            {workload.TxnModEmp(), workload.TxnModDept()},
+                            Strategy::kExhaustive, options);
+  ASSERT_TRUE(result.ok());
+  // Every subset was costed and recorded.
+  EXPECT_EQ(result->result.all_costs.size(),
+            static_cast<size_t>(result->result.viewsets_costed));
+  // The minimum of the recorded costs is the winner.
+  double min_cost = 1e18;
+  for (const auto& [views, cost] : result->result.all_costs) {
+    min_cost = std::min(min_cost, cost);
+  }
+  EXPECT_DOUBLE_EQ(min_cost, result->result.weighted_cost);
+}
+
+TEST(OptimizerTest, MoreViewsNeverHelpWhenUpdatesAreFree) {
+  // Sanity: the empty additional set is optimal when every transaction
+  // updates a relation outside the view.
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  TransactionType unrelated = SingleModifyTxn(">X", "X", {"y"});
+  auto result = SelectViews(*tree, workload.catalog(), {unrelated});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->result.weighted_cost, 0);
+  EXPECT_EQ(result->result.views.size(), 1u);  // root only
+}
+
+TEST(OptimizerTest, CostViewSetMatchesExhaustiveEntry) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto svr = SelectViews(*tree, workload.catalog(),
+                         {workload.TxnModEmp(), workload.TxnModDept()});
+  ASSERT_TRUE(svr.ok());
+  ViewSelector selector(&svr->memo, &workload.catalog());
+  auto cost = selector.CostViewSet(
+      {workload.TxnModEmp(), workload.TxnModDept()}, svr->result.views);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(cost->weighted_cost, svr->result.weighted_cost);
+}
+
+TEST(OptimizerTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(Strategy::kExhaustive), "exhaustive");
+  EXPECT_STREQ(StrategyName(Strategy::kShielding), "shielding");
+  EXPECT_STREQ(StrategyName(Strategy::kGreedy), "greedy");
+}
+
+}  // namespace
+}  // namespace auxview

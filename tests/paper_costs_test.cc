@@ -1,0 +1,190 @@
+// Reproduces every number of the paper's Section 3.6 worked example
+// (ProblemDept, 1000 departments x 10 employees, transactions >Emp and
+// >Dept) — the query-cost table, the view-update-cost table, the
+// update-track table and the combined table, including the headline
+// "about 30%" result.
+
+#include <gtest/gtest.h>
+
+#include "auxview.h"
+
+namespace auxview {
+namespace {
+
+class PaperCostsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload_ = std::make_unique<EmpDeptWorkload>(EmpDeptConfig{});
+    auto tree = workload_->ProblemDeptTree();
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    auto memo = BuildExpandedMemo(*tree, workload_->catalog());
+    ASSERT_TRUE(memo.ok()) << memo.status().ToString();
+    memo_ = std::make_unique<Memo>(std::move(memo).value());
+    selector_ = std::make_unique<ViewSelector>(memo_.get(),
+                                               &workload_->catalog());
+
+    // Identify the paper's named groups.
+    root_ = memo_->root();  // N1: Select
+    for (GroupId g : memo_->NonLeafGroups()) {
+      for (int eid : memo_->group(g).exprs) {
+        const MemoExpr& e = memo_->expr(eid);
+        if (e.dead) continue;
+        if (e.kind() == OpKind::kAggregate &&
+            e.op->group_by() == std::vector<std::string>{"DName"}) {
+          n3_ = g;  // Aggregate(Emp BY DName)
+        }
+        if (e.kind() == OpKind::kJoin) {
+          // N4 = Join(Emp, Dept); N2's join has the aggregate as input.
+          bool leaf_join = true;
+          for (GroupId in : e.inputs) {
+            if (!memo_->group(memo_->Find(in)).is_leaf) leaf_join = false;
+          }
+          if (leaf_join) n4_ = g;
+        }
+        if (e.kind() == OpKind::kSelect) n1_ = g;
+        if (e.kind() == OpKind::kAggregate &&
+            e.op->group_by().size() == 2) {
+          n2_ = g;
+        }
+      }
+    }
+    ASSERT_GE(n1_, 0);
+    ASSERT_GE(n2_, 0);
+    ASSERT_GE(n3_, 0);
+    ASSERT_GE(n4_, 0);
+    ASSERT_EQ(n1_, root_);
+  }
+
+  double BestCost(const ViewSet& extra, const TransactionType& txn) {
+    ViewSet views = extra;
+    views.insert(root_);
+    auto plan = selector_->BestTrack(views, txn);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan->cost.total();
+  }
+
+  std::unique_ptr<EmpDeptWorkload> workload_;
+  std::unique_ptr<Memo> memo_;
+  std::unique_ptr<ViewSelector> selector_;
+  GroupId root_ = -1, n1_ = -1, n2_ = -1, n3_ = -1, n4_ = -1;
+};
+
+TEST_F(PaperCostsTest, DagMatchesFigure2) {
+  // Figure 2: six equivalence nodes (N1..N6), five operation nodes
+  // (E1..E5) — when only the aggregation-swap rules run. The default rule
+  // set adds commuted join variants but no further equivalence nodes for
+  // this view.
+  auto tree = workload_->ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(*tree).ok());
+  auto rules = AggregationOnlyRuleSet();
+  auto stats = ExpandMemo(&memo, workload_->catalog(), rules);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(memo.LiveGroups().size(), 6u) << memo.ToString();
+  EXPECT_EQ(memo.LiveExprs().size(), 5u) << memo.ToString();
+}
+
+TEST_F(PaperCostsTest, CombinedCostsTable) {
+  const TransactionType mod_emp = workload_->TxnModEmp();
+  const TransactionType mod_dept = workload_->TxnModDept();
+
+  // Paper Section 3.6, final table (empty set / {N3} / {N4}):
+  //   >Emp : 13 / 5 / 16      >Dept: 11 / 2 / 32
+  EXPECT_DOUBLE_EQ(BestCost({}, mod_emp), 13);
+  EXPECT_DOUBLE_EQ(BestCost({}, mod_dept), 11);
+  EXPECT_DOUBLE_EQ(BestCost({n3_}, mod_emp), 5);
+  EXPECT_DOUBLE_EQ(BestCost({n3_}, mod_dept), 2);
+  EXPECT_DOUBLE_EQ(BestCost({n4_}, mod_emp), 16);
+  EXPECT_DOUBLE_EQ(BestCost({n4_}, mod_dept), 32);
+}
+
+TEST_F(PaperCostsTest, HeadlineThirtyPercent) {
+  // "by using strategy (b) we use an average of 3.5 page I/Os per
+  // transaction for maintenance compared with 12 for strategy (a) ...
+  // a reduction to about 30%".
+  const double with_n3 = (BestCost({n3_}, workload_->TxnModEmp()) +
+                          BestCost({n3_}, workload_->TxnModDept())) /
+                         2;
+  const double without = (BestCost({}, workload_->TxnModEmp()) +
+                          BestCost({}, workload_->TxnModDept())) /
+                         2;
+  EXPECT_DOUBLE_EQ(with_n3, 3.5);
+  EXPECT_DOUBLE_EQ(without, 12);
+  EXPECT_NEAR(with_n3 / without, 0.29, 0.02);
+}
+
+TEST_F(PaperCostsTest, ExhaustiveChoosesSumOfSals) {
+  // Algorithm OptimalViewSet must pick {N3} (the SumOfSals view) as the
+  // additional materialization, independent of the transaction weighting
+  // (the paper: "Independent of the weighting ... strategy (b) wins").
+  for (double w : {0.1, 1.0, 10.0}) {
+    auto result = selector_->Exhaustive(
+        {workload_->TxnModEmp(w), workload_->TxnModDept(1)});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ViewSet expected = {root_, n3_};
+    EXPECT_EQ(result->views, expected)
+        << "weight " << w << ": got " << ViewSetToString(result->views);
+  }
+}
+
+TEST_F(PaperCostsTest, UpdateCostsTable) {
+  // Section 3.6 update-cost table: N3/>Emp = 3, N4/>Emp = 3, N4/>Dept = 21,
+  // N3/>Dept = 0 (unaffected).
+  auto plan_n3_emp = selector_->BestTrack({root_, n3_},
+                                          workload_->TxnModEmp());
+  ASSERT_TRUE(plan_n3_emp.ok());
+  EXPECT_DOUBLE_EQ(plan_n3_emp->cost.update_cost, 3);
+
+  auto plan_n4_emp = selector_->BestTrack({root_, n4_},
+                                          workload_->TxnModEmp());
+  ASSERT_TRUE(plan_n4_emp.ok());
+  EXPECT_DOUBLE_EQ(plan_n4_emp->cost.update_cost, 3);
+
+  auto plan_n4_dept = selector_->BestTrack({root_, n4_},
+                                           workload_->TxnModDept());
+  ASSERT_TRUE(plan_n4_dept.ok());
+  EXPECT_DOUBLE_EQ(plan_n4_dept->cost.update_cost, 21);
+
+  auto plan_n3_dept = selector_->BestTrack({root_, n3_},
+                                           workload_->TxnModDept());
+  ASSERT_TRUE(plan_n3_dept.ok());
+  EXPECT_DOUBLE_EQ(plan_n3_dept->cost.update_cost, 0);
+}
+
+TEST_F(PaperCostsTest, QueryCostsTable) {
+  // Section 3.6 query-cost table, via direct lookups:
+  //   Q2Ld (sum of salaries of one department, posed on N3):
+  //     11 under {}, 2 under {N3}, 11 under {N4}
+  //   Q2Re (matching Dept tuple): 2 everywhere
+  //   Q3e (group contents, posed on N4): 13 / 13 / 11
+  //   Q4e (employees of one department): 11
+  //   Q5Ld (employees of one department): 11; Q5Re: 2.
+  StatsAnalysis stats(memo_.get(), &workload_->catalog());
+  FdAnalysis fds(memo_.get(), &workload_->catalog());
+  QueryCoster coster(memo_.get(), &workload_->catalog(), &stats, &fds,
+                     IoCostModel());
+  const std::vector<std::string> dname = {"DName"};
+  const std::vector<std::string> group = {"DName", "Budget"};
+
+  EXPECT_DOUBLE_EQ(coster.LookupCost(n3_, dname, 1, {}), 11);          // Q2Ld
+  EXPECT_DOUBLE_EQ(coster.LookupCost(n3_, dname, 1, {n3_}), 2);
+  EXPECT_DOUBLE_EQ(coster.LookupCost(n3_, dname, 1, {n4_}), 11);
+
+  GroupId dept = -1, emp = -1;
+  for (GroupId g : memo_->LiveGroups()) {
+    if (memo_->group(g).is_leaf && memo_->group(g).table == "Dept") dept = g;
+    if (memo_->group(g).is_leaf && memo_->group(g).table == "Emp") emp = g;
+  }
+  ASSERT_GE(dept, 0);
+  ASSERT_GE(emp, 0);
+  EXPECT_DOUBLE_EQ(coster.LookupCost(dept, dname, 1, {}), 2);   // Q2Re, Q5Re
+  EXPECT_DOUBLE_EQ(coster.LookupCost(emp, dname, 1, {}), 11);   // Q4e, Q5Ld
+
+  EXPECT_DOUBLE_EQ(coster.LookupCost(n4_, group, 1, {}), 13);     // Q3e
+  EXPECT_DOUBLE_EQ(coster.LookupCost(n4_, group, 1, {n3_}), 13);
+  EXPECT_DOUBLE_EQ(coster.LookupCost(n4_, group, 1, {n4_}), 11);
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,178 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+
+namespace auxview {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT x1, 'str' FROM t WHERE a >= 1.5 -- c\n;");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 10u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "x1");
+  EXPECT_TRUE((*tokens)[2].IsSymbol(","));
+  EXPECT_EQ((*tokens)[3].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[3].text, "str");
+  // ">=" is one token.
+  bool saw_ge = false;
+  for (const Token& t : *tokens) {
+    if (t.IsSymbol(">=")) saw_ge = true;
+  }
+  EXPECT_TRUE(saw_ge);
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("WHERE"));
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmts = ParseSql(
+      "CREATE TABLE Emp (EName STRING PRIMARY KEY, DName STRING, "
+      "Salary INT, INDEX (DName));");
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  ASSERT_EQ(stmts->size(), 1u);
+  const CreateTableStmt& ct = *(*stmts)[0].create_table;
+  EXPECT_EQ(ct.name, "Emp");
+  ASSERT_EQ(ct.columns.size(), 3u);
+  EXPECT_EQ(ct.columns[0].name, "EName");
+  EXPECT_EQ(ct.columns[2].type, ValueType::kInt64);
+  EXPECT_EQ(ct.primary_key, std::vector<std::string>{"EName"});
+  ASSERT_EQ(ct.indexes.size(), 1u);
+  EXPECT_EQ(ct.indexes[0], std::vector<std::string>{"DName"});
+}
+
+TEST(ParserTest, PaperViewDefinition) {
+  // Verbatim from the paper (GROUPBY as one word).
+  auto stmts = ParseSql(
+      "CREATE VIEW ProblemDept (DName) AS "
+      "SELECT Dept.DName FROM Emp, Dept "
+      "WHERE Dept.DName = Emp.DName "
+      "GROUPBY Dept.DName, Budget "
+      "HAVING SUM(Salary) > Budget");
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  const CreateViewStmt& cv = *(*stmts)[0].create_view;
+  EXPECT_EQ(cv.name, "ProblemDept");
+  EXPECT_EQ(cv.column_names, std::vector<std::string>{"DName"});
+  EXPECT_EQ(cv.select.from, (std::vector<std::string>{"Emp", "Dept"}));
+  ASSERT_EQ(cv.select.group_by.size(), 2u);
+  EXPECT_EQ(cv.select.group_by[0]->qualifier, "Dept");
+  EXPECT_EQ(cv.select.group_by[1]->name, "Budget");
+  ASSERT_NE(cv.select.having, nullptr);
+  EXPECT_EQ(cv.select.having->ToString(), "(SUM(Salary) > Budget)");
+}
+
+TEST(ParserTest, PaperAssertion) {
+  auto stmts = ParseSql(
+      "CREATE ASSERTION DeptConstraint CHECK "
+      "(NOT EXISTS (SELECT * FROM ProblemDept))");
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  const CreateAssertionStmt& ca = *(*stmts)[0].create_assertion;
+  EXPECT_EQ(ca.name, "DeptConstraint");
+  ASSERT_EQ(ca.select.items.size(), 1u);
+  EXPECT_TRUE(ca.select.items[0].star);
+  EXPECT_EQ(ca.select.from, std::vector<std::string>{"ProblemDept"});
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto q = ParseSelect("SELECT a FROM t WHERE a + b * 2 > 5 AND NOT c = 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where->ToString(),
+            "(((a + (b * 2)) > 5) AND NOT ((c = 1)))");
+}
+
+TEST(ParserTest, GroupByTwoWordsAndAliases) {
+  auto q = ParseSelect(
+      "SELECT DName, SUM(Salary) AS Total FROM Emp GROUP BY DName");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->items.size(), 2u);
+  EXPECT_EQ(q->items[1].alias, "Total");
+  EXPECT_EQ(q->items[1].expr->name, "SUM");
+}
+
+TEST(ParserTest, Distinct) {
+  auto q = ParseSelect("SELECT DISTINCT DName FROM Emp");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->distinct);
+}
+
+TEST(ParserTest, MultipleStatements) {
+  auto stmts = ParseSql(
+      "CREATE TABLE A (x INT); CREATE TABLE B (y INT);; "
+      "SELECT x FROM A;");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+TEST(ParserTest, ErrorsCarryContext) {
+  auto bad = ParseSql("CREATE VIEW v AS SELECT FROM t");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("expected expression"),
+            std::string::npos);
+  EXPECT_FALSE(ParseSql("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSql("CREATE NONSENSE x").ok());
+}
+
+TEST(ParserTest, InsertStatement) {
+  auto stmts = ParseSql(
+      "INSERT INTO Emp VALUES ('a', 'd1', 100), ('b', 'd2', 2 * 50);");
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  const InsertStmt& ins = *(*stmts)[0].insert;
+  EXPECT_EQ(ins.table, "Emp");
+  ASSERT_EQ(ins.rows.size(), 2u);
+  EXPECT_EQ(ins.rows[0].size(), 3u);
+  EXPECT_EQ(ins.rows[1][2]->ToString(), "(2 * 50)");
+}
+
+TEST(ParserTest, DeleteStatement) {
+  auto stmts = ParseSql("DELETE FROM Emp WHERE Salary > 100;");
+  ASSERT_TRUE(stmts.ok());
+  const DeleteStmt& del = *(*stmts)[0].del;
+  EXPECT_EQ(del.table, "Emp");
+  EXPECT_EQ(del.where->ToString(), "(Salary > 100)");
+  auto all = ParseSql("DELETE FROM Emp;");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ((*all)[0].del->where, nullptr);
+}
+
+TEST(ParserTest, UpdateStatement) {
+  auto stmts = ParseSql(
+      "UPDATE Emp SET Salary = Salary + 10, DName = 'd9' "
+      "WHERE EName = 'a';");
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  const UpdateStmt& upd = *(*stmts)[0].update;
+  EXPECT_EQ(upd.table, "Emp");
+  ASSERT_EQ(upd.sets.size(), 2u);
+  EXPECT_EQ(upd.sets[0].first, "Salary");
+  EXPECT_EQ(upd.sets[0].second->ToString(), "(Salary + 10)");
+  EXPECT_EQ(upd.sets[1].first, "DName");
+  EXPECT_EQ(upd.where->ToString(), "(EName = 'a')");
+}
+
+TEST(ParserTest, DmlErrors) {
+  EXPECT_FALSE(ParseSql("INSERT Emp VALUES (1)").ok());
+  EXPECT_FALSE(ParseSql("DELETE Emp").ok());
+  EXPECT_FALSE(ParseSql("UPDATE Emp Salary = 1").ok());
+}
+
+TEST(ParserTest, CountStar) {
+  auto q = ParseSelect("SELECT COUNT(*) AS n FROM t GROUP BY g");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->items[0].expr->star);
+  EXPECT_EQ(q->items[0].expr->name, "COUNT");
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,163 @@
+// Property-style invariants, swept over seeds/configurations with
+// parameterized gtest:
+//   P1  Track independence: every update track yields identical maintained
+//       view contents for the same concrete transaction.
+//   P2  Incremental maintenance equals recomputation on randomized streams
+//       over randomized schemas.
+//   P3  The exhaustive optimizer's winner is a lower bound over every view
+//       set it enumerates.
+
+#include <gtest/gtest.h>
+
+#include "auxview.h"
+
+namespace auxview {
+namespace {
+
+class TrackIndependenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrackIndependenceTest, AllTracksProduceSameViews) {
+  const int seed = GetParam();
+  EmpDeptConfig config;
+  config.num_depts = 8;
+  config.emps_per_dept = 4;
+  config.violation_fraction = 0.3;
+  config.seed = static_cast<uint64_t>(seed);
+  EmpDeptWorkload workload{config};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto memo = BuildExpandedMemo(*tree, workload.catalog());
+  ASSERT_TRUE(memo.ok());
+
+  ViewSet views = {memo->root()};
+  for (GroupId g : memo->NonLeafGroups()) views.insert(g);
+
+  StatsAnalysis stats(&*memo, &workload.catalog());
+  DeltaAnalysis delta(&*memo, &workload.catalog(), &stats);
+  TrackEnumerator enumerator(&*memo, &delta);
+
+  for (const TransactionType& type :
+       {workload.TxnModEmp(), workload.TxnModDept(),
+        SingleModifyTxn("move", "Emp", {"DName"})}) {
+    auto tracks = enumerator.Enumerate(views, type);
+    ASSERT_TRUE(tracks.ok());
+    ASSERT_GE(tracks->size(), 1u);
+
+    // The same concrete transaction, replayed along every track from the
+    // same initial state, must leave identical view contents.
+    std::vector<std::map<GroupId, Relation>> outcomes;
+    for (const UpdateTrack& track : *tracks) {
+      Database db;
+      ASSERT_TRUE(workload.Populate(&db).ok());
+      ViewManager manager(&*memo, &workload.catalog(), &db);
+      ASSERT_TRUE(manager.Materialize(views).ok());
+      TxnGenerator gen(static_cast<uint64_t>(seed) * 1000 + 7);
+      auto txn = gen.Generate(type, db);
+      ASSERT_TRUE(txn.ok());
+      Status applied = manager.ApplyTransaction(*txn, type, track);
+      ASSERT_TRUE(applied.ok())
+          << type.name << " " << track.ToString(*memo) << ": "
+          << applied.ToString();
+      Status consistent = manager.CheckConsistency();
+      ASSERT_TRUE(consistent.ok())
+          << type.name << " " << track.ToString(*memo) << ": "
+          << consistent.ToString();
+      std::map<GroupId, Relation> contents;
+      for (GroupId g : views) {
+        contents.emplace(g, *manager.ViewContents(g));
+      }
+      outcomes.push_back(std::move(contents));
+    }
+    for (size_t i = 1; i < outcomes.size(); ++i) {
+      for (const auto& [g, rel] : outcomes[0]) {
+        EXPECT_TRUE(rel.BagEquals(outcomes[i].at(g)))
+            << type.name << ": view N" << g << " differs between tracks 0 and "
+            << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackIndependenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+struct StreamCase {
+  int num_relations;
+  int rows;
+  int fanout;
+  bool with_aggregate;
+  int seed;
+};
+
+class MaintenanceStreamTest : public ::testing::TestWithParam<StreamCase> {};
+
+TEST_P(MaintenanceStreamTest, MaintainedEqualsRecomputed) {
+  const StreamCase& param = GetParam();
+  ChainConfig config;
+  config.num_relations = param.num_relations;
+  config.rows_per_relation = param.rows;
+  config.fanout = param.fanout;
+  config.with_aggregate = param.with_aggregate;
+  config.seed = static_cast<uint64_t>(param.seed);
+  ChainWorkload workload{config};
+  auto tree = workload.ChainViewTree();
+  ASSERT_TRUE(tree.ok());
+  auto memo = BuildExpandedMemo(*tree, workload.catalog());
+  ASSERT_TRUE(memo.ok());
+  ViewSelector selector(&*memo, &workload.catalog());
+  auto chosen = selector.Greedy(workload.AllTxns());
+  ASSERT_TRUE(chosen.ok()) << chosen.status().ToString();
+
+  Database db;
+  ASSERT_TRUE(workload.Populate(&db).ok());
+  ViewManager manager(&*memo, &workload.catalog(), &db);
+  ASSERT_TRUE(manager.Materialize(chosen->views).ok());
+  TxnGenerator gen(static_cast<uint64_t>(param.seed));
+  const auto txns = workload.AllTxns();
+  for (int step = 0; step < 12; ++step) {
+    const TransactionType& type = txns[step % txns.size()];
+    auto plan = selector.BestTrack(chosen->views, type);
+    ASSERT_TRUE(plan.ok());
+    auto txn = gen.Generate(type, db);
+    ASSERT_TRUE(txn.ok());
+    Status applied = manager.ApplyTransaction(*txn, type, plan->track);
+    ASSERT_TRUE(applied.ok()) << applied.ToString();
+    Status consistent = manager.CheckConsistency();
+    ASSERT_TRUE(consistent.ok())
+        << "step " << step << ": " << consistent.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MaintenanceStreamTest,
+    ::testing::Values(StreamCase{2, 30, 1, false, 11},
+                      StreamCase{3, 40, 2, false, 12},
+                      StreamCase{3, 40, 2, true, 13},
+                      StreamCase{4, 30, 3, true, 14},
+                      StreamCase{4, 50, 1, false, 15}));
+
+class OptimumLowerBoundTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OptimumLowerBoundTest, WinnerIsMinimumOfAllViewSets) {
+  const double weight = GetParam();
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  OptimizeOptions options;
+  options.keep_all = true;
+  auto result = SelectViews(
+      *tree, workload.catalog(),
+      {workload.TxnModEmp(weight), workload.TxnModDept(1)},
+      Strategy::kExhaustive, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [views, cost] : result->result.all_costs) {
+    EXPECT_GE(cost + 1e-9, result->result.weighted_cost)
+        << ViewSetToString(views);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, OptimumLowerBoundTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 10.0));
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,165 @@
+#include "cost/query_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/builder.h"
+#include "memo/expand.h"
+#include "workload/chain.h"
+#include "workload/emp_dept.h"
+
+namespace auxview {
+namespace {
+
+TEST(IoCostModelTest, Primitives) {
+  IoCostModel model;
+  EXPECT_DOUBLE_EQ(model.IndexLookup(1, 10), 11);
+  EXPECT_DOUBLE_EQ(model.IndexLookup(3, 1), 6);
+  EXPECT_DOUBLE_EQ(model.Scan(100), 100);
+}
+
+TEST(IoCostModelTest, ApplyDeltaMatchesPaper) {
+  IoCostModel model;
+  // N3 / >Emp: modify 1 tuple, 1 index -> 3.
+  EXPECT_DOUBLE_EQ(model.ApplyDelta(UpdateKind::kModify, 1, 1), 3);
+  // N4 / >Dept: modify 10 tuples -> 21.
+  EXPECT_DOUBLE_EQ(model.ApplyDelta(UpdateKind::kModify, 10, 1), 21);
+  // Index write added when indexed attributes change.
+  EXPECT_DOUBLE_EQ(
+      model.ApplyDelta(UpdateKind::kModify, 1, 1, true), 4);
+  EXPECT_DOUBLE_EQ(model.ApplyDelta(UpdateKind::kInsert, 2, 1), 4);
+  EXPECT_DOUBLE_EQ(model.ApplyDelta(UpdateKind::kDelete, 2, 1), 6);
+  EXPECT_DOUBLE_EQ(model.ApplyDelta(UpdateKind::kModify, 0, 1), 0);
+}
+
+TEST(IoCostModelTest, CustomWeights) {
+  IoCostParams params;
+  params.index_page_read = 0.5;
+  params.tuple_page_read = 2;
+  IoCostModel model(params);
+  EXPECT_DOUBLE_EQ(model.IndexLookup(1, 3), 6.5);
+}
+
+class QueryCostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload_ = std::make_unique<EmpDeptWorkload>(EmpDeptConfig{});
+    auto tree = workload_->ProblemDeptTree();
+    ASSERT_TRUE(tree.ok());
+    auto memo = BuildExpandedMemo(*tree, workload_->catalog());
+    ASSERT_TRUE(memo.ok());
+    memo_ = std::make_unique<Memo>(std::move(memo).value());
+    stats_ = std::make_unique<StatsAnalysis>(memo_.get(),
+                                             &workload_->catalog());
+    fds_ = std::make_unique<FdAnalysis>(memo_.get(), &workload_->catalog());
+    coster_ = std::make_unique<QueryCoster>(memo_.get(),
+                                            &workload_->catalog(),
+                                            stats_.get(), fds_.get(),
+                                            IoCostModel());
+    for (GroupId g : memo_->LiveGroups()) {
+      const MemoGroup& grp = memo_->group(g);
+      if (grp.is_leaf && grp.table == "Emp") emp_ = g;
+      if (grp.is_leaf && grp.table == "Dept") dept_ = g;
+    }
+  }
+
+  std::unique_ptr<EmpDeptWorkload> workload_;
+  std::unique_ptr<Memo> memo_;
+  std::unique_ptr<StatsAnalysis> stats_;
+  std::unique_ptr<FdAnalysis> fds_;
+  std::unique_ptr<QueryCoster> coster_;
+  GroupId emp_ = -1, dept_ = -1;
+};
+
+TEST_F(QueryCostTest, LeafIndexChoice) {
+  // Emp lookups: by DName -> 1 + 10; by EName (PK) -> 1 + 1; by Salary (no
+  // index) -> scan.
+  EXPECT_DOUBLE_EQ(coster_->LookupCost(emp_, {"DName"}, 1, {}), 11);
+  EXPECT_DOUBLE_EQ(coster_->LookupCost(emp_, {"EName"}, 1, {}), 2);
+  EXPECT_DOUBLE_EQ(coster_->LookupCost(emp_, {"Salary"}, 1, {}), 10000);
+}
+
+TEST_F(QueryCostTest, SubsetIndexWithResidualFilter) {
+  // {EName, Salary}: the EName index covers a subset; residual is free.
+  EXPECT_DOUBLE_EQ(coster_->LookupCost(emp_, {"EName", "Salary"}, 1, {}), 2);
+}
+
+TEST_F(QueryCostTest, ProbesScaleLinearly) {
+  EXPECT_DOUBLE_EQ(coster_->LookupCost(dept_, {"DName"}, 5, {}), 10);
+}
+
+TEST_F(QueryCostTest, FullCostOfJoinGroup) {
+  // Computing the Emp-Dept join in full: scan both sides.
+  GroupId n4 = -1;
+  for (GroupId g : memo_->NonLeafGroups()) {
+    for (int eid : memo_->group(g).exprs) {
+      const MemoExpr& e = memo_->expr(eid);
+      if (e.dead || e.kind() != OpKind::kJoin) continue;
+      bool leaf_join = true;
+      for (GroupId in : e.inputs) {
+        if (!memo_->group(memo_->Find(in)).is_leaf) leaf_join = false;
+      }
+      if (leaf_join) n4 = g;
+    }
+  }
+  ASSERT_GE(n4, 0);
+  EXPECT_DOUBLE_EQ(coster_->FullCost(n4, {}), 11000);
+  // Materialized: scan the view instead.
+  EXPECT_DOUBLE_EQ(coster_->FullCost(n4, {n4}), 10000);
+}
+
+TEST_F(QueryCostTest, MonotonicityUnderMaterialization) {
+  // Adding materialized views never increases any lookup cost.
+  std::vector<GroupId> groups = memo_->NonLeafGroups();
+  for (GroupId g : groups) {
+    const double bare = coster_->LookupCost(g, {"DName"}, 1, {});
+    for (GroupId m : groups) {
+      const double with_view =
+          coster_->LookupCost(g, {"DName"}, 1, {m});
+      EXPECT_LE(with_view, bare + 1e-9)
+          << "lookup on N" << g << " got worse with N" << m
+          << " materialized";
+    }
+  }
+}
+
+TEST_F(QueryCostTest, UnindexedMaterializedViewScans) {
+  GroupId n3 = -1;
+  for (GroupId g : memo_->NonLeafGroups()) {
+    for (int eid : memo_->group(g).exprs) {
+      const MemoExpr& e = memo_->expr(eid);
+      if (!e.dead && e.kind() == OpKind::kAggregate &&
+          e.op->group_by() == std::vector<std::string>{"DName"}) {
+        n3 = g;
+      }
+    }
+  }
+  ASSERT_GE(n3, 0);
+  QueryCostOptions options;
+  options.materialized_views_indexed = false;
+  QueryCoster no_index(memo_.get(), &workload_->catalog(), stats_.get(),
+                       fds_.get(), IoCostModel(), options);
+  EXPECT_DOUBLE_EQ(no_index.LookupCost(n3, {"DName"}, 1, {n3}), 1000);
+}
+
+TEST(QueryCostChainTest, LookupPushesThroughJoinChain) {
+  ChainConfig config;
+  config.num_relations = 3;
+  config.rows_per_relation = 1000;
+  config.fanout = 4;
+  ChainWorkload workload{config};
+  auto tree = workload.ChainViewTree();
+  ASSERT_TRUE(tree.ok());
+  auto memo = BuildExpandedMemo(*tree, workload.catalog());
+  ASSERT_TRUE(memo.ok());
+  StatsAnalysis stats(&*memo, &workload.catalog());
+  FdAnalysis fds(&*memo, &workload.catalog());
+  QueryCoster coster(&*memo, &workload.catalog(), &stats, &fds,
+                     IoCostModel());
+  // A key lookup on the root (3-way join) must cost far less than scanning.
+  const double lookup = coster.LookupCost(memo->root(), {"A0"}, 1, {});
+  EXPECT_LT(lookup, 100);
+  EXPECT_GT(lookup, 2);
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,200 @@
+#include "memo/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/builder.h"
+#include "exec/executor.h"
+#include "memo/expand.h"
+#include "workload/chain.h"
+#include "workload/emp_dept.h"
+#include "workload/fig5.h"
+
+namespace auxview {
+namespace {
+
+/// Every operation node of every group must compute the same relation as
+/// the group's original expression (after alignment) — rule soundness.
+void CheckAllPlansEquivalent(const Memo& memo, const Catalog& catalog,
+                             Database* db) {
+  Executor executor(db);
+  for (GroupId g : memo.NonLeafGroups()) {
+    auto reference = memo.ExtractOriginalTree(g);
+    ASSERT_TRUE(reference.ok());
+    auto expected = executor.Execute(**reference);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    for (int eid : memo.group(g).exprs) {
+      if (memo.expr(eid).dead) continue;
+      auto plan = memo.ExtractTree(g, {{g, eid}});
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      auto actual = executor.Execute(**plan);
+      ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+      EXPECT_TRUE(expected->BagEquals(*actual))
+          << "group N" << g << " op " << memo.expr(eid).op->LocalToString()
+          << "\nexpected:\n" << expected->ToString() << "actual:\n"
+          << actual->ToString();
+    }
+  }
+  (void)catalog;
+}
+
+TEST(RulesTest, JoinCommuteAddsMirroredOp) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  ExprBuilder b(&workload.catalog());
+  auto join = b.Join(b.Scan("Emp"), b.Scan("Dept"), {"DName"});
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(join).ok());
+  FdAnalysis fds(&memo, &workload.catalog());
+  RuleContext ctx{&memo, &workload.catalog(), &fds};
+  JoinCommuteRule rule;
+  auto added = rule.Apply(ctx, memo.LiveExprs()[0]);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 1);
+  // Applying again deduplicates (the commute of the commute exists).
+  auto again = rule.Apply(ctx, memo.LiveExprs()[0]);
+  EXPECT_EQ(*again, 0);
+}
+
+TEST(RulesTest, EagerAggregationProducesFigure1LeftTree) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(*tree).ok());
+  auto rules = AggregationOnlyRuleSet();
+  auto stats = ExpandMemo(&memo, workload.catalog(), rules);
+  ASSERT_TRUE(stats.ok());
+  // A new group (Aggregate(Emp BY DName)) and a new Join op appeared.
+  bool found_sum_of_sals = false;
+  bool found_join_over_agg = false;
+  for (int eid : memo.LiveExprs()) {
+    const MemoExpr& e = memo.expr(eid);
+    if (e.kind() == OpKind::kAggregate &&
+        e.op->group_by() == std::vector<std::string>{"DName"}) {
+      found_sum_of_sals = true;
+    }
+    if (e.kind() == OpKind::kJoin) {
+      for (GroupId in : e.inputs) {
+        if (!memo.group(memo.Find(in)).is_leaf) found_join_over_agg = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_sum_of_sals) << memo.ToString();
+  EXPECT_TRUE(found_join_over_agg) << memo.ToString();
+}
+
+TEST(RulesTest, EagerAggregationRequiresKeyOnOtherSide) {
+  // Join on a non-key attribute must block the aggregation push-down.
+  Catalog catalog;
+  TableDef f;
+  f.name = "Fact";
+  f.schema = Schema::Create({{"Id", ValueType::kInt64},
+                             {"K", ValueType::kInt64},
+                             {"V", ValueType::kInt64}})
+                 .value();
+  f.primary_key = {"Id"};
+  f.stats.row_count = 100;
+  ASSERT_TRUE(catalog.AddTable(f).ok());
+  TableDef d;
+  d.name = "Dim";
+  d.schema = Schema::Create({{"DimId", ValueType::kInt64},
+                             {"K", ValueType::kInt64}})
+                 .value();
+  d.primary_key = {"DimId"};  // K is NOT a key of Dim
+  d.stats.row_count = 50;
+  ASSERT_TRUE(catalog.AddTable(d).ok());
+  ExprBuilder b(&catalog);
+  auto tree = b.Aggregate(b.Join(b.Scan("Fact"), b.Scan("Dim"), {"K"}),
+                          {"K"}, {{AggFunc::kSum, Col("V"), "SV"}});
+  ASSERT_TRUE(b.ok());
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(tree).ok());
+  auto rules = AggregationOnlyRuleSet();
+  auto stats = ExpandMemo(&memo, catalog, rules);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->exprs_added, 0) << memo.ToString();
+}
+
+TEST(RulesTest, Figure5AggregateNotPushable) {
+  // SUM(Quantity * Price) spans both join inputs: no eager aggregation.
+  Fig5Workload workload{Fig5Config{}};
+  auto tree = workload.ViewTree();
+  ASSERT_TRUE(tree.ok());
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(*tree).ok());
+  const size_t before = memo.LiveExprs().size();
+  auto rules = AggregationOnlyRuleSet();
+  auto stats = ExpandMemo(&memo, workload.catalog(), rules);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(memo.LiveExprs().size(), before) << memo.ToString();
+}
+
+TEST(RulesTest, AllExpandedPlansComputeTheSameRelation) {
+  EmpDeptConfig config;
+  config.num_depts = 6;
+  config.emps_per_dept = 4;
+  config.violation_fraction = 0.3;
+  EmpDeptWorkload workload{config};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto memo = BuildExpandedMemo(*tree, workload.catalog());
+  ASSERT_TRUE(memo.ok());
+  Database db;
+  ASSERT_TRUE(workload.Populate(&db).ok());
+  CheckAllPlansEquivalent(*memo, workload.catalog(), &db);
+}
+
+TEST(RulesTest, ChainJoinPlansAllEquivalent) {
+  ChainConfig config;
+  config.num_relations = 4;
+  config.rows_per_relation = 40;
+  config.with_aggregate = true;
+  ChainWorkload workload{config};
+  auto tree = workload.ChainViewTree();
+  ASSERT_TRUE(tree.ok());
+  auto memo = BuildExpandedMemo(*tree, workload.catalog());
+  ASSERT_TRUE(memo.ok());
+  EXPECT_GT(memo->LiveExprs().size(), 6u);  // join reordering happened
+  Database db;
+  ASSERT_TRUE(workload.Populate(&db).ok());
+  CheckAllPlansEquivalent(*memo, workload.catalog(), &db);
+}
+
+TEST(RulesTest, SelectPushdownThroughJoinAndAggregate) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  ExprBuilder b(&workload.catalog());
+  // Select on a Dept attribute above the join: pushable to the Dept side.
+  auto tree = b.Select(b.Join(b.Scan("Emp"), b.Scan("Dept"), {"DName"}),
+                       Scalar::Gt(Col("Budget"), Lit(int64_t{100})));
+  ASSERT_TRUE(b.ok());
+  auto memo = BuildExpandedMemo(tree, workload.catalog());
+  ASSERT_TRUE(memo.ok());
+  bool pushed = false;
+  for (int eid : memo->LiveExprs()) {
+    const MemoExpr& e = memo->expr(eid);
+    if (e.kind() == OpKind::kSelect &&
+        memo->group(memo->Find(e.inputs[0])).is_leaf) {
+      pushed = true;
+    }
+  }
+  EXPECT_TRUE(pushed) << memo->ToString();
+}
+
+TEST(RulesTest, ExpansionRespectsLimits) {
+  ChainConfig config;
+  config.num_relations = 6;
+  ChainWorkload workload{config};
+  auto tree = workload.ChainViewTree();
+  ASSERT_TRUE(tree.ok());
+  Memo memo;
+  ASSERT_TRUE(memo.AddTree(*tree).ok());
+  auto rules = DefaultRuleSet();
+  ExpandOptions options;
+  options.max_exprs = 20;
+  auto stats = ExpandMemo(&memo, workload.catalog(), rules, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->hit_limit);
+  EXPECT_LE(memo.num_exprs(), 25);
+}
+
+}  // namespace
+}  // namespace auxview

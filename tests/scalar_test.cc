@@ -1,0 +1,113 @@
+#include "algebra/scalar.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/builder.h"
+
+namespace auxview {
+namespace {
+
+class ScalarTest : public ::testing::Test {
+ protected:
+  Schema schema_ = Schema::Create({{"a", ValueType::kInt64},
+                                   {"b", ValueType::kInt64},
+                                   {"s", ValueType::kString},
+                                   {"d", ValueType::kDouble}})
+                       .value();
+  Row row_ = {Value::Int64(3), Value::Int64(7), Value::String("x"),
+              Value::Double(1.5)};
+
+  Value Eval(const Scalar::Ptr& e) {
+    auto v = e->Eval(row_, schema_);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return *v;
+  }
+};
+
+TEST_F(ScalarTest, ColumnAndLiteral) {
+  EXPECT_EQ(Eval(Col("a")), Value::Int64(3));
+  EXPECT_EQ(Eval(Lit(int64_t{9})), Value::Int64(9));
+  EXPECT_EQ(Eval(Lit("hi")), Value::String("hi"));
+}
+
+TEST_F(ScalarTest, ArithmeticPreservesIntegers) {
+  EXPECT_EQ(Eval(Scalar::Binary(ScalarOp::kAdd, Col("a"), Col("b"))),
+            Value::Int64(10));
+  EXPECT_EQ(Eval(Scalar::Mul(Col("a"), Col("b"))), Value::Int64(21));
+  // Division always yields double.
+  Value div = Eval(Scalar::Binary(ScalarOp::kDiv, Col("b"), Col("a")));
+  EXPECT_EQ(div.type(), ValueType::kDouble);
+  EXPECT_NEAR(div.dbl(), 7.0 / 3, 1e-12);
+  // Mixed int/double promotes.
+  Value mixed = Eval(Scalar::Binary(ScalarOp::kAdd, Col("a"), Col("d")));
+  EXPECT_EQ(mixed.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(mixed.dbl(), 4.5);
+}
+
+TEST_F(ScalarTest, Comparisons) {
+  EXPECT_EQ(Eval(Scalar::Lt(Col("a"), Col("b"))), Value::Bool(true));
+  EXPECT_EQ(Eval(Scalar::Gt(Col("a"), Col("b"))), Value::Bool(false));
+  EXPECT_EQ(Eval(Scalar::Eq(Col("s"), Lit("x"))), Value::Bool(true));
+  EXPECT_EQ(
+      Eval(Scalar::Binary(ScalarOp::kNe, Col("a"), Lit(int64_t{3}))),
+      Value::Bool(false));
+  EXPECT_EQ(
+      Eval(Scalar::Binary(ScalarOp::kGe, Col("b"), Lit(int64_t{7}))),
+      Value::Bool(true));
+}
+
+TEST_F(ScalarTest, LogicAndNullPropagation) {
+  auto t = Scalar::Lt(Col("a"), Col("b"));
+  auto f = Scalar::Gt(Col("a"), Col("b"));
+  EXPECT_EQ(Eval(Scalar::And(t, f)), Value::Bool(false));
+  EXPECT_EQ(Eval(Scalar::Binary(ScalarOp::kOr, t, f)), Value::Bool(true));
+  EXPECT_EQ(Eval(Scalar::Not(f)), Value::Bool(true));
+  // NULL propagates.
+  auto null_cmp = Scalar::Eq(Scalar::Literal(Value::Null()), Col("a"));
+  EXPECT_TRUE(Eval(null_cmp).is_null());
+  EXPECT_TRUE(Eval(Scalar::And(t, null_cmp)).is_null());
+}
+
+TEST_F(ScalarTest, UnknownColumnErrors) {
+  auto v = Col("zzz")->Eval(row_, schema_);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ScalarTest, CollectColumnsAndToString) {
+  auto e = Scalar::Gt(Scalar::Mul(Col("a"), Col("b")), Lit(int64_t{10}));
+  std::set<std::string> expected = {"a", "b"};
+  EXPECT_EQ(e->Columns(), expected);
+  EXPECT_EQ(e->ToString(), "((a * b) > 10)");
+}
+
+TEST_F(ScalarTest, InferType) {
+  EXPECT_EQ(*Scalar::Mul(Col("a"), Col("b"))->InferType(schema_),
+            ValueType::kInt64);
+  EXPECT_EQ(*Scalar::Mul(Col("a"), Col("d"))->InferType(schema_),
+            ValueType::kDouble);
+  EXPECT_EQ(*Scalar::Gt(Col("a"), Col("b"))->InferType(schema_),
+            ValueType::kBool);
+  EXPECT_FALSE(Col("nope")->InferType(schema_).ok());
+}
+
+TEST_F(ScalarTest, ConjunctSplitAndCombine) {
+  auto p = Scalar::Gt(Col("a"), Lit(int64_t{1}));
+  auto q = Scalar::Lt(Col("b"), Lit(int64_t{9}));
+  auto r = Scalar::Eq(Col("s"), Lit("x"));
+  auto conj = Scalar::And(Scalar::And(p, q), r);
+  std::vector<Scalar::Ptr> parts;
+  Scalar::SplitConjuncts(conj, &parts);
+  ASSERT_EQ(parts.size(), 3u);
+  auto rebuilt = Scalar::CombineConjuncts(parts);
+  EXPECT_TRUE(rebuilt->Equals(*conj));
+  EXPECT_EQ(Scalar::CombineConjuncts({}), nullptr);
+}
+
+TEST_F(ScalarTest, DivisionByZeroIsNull) {
+  auto e = Scalar::Binary(ScalarOp::kDiv, Col("a"), Lit(int64_t{0}));
+  EXPECT_TRUE(Eval(e).is_null());
+}
+
+}  // namespace
+}  // namespace auxview

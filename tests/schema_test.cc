@@ -1,0 +1,90 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace auxview {
+namespace {
+
+TEST(SchemaTest, CreateAndLookup) {
+  auto schema = Schema::Create({{"a", ValueType::kInt64},
+                                {"b", ValueType::kString}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_columns(), 2);
+  EXPECT_EQ(schema->IndexOf("a"), 0);
+  EXPECT_EQ(schema->IndexOf("b"), 1);
+  EXPECT_EQ(schema->IndexOf("c"), -1);
+  EXPECT_TRUE(schema->Contains("a"));
+  EXPECT_EQ(schema->ToString(), "a:INT64, b:STRING");
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  auto schema = Schema::Create({{"a", ValueType::kInt64},
+                                {"a", ValueType::kString}});
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, Equality) {
+  auto a = Schema::Create({{"x", ValueType::kInt64}}).value();
+  auto b = Schema::Create({{"x", ValueType::kInt64}}).value();
+  auto c = Schema::Create({{"x", ValueType::kDouble}}).value();
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(CatalogTest, AddFindAndDuplicate) {
+  Catalog catalog;
+  TableDef def;
+  def.name = "T";
+  def.schema = Schema::Create({{"k", ValueType::kInt64}}).value();
+  def.primary_key = {"k"};
+  ASSERT_TRUE(catalog.AddTable(def).ok());
+  EXPECT_TRUE(catalog.HasTable("T"));
+  EXPECT_FALSE(catalog.HasTable("U"));
+  EXPECT_EQ(catalog.AddTable(def).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.TableNames(), std::vector<std::string>{"T"});
+}
+
+TEST(CatalogTest, HasIndexOnMatchesAnyOrder) {
+  TableDef def;
+  def.name = "T";
+  def.schema = Schema::Create({{"a", ValueType::kInt64},
+                               {"b", ValueType::kInt64}})
+                   .value();
+  def.primary_key = {"a", "b"};
+  def.indexes = {IndexDef{{"b"}}};
+  EXPECT_TRUE(def.HasIndexOn({"a", "b"}));
+  EXPECT_TRUE(def.HasIndexOn({"b", "a"}));
+  EXPECT_TRUE(def.HasIndexOn({"b"}));
+  EXPECT_FALSE(def.HasIndexOn({"a"}));
+}
+
+TEST(CatalogTest, FdsFromPrimaryKey) {
+  TableDef def;
+  def.name = "Dept";
+  def.schema = Schema::Create({{"DName", ValueType::kString},
+                               {"Budget", ValueType::kInt64}})
+                   .value();
+  def.primary_key = {"DName"};
+  FdSet fds = def.Fds();
+  EXPECT_TRUE(fds.Determines({"DName"}, {"Budget"}));
+  EXPECT_FALSE(fds.Determines({"Budget"}, {"DName"}));
+}
+
+TEST(CatalogTest, SetStats) {
+  Catalog catalog;
+  TableDef def;
+  def.name = "T";
+  def.schema = Schema::Create({{"k", ValueType::kInt64}}).value();
+  ASSERT_TRUE(catalog.AddTable(def).ok());
+  RelationStats stats;
+  stats.row_count = 123;
+  ASSERT_TRUE(catalog.SetStats("T", stats).ok());
+  EXPECT_DOUBLE_EQ(catalog.FindTable("T")->stats.row_count, 123);
+  EXPECT_EQ(catalog.SetStats("U", stats).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace auxview

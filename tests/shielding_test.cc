@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/select_views.h"
+#include "workload/chain.h"
+#include "workload/emp_dept.h"
+#include "workload/fig5.h"
+
+namespace auxview {
+namespace {
+
+void ExpectSameOptimum(const Expr::Ptr& tree, const Catalog& catalog,
+                       const std::vector<TransactionType>& txns) {
+  auto exhaustive =
+      SelectViews(tree, catalog, txns, Strategy::kExhaustive);
+  ASSERT_TRUE(exhaustive.ok()) << exhaustive.status().ToString();
+  auto shielding = SelectViews(tree, catalog, txns, Strategy::kShielding);
+  ASSERT_TRUE(shielding.ok()) << shielding.status().ToString();
+  EXPECT_DOUBLE_EQ(shielding->result.weighted_cost,
+                   exhaustive->result.weighted_cost)
+      << "exhaustive " << ViewSetToString(exhaustive->result.views)
+      << " vs shielding " << ViewSetToString(shielding->result.views);
+}
+
+TEST(ShieldingTest, Figure5SameOptimumFewerViewSets) {
+  Fig5Workload workload{Fig5Config{}};
+  auto tree = workload.ViewTree();
+  ASSERT_TRUE(tree.ok());
+  const std::vector<TransactionType> txns = {
+      workload.TxnModS(), workload.TxnModT(), workload.TxnModR()};
+  auto exhaustive = SelectViews(*tree, workload.catalog(), txns,
+                                Strategy::kExhaustive);
+  ASSERT_TRUE(exhaustive.ok());
+  auto shielding = SelectViews(*tree, workload.catalog(), txns,
+                               Strategy::kShielding);
+  ASSERT_TRUE(shielding.ok());
+  EXPECT_DOUBLE_EQ(shielding->result.weighted_cost,
+                   exhaustive->result.weighted_cost);
+  // The shielded run pruned part of the space.
+  EXPECT_GT(shielding->result.viewsets_pruned, 0);
+  EXPECT_LT(shielding->result.viewsets_costed,
+            exhaustive->result.viewsets_costed);
+}
+
+TEST(ShieldingTest, ProblemDeptSameOptimum) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  ExpectSameOptimum(*tree, workload.catalog(),
+                    {workload.TxnModEmp(), workload.TxnModDept()});
+}
+
+TEST(ShieldingTest, ChainWithAggregateSameOptimum) {
+  ChainConfig config;
+  config.num_relations = 3;
+  config.with_aggregate = true;
+  ChainWorkload workload{config};
+  auto tree = workload.ChainViewTree();
+  ASSERT_TRUE(tree.ok());
+  ExpectSameOptimum(*tree, workload.catalog(), workload.AllTxns());
+}
+
+TEST(ShieldingTest, WeightSweepsAgree) {
+  Fig5Workload workload{Fig5Config{}};
+  auto tree = workload.ViewTree();
+  ASSERT_TRUE(tree.ok());
+  for (double w : {0.2, 1.0, 5.0, 25.0}) {
+    ExpectSameOptimum(
+        *tree, workload.catalog(),
+        {workload.TxnModS(w), workload.TxnModT(1), workload.TxnModR(2)});
+  }
+}
+
+}  // namespace
+}  // namespace auxview

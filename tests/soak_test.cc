@@ -1,0 +1,108 @@
+// Long-stream soak: hundreds of mixed transactions against the paper's
+// schema with everything materialized, verifying consistency periodically
+// and exactly at the end.
+
+#include <gtest/gtest.h>
+
+#include "auxview.h"
+
+namespace auxview {
+namespace {
+
+TEST(SoakTest, TwoHundredMixedTransactions) {
+  EmpDeptConfig config;
+  config.num_depts = 30;
+  config.emps_per_dept = 5;
+  config.violation_fraction = 0.2;
+  EmpDeptWorkload workload{config};
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  auto memo = BuildExpandedMemo(*tree, workload.catalog());
+  ASSERT_TRUE(memo.ok());
+
+  ViewSet views = {memo->root()};
+  for (GroupId g : memo->NonLeafGroups()) views.insert(g);
+
+  Database db;
+  ASSERT_TRUE(workload.Populate(&db).ok());
+  ViewManager manager(&*memo, &workload.catalog(), &db);
+  ASSERT_TRUE(manager.Materialize(views).ok());
+  ViewSelector selector(&*memo, &workload.catalog());
+
+  TransactionType hire;
+  hire.name = "hire";
+  hire.updates.push_back(UpdateSpec{"Emp", UpdateKind::kInsert, 2, {}, {}});
+  TransactionType quit;
+  quit.name = "quit";
+  quit.updates.push_back(UpdateSpec{"Emp", UpdateKind::kDelete, 1, {}, {}});
+  const std::vector<TransactionType> txns = {
+      workload.TxnModEmp(),
+      workload.TxnModDept(),
+      SingleModifyTxn("move", "Emp", {"DName"}),
+      hire,
+      quit,
+  };
+
+  TxnGenerator gen(4242);
+  for (int step = 0; step < 200; ++step) {
+    const TransactionType& type = txns[static_cast<size_t>(step) %
+                                       txns.size()];
+    auto plan = selector.BestTrack(views, type);
+    ASSERT_TRUE(plan.ok());
+    auto txn = gen.Generate(type, db);
+    ASSERT_TRUE(txn.ok());
+    Status applied = manager.ApplyTransaction(*txn, type, plan->track);
+    ASSERT_TRUE(applied.ok()) << "step " << step << ": " << applied.ToString();
+    if (step % 25 == 0) {
+      Status consistent = manager.CheckConsistency();
+      ASSERT_TRUE(consistent.ok())
+          << "step " << step << ": " << consistent.ToString();
+    }
+  }
+  ASSERT_TRUE(manager.CheckConsistency().ok());
+  // The database evolved meaningfully under the churn.
+  EXPECT_NE(db.FindTable("Emp")->row_count(), 150);
+}
+
+TEST(SoakTest, SessionSoak) {
+  Session session;
+  ASSERT_TRUE(session
+                  .Execute("CREATE TABLE T (k INT PRIMARY KEY, g INT, "
+                           "v INT, INDEX (g));"
+                           "CREATE VIEW V (g, s, n) AS SELECT g, SUM(v), "
+                           "COUNT(*) FROM T GROUPBY g;")
+                  .ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(session
+                    .Execute("INSERT INTO T VALUES (" + std::to_string(i) +
+                             ", " + std::to_string(i % 7) + ", " +
+                             std::to_string(i * 3) + ");")
+                    .ok());
+  }
+  ASSERT_TRUE(session.Prepare().ok());
+  Rng rng(99);
+  for (int step = 0; step < 120; ++step) {
+    const int k = static_cast<int>(rng.Uniform(0, 39));
+    std::string sql;
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        sql = "UPDATE T SET v = v + 1 WHERE k = " + std::to_string(k) + ";";
+        break;
+      case 1:
+        sql = "UPDATE T SET g = " + std::to_string(rng.Uniform(0, 9)) +
+              " WHERE k = " + std::to_string(k) + ";";
+        break;
+      default:
+        sql = "DELETE FROM T WHERE k = " + std::to_string(k) + ";";
+        break;
+    }
+    auto result = session.Execute(sql);
+    ASSERT_TRUE(result.ok()) << "step " << step << " (" << sql
+                             << "): " << result.status().ToString();
+  }
+  Status consistent = session.CheckConsistency();
+  ASSERT_TRUE(consistent.ok()) << consistent.ToString();
+}
+
+}  // namespace
+}  // namespace auxview

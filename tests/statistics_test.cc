@@ -1,0 +1,93 @@
+#include "cost/statistics_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/builder.h"
+#include "memo/expand.h"
+#include "workload/emp_dept.h"
+
+namespace auxview {
+namespace {
+
+TEST(RelationStatsTest, DistinctDefaultsAndClamping) {
+  RelationStats stats;
+  stats.row_count = 50;
+  stats.distinct = {{"a", 500}};
+  EXPECT_DOUBLE_EQ(stats.DistinctOf("a"), 50);  // clamped to row count
+  EXPECT_DOUBLE_EQ(stats.DistinctOf("unknown"), 50);  // default, clamped
+  stats.row_count = 1000;
+  EXPECT_DOUBLE_EQ(stats.DistinctOf("a"), 500);
+  EXPECT_DOUBLE_EQ(stats.DistinctOf("unknown"),
+                   RelationStats::kDefaultDistinct);
+  EXPECT_DOUBLE_EQ(stats.RowsPerValue("a"), 2);
+}
+
+TEST(SelectivityTest, StandardFormulas) {
+  RelationStats stats;
+  stats.row_count = 1000;
+  stats.distinct = {{"k", 100}};
+  auto eq = Scalar::Eq(Col("k"), Lit(int64_t{5}));
+  EXPECT_DOUBLE_EQ(StatsAnalysis::Selectivity(*eq, stats), 0.01);
+  auto range = Scalar::Gt(Col("k"), Lit(int64_t{5}));
+  EXPECT_DOUBLE_EQ(StatsAnalysis::Selectivity(*range, stats), 1.0 / 3);
+  auto conj = Scalar::And(eq, range);
+  EXPECT_DOUBLE_EQ(StatsAnalysis::Selectivity(*conj, stats), 0.01 / 3);
+  auto neg = Scalar::Not(eq);
+  EXPECT_DOUBLE_EQ(StatsAnalysis::Selectivity(*neg, stats), 0.99);
+}
+
+class GroupStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload_ = std::make_unique<EmpDeptWorkload>(EmpDeptConfig{});
+    auto tree = workload_->ProblemDeptTree();
+    ASSERT_TRUE(tree.ok());
+    auto memo = BuildExpandedMemo(*tree, workload_->catalog());
+    ASSERT_TRUE(memo.ok());
+    memo_ = std::make_unique<Memo>(std::move(memo).value());
+  }
+  std::unique_ptr<EmpDeptWorkload> workload_;
+  std::unique_ptr<Memo> memo_;
+};
+
+TEST_F(GroupStatsTest, PropagatesThroughDag) {
+  StatsAnalysis stats(memo_.get(), &workload_->catalog());
+  // Leaves carry catalog stats.
+  double emp_rows = 0, join_rows = 0, agg_rows = 0;
+  for (GroupId g : memo_->LiveGroups()) {
+    const MemoGroup& grp = memo_->group(g);
+    if (grp.is_leaf && grp.table == "Emp") {
+      emp_rows = stats.StatsOf(g).row_count;
+    }
+    for (int eid : grp.exprs) {
+      const MemoExpr& e = memo_->expr(eid);
+      if (e.dead) continue;
+      bool leaf_join = e.kind() == OpKind::kJoin;
+      if (leaf_join) {
+        for (GroupId in : e.inputs) {
+          if (!memo_->group(memo_->Find(in)).is_leaf) leaf_join = false;
+        }
+      }
+      if (leaf_join) join_rows = stats.StatsOf(g).row_count;
+      if (e.kind() == OpKind::kAggregate && e.op->group_by().size() == 2) {
+        agg_rows = stats.StatsOf(g).row_count;
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(emp_rows, 10000);
+  // Key join preserves the Emp cardinality: 10000 * 1000 / 1000.
+  EXPECT_DOUBLE_EQ(join_rows, 10000);
+  // One group per department.
+  EXPECT_DOUBLE_EQ(agg_rows, 1000);
+}
+
+TEST(DistinctJointTest, UsesMaxPerAttribute) {
+  RelationStats stats;
+  stats.row_count = 10000;
+  stats.distinct = {{"a", 100}, {"b", 500}};
+  EXPECT_DOUBLE_EQ(StatsAnalysis::DistinctJoint(stats, {"a", "b"}), 500);
+  EXPECT_DOUBLE_EQ(StatsAnalysis::RowsPerJointValue(stats, {"a", "b"}), 20);
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,70 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace auxview {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesNamed) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(StatusOrTest, HoldsValueOrError) {
+  StatusOr<int> good = ParsePositive(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+  StatusOr<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> Doubled(int x) {
+  AUXVIEW_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+Status CheckIt(int x) {
+  AUXVIEW_RETURN_IF_ERROR(Doubled(x).status());
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, Macros) {
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_FALSE(Doubled(0).ok());
+  EXPECT_TRUE(CheckIt(1).ok());
+  EXPECT_FALSE(CheckIt(-2).ok());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(3);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 3);
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,151 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace auxview {
+namespace {
+
+TableDef MakeDef() {
+  TableDef def;
+  def.name = "T";
+  def.schema = Schema::Create({{"k", ValueType::kInt64},
+                               {"g", ValueType::kString},
+                               {"v", ValueType::kInt64}})
+                   .value();
+  def.primary_key = {"k"};
+  def.indexes = {IndexDef{{"g"}}};
+  return def;
+}
+
+Row R(int64_t k, const std::string& g, int64_t v) {
+  return {Value::Int64(k), Value::String(g), Value::Int64(v)};
+}
+
+TEST(TableTest, InsertDeleteCounts) {
+  PageCounter counter;
+  Table t(MakeDef(), &counter);
+  ASSERT_TRUE(t.Insert(R(1, "a", 10)).ok());
+  ASSERT_TRUE(t.Insert(R(2, "a", 20)).ok());
+  ASSERT_TRUE(t.Insert(R(2, "a", 20)).ok());  // bag: multiplicity 2
+  EXPECT_EQ(t.row_count(), 3);
+  EXPECT_EQ(t.distinct_rows(), 2);
+  EXPECT_EQ(t.CountOf(R(2, "a", 20)), 2);
+  ASSERT_TRUE(t.Delete(R(2, "a", 20)).ok());
+  EXPECT_EQ(t.CountOf(R(2, "a", 20)), 1);
+  // Deleting below zero fails.
+  EXPECT_EQ(t.Delete(R(2, "a", 20), 5).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TableTest, IndexedLookup) {
+  PageCounter counter;
+  Table t(MakeDef(), &counter);
+  ASSERT_TRUE(t.Insert(R(1, "a", 10)).ok());
+  ASSERT_TRUE(t.Insert(R(2, "a", 20)).ok());
+  ASSERT_TRUE(t.Insert(R(3, "b", 30)).ok());
+  auto rows = t.Lookup({"g"}, {Value::String("a")});
+  EXPECT_EQ(rows.size(), 2u);
+  rows = t.Lookup({"k"}, {Value::Int64(3)});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].row[2].int64(), 30);
+  EXPECT_TRUE(t.HasIndexOn({"g"}));
+  EXPECT_TRUE(t.HasIndexOn({"k"}));
+  EXPECT_FALSE(t.HasIndexOn({"v"}));
+}
+
+TEST(TableTest, UnindexedLookupScans) {
+  PageCounter counter;
+  Table t(MakeDef(), &counter);
+  ASSERT_TRUE(t.Insert(R(1, "a", 10)).ok());
+  ASSERT_TRUE(t.Insert(R(2, "b", 10)).ok());
+  counter.Reset();
+  auto rows = t.Lookup({"v"}, {Value::Int64(10)});
+  EXPECT_EQ(rows.size(), 2u);
+  // Full scan: one tuple read per row, no index page.
+  EXPECT_EQ(counter.tuple_reads(), 2);
+  EXPECT_EQ(counter.index_reads(), 0);
+}
+
+TEST(TableTest, PaperIoAccounting) {
+  // Mirrors the paper's model: an indexed lookup returning k tuples costs
+  // 1 + k pages; modifying one tuple costs 1 index read + 1 read + 1 write.
+  PageCounter counter;
+  Table t(MakeDef(), &counter);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert(R(i, "dept", 100 + i)).ok());
+  }
+  counter.Reset();
+  auto rows = t.Lookup({"g"}, {Value::String("dept")});
+  EXPECT_EQ(rows.size(), 10u);
+  EXPECT_EQ(counter.index_reads(), 1);
+  EXPECT_EQ(counter.tuple_reads(), 10);
+
+  counter.Reset();
+  ASSERT_TRUE(t.Modify(R(3, "dept", 103), R(3, "dept", 999)).ok());
+  // 2 indexes on this table (k and g): paper counts one page per index.
+  EXPECT_EQ(counter.index_reads(), 2);
+  EXPECT_EQ(counter.tuple_reads(), 1);
+  EXPECT_EQ(counter.tuple_writes(), 1);
+  EXPECT_EQ(counter.index_writes(), 0);  // indexed attrs unchanged
+  EXPECT_EQ(t.CountOf(R(3, "dept", 999)), 1);
+  EXPECT_EQ(t.CountOf(R(3, "dept", 103)), 0);
+}
+
+TEST(TableTest, ModifyChangingIndexedAttrWritesIndex) {
+  PageCounter counter;
+  Table t(MakeDef(), &counter);
+  ASSERT_TRUE(t.Insert(R(1, "a", 10)).ok());
+  counter.Reset();
+  ASSERT_TRUE(t.Modify(R(1, "a", 10), R(1, "b", 10)).ok());
+  EXPECT_EQ(counter.index_writes(), 1);  // only the g index changed
+  EXPECT_EQ(t.Lookup({"g"}, {Value::String("b")}).size(), 1u);
+  EXPECT_TRUE(t.Lookup({"g"}, {Value::String("a")}).empty());
+}
+
+TEST(TableTest, ModifyAbsentRowFails) {
+  PageCounter counter;
+  Table t(MakeDef(), &counter);
+  EXPECT_EQ(t.Modify(R(1, "a", 1), R(1, "a", 2)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TableTest, CountingCanBeDisabled) {
+  PageCounter counter;
+  Table t(MakeDef(), &counter);
+  {
+    ScopedCountingDisabled guard(&counter);
+    ASSERT_TRUE(t.Insert(R(1, "a", 10)).ok());
+  }
+  EXPECT_EQ(counter.total(), 0);
+  ASSERT_TRUE(t.Insert(R(2, "a", 10)).ok());
+  EXPECT_GT(counter.total(), 0);
+}
+
+TEST(TableTest, ComputeStats) {
+  PageCounter counter;
+  Table t(MakeDef(), &counter);
+  ASSERT_TRUE(t.Insert(R(1, "a", 10)).ok());
+  ASSERT_TRUE(t.Insert(R(2, "a", 20)).ok());
+  ASSERT_TRUE(t.Insert(R(3, "b", 20)).ok());
+  RelationStats stats = t.ComputeStats();
+  EXPECT_DOUBLE_EQ(stats.row_count, 3);
+  EXPECT_DOUBLE_EQ(stats.distinct["k"], 3);
+  EXPECT_DOUBLE_EQ(stats.distinct["g"], 2);
+  EXPECT_DOUBLE_EQ(stats.distinct["v"], 2);
+}
+
+TEST(DatabaseTest, CreateDropFind) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(MakeDef()).ok());
+  EXPECT_TRUE(db.HasTable("T"));
+  EXPECT_EQ(db.CreateTable(MakeDef()).status().code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(db.DropTable("T").ok());
+  EXPECT_FALSE(db.HasTable("T"));
+  EXPECT_EQ(db.DropTable("T").code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace auxview

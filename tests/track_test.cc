@@ -1,0 +1,172 @@
+#include "optimizer/track.h"
+
+#include <gtest/gtest.h>
+
+#include "memo/expand.h"
+#include "optimizer/optimizer.h"
+#include "workload/emp_dept.h"
+
+namespace auxview {
+namespace {
+
+class TrackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload_ = std::make_unique<EmpDeptWorkload>(EmpDeptConfig{});
+    auto tree = workload_->ProblemDeptTree();
+    ASSERT_TRUE(tree.ok());
+    Memo memo;
+    ASSERT_TRUE(memo.AddTree(*tree).ok());
+    auto rules = AggregationOnlyRuleSet();
+    ASSERT_TRUE(ExpandMemo(&memo, workload_->catalog(), rules).ok());
+    memo_ = std::make_unique<Memo>(std::move(memo));
+    stats_ = std::make_unique<StatsAnalysis>(memo_.get(),
+                                             &workload_->catalog());
+    delta_ = std::make_unique<DeltaAnalysis>(memo_.get(),
+                                             &workload_->catalog(),
+                                             stats_.get());
+    enumerator_ = std::make_unique<TrackEnumerator>(memo_.get(),
+                                                    delta_.get());
+    for (GroupId g : memo_->NonLeafGroups()) {
+      for (int eid : memo_->group(g).exprs) {
+        const MemoExpr& e = memo_->expr(eid);
+        if (e.dead) continue;
+        if (e.kind() == OpKind::kAggregate &&
+            e.op->group_by() == std::vector<std::string>{"DName"}) {
+          n3_ = g;
+        }
+        if (e.kind() == OpKind::kJoin) {
+          bool leaf_join = true;
+          for (GroupId in : e.inputs) {
+            if (!memo_->group(memo_->Find(in)).is_leaf) leaf_join = false;
+          }
+          if (leaf_join) n4_ = g;
+        }
+      }
+    }
+  }
+
+  std::unique_ptr<EmpDeptWorkload> workload_;
+  std::unique_ptr<Memo> memo_;
+  std::unique_ptr<StatsAnalysis> stats_;
+  std::unique_ptr<DeltaAnalysis> delta_;
+  std::unique_ptr<TrackEnumerator> enumerator_;
+  GroupId n3_ = -1, n4_ = -1;
+};
+
+TEST_F(TrackTest, RootOnlyYieldsTwoTracksPerTxn) {
+  // In Figure 2's DAG, the root can be reached via E2 (through N3) or E3
+  // (through N4): exactly the paper's two update tracks per transaction.
+  auto tracks = enumerator_->Enumerate({memo_->root()},
+                                       workload_->TxnModEmp());
+  ASSERT_TRUE(tracks.ok());
+  EXPECT_EQ(tracks->size(), 2u);
+  auto tracks_dept = enumerator_->Enumerate({memo_->root()},
+                                            workload_->TxnModDept());
+  ASSERT_TRUE(tracks_dept.ok());
+  EXPECT_EQ(tracks_dept->size(), 2u);
+}
+
+TEST_F(TrackTest, DeptTxnSkipsN3) {
+  // >Dept never needs a choice at N3 (unaffected).
+  auto tracks = enumerator_->Enumerate({memo_->root(), n3_},
+                                       workload_->TxnModDept());
+  ASSERT_TRUE(tracks.ok());
+  for (const UpdateTrack& t : *tracks) {
+    EXPECT_EQ(t.choice.count(n3_), 0u);
+  }
+}
+
+TEST_F(TrackTest, MarkedN4ForcesItOntoEveryTrack) {
+  auto tracks = enumerator_->Enumerate({memo_->root(), n4_},
+                                       workload_->TxnModEmp());
+  ASSERT_TRUE(tracks.ok());
+  ASSERT_FALSE(tracks->empty());
+  for (const UpdateTrack& t : *tracks) {
+    EXPECT_EQ(t.choice.count(n4_), 1u) << t.ToString(*memo_);
+  }
+}
+
+TEST_F(TrackTest, UnaffectedTxnGivesEmptyTrack) {
+  TransactionType other = SingleModifyTxn(">Other", "Other", {"x"});
+  auto tracks = enumerator_->Enumerate({memo_->root()}, other);
+  ASSERT_TRUE(tracks.ok());
+  ASSERT_EQ(tracks->size(), 1u);
+  EXPECT_TRUE((*tracks)[0].choice.empty());
+}
+
+TEST_F(TrackTest, GreedyYieldsSingleTrack) {
+  TrackEnumOptions options;
+  options.greedy = true;
+  auto tracks = enumerator_->Enumerate({memo_->root()},
+                                       workload_->TxnModEmp(), options);
+  ASSERT_TRUE(tracks.ok());
+  EXPECT_EQ(tracks->size(), 1u);
+}
+
+TEST_F(TrackTest, MaxTracksCapRespected) {
+  TrackEnumOptions options;
+  options.max_tracks = 1;
+  auto tracks = enumerator_->Enumerate({memo_->root()},
+                                       workload_->TxnModEmp(), options);
+  ASSERT_TRUE(tracks.ok());
+  EXPECT_EQ(tracks->size(), 1u);
+}
+
+TEST_F(TrackTest, AllowedOpsRestriction) {
+  // Restrict to the original (Figure 1 right) tree: only one track remains.
+  std::set<int> allowed;
+  for (int eid : memo_->LiveExprs()) {
+    const MemoExpr& e = memo_->expr(eid);
+    // The original ops: Select, 2-attr Aggregate, leaf Join.
+    if (e.kind() == OpKind::kSelect) allowed.insert(eid);
+    if (e.kind() == OpKind::kAggregate && e.op->group_by().size() == 2) {
+      allowed.insert(eid);
+    }
+    if (e.kind() == OpKind::kJoin) {
+      bool leaf_join = true;
+      for (GroupId in : e.inputs) {
+        if (!memo_->group(memo_->Find(in)).is_leaf) leaf_join = false;
+      }
+      if (leaf_join) allowed.insert(eid);
+    }
+  }
+  TrackEnumOptions options;
+  options.allowed_ops = allowed;
+  auto tracks = enumerator_->Enumerate({memo_->root()},
+                                       workload_->TxnModEmp(), options);
+  ASSERT_TRUE(tracks.ok());
+  EXPECT_EQ(tracks->size(), 1u);
+}
+
+TEST_F(TrackTest, TrackCostQueriesCarryLabels) {
+  ViewSelector selector(memo_.get(), &workload_->catalog());
+  auto plan = selector.BestTrack({memo_->root(), n3_},
+                                 workload_->TxnModEmp());
+  ASSERT_TRUE(plan.ok());
+  // {N3}, >Emp: exactly one (non-shared) query — the Dept lookup (Q2Re).
+  ASSERT_EQ(plan->cost.queries.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->cost.queries[0].cost, 2);
+  EXPECT_FALSE(plan->cost.queries[0].label.empty());
+  EXPECT_FALSE(plan->cost.queries[0].ToString().empty());
+}
+
+TEST_F(TrackTest, SharingDeduplicatesIdenticalQueries) {
+  // {N3, N4} for >Emp: both the E2 join (probe Dept with delta-N3) and the
+  // E5 join (probe Dept with delta-Emp) probe Dept on DName with one probe;
+  // sharing charges the second at zero.
+  ViewSelector selector(memo_.get(), &workload_->catalog());
+  OptimizeOptions with_sharing;
+  auto shared = selector.BestTrack({memo_->root(), n3_, n4_},
+                                   workload_->TxnModEmp(), with_sharing);
+  ASSERT_TRUE(shared.ok());
+  OptimizeOptions no_sharing;
+  no_sharing.cost.share_queries = false;
+  auto unshared = selector.BestTrack({memo_->root(), n3_, n4_},
+                                     workload_->TxnModEmp(), no_sharing);
+  ASSERT_TRUE(unshared.ok());
+  EXPECT_LT(shared->cost.query_cost, unshared->cost.query_cost);
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,70 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace auxview {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int64(7).int64(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).dbl(), 2.5);
+  EXPECT_EQ(Value::String("abc").str(), "abc");
+  EXPECT_TRUE(Value::Bool(true).boolean());
+  EXPECT_TRUE(Value::Int64(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::String("x").is_numeric());
+}
+
+TEST(ValueTest, NumericComparisonPromotes) {
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int64(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.0).Compare(Value::Int64(2)), 0);
+}
+
+TEST(ValueTest, NullOrdersFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int64(-100)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+  EXPECT_GT(Value::String("z").Compare(Value::String("y")), 0);
+}
+
+TEST(ValueTest, EqualValuesHashEqual) {
+  // 1 and 1.0 compare equal, so they must hash equal.
+  EXPECT_EQ(Value::Int64(1), Value::Double(1.0));
+  EXPECT_EQ(Value::Int64(1).Hash(), Value::Double(1.0).Hash());
+  EXPECT_EQ(Value::String("q").Hash(), Value::String("q").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int64(42).ToString(), "42");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, RowHashAndEquality) {
+  Row a = {Value::Int64(1), Value::String("x")};
+  Row b = {Value::Int64(1), Value::String("x")};
+  Row c = {Value::Int64(2), Value::String("x")};
+  EXPECT_TRUE(RowEq()(a, b));
+  EXPECT_FALSE(RowEq()(a, c));
+  EXPECT_EQ(HashRow(a), HashRow(b));
+  EXPECT_EQ(RowToString(a), "(1, 'x')");
+}
+
+TEST(ValueTest, Int64ExactComparison) {
+  // Large int64 values that would collide as doubles stay distinct.
+  const int64_t big = (1ll << 60) + 1;
+  EXPECT_NE(Value::Int64(big), Value::Int64(big - 1));
+  EXPECT_GT(Value::Int64(big).Compare(Value::Int64(big - 1)), 0);
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "workload/chain.h"
+#include "workload/emp_dept.h"
+#include "workload/fig5.h"
+#include "workload/txn_stream.h"
+
+namespace auxview {
+namespace {
+
+TEST(EmpDeptTest, PopulateMatchesConfig) {
+  EmpDeptConfig config;
+  config.num_depts = 20;
+  config.emps_per_dept = 5;
+  EmpDeptWorkload workload{config};
+  Database db;
+  ASSERT_TRUE(workload.Populate(&db).ok());
+  EXPECT_EQ(db.FindTable("Emp")->row_count(), 100);
+  EXPECT_EQ(db.FindTable("Dept")->row_count(), 20);
+  EXPECT_EQ(db.counter().total(), 0);  // population is uncharged
+}
+
+TEST(EmpDeptTest, ViolationFraction) {
+  EmpDeptConfig config;
+  config.num_depts = 200;
+  config.emps_per_dept = 3;
+  config.violation_fraction = 0.25;
+  config.seed = 5;
+  EmpDeptWorkload workload{config};
+  Database db;
+  ASSERT_TRUE(workload.Populate(&db).ok());
+  auto tree = workload.ProblemDeptTree();
+  ASSERT_TRUE(tree.ok());
+  Executor executor(&db);
+  auto result = executor.Execute(**tree);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(static_cast<double>(result->total_count()), 50, 20);
+}
+
+TEST(EmpDeptTest, StatsMatchData) {
+  EmpDeptWorkload workload{EmpDeptConfig{}};
+  Database db;
+  ASSERT_TRUE(workload.Populate(&db).ok());
+  RelationStats actual = db.FindTable("Emp")->ComputeStats();
+  const RelationStats& declared = workload.catalog().FindTable("Emp")->stats;
+  EXPECT_DOUBLE_EQ(actual.row_count, declared.row_count);
+  EXPECT_DOUBLE_EQ(actual.distinct["DName"], declared.DistinctOf("DName"));
+}
+
+TEST(ChainTest, PopulateAndJoinability) {
+  ChainConfig config;
+  config.num_relations = 3;
+  config.rows_per_relation = 60;
+  config.fanout = 3;
+  ChainWorkload workload{config};
+  Database db;
+  ASSERT_TRUE(workload.Populate(&db).ok());
+  auto tree = workload.ChainViewTree();
+  ASSERT_TRUE(tree.ok());
+  Executor executor(&db);
+  auto result = executor.Execute(**tree);
+  ASSERT_TRUE(result.ok());
+  // Every row joins through the key chain.
+  EXPECT_GT(result->total_count(), 0);
+}
+
+TEST(ChainTest, AggregateVariant) {
+  ChainConfig config;
+  config.num_relations = 3;
+  config.rows_per_relation = 40;
+  config.with_aggregate = true;
+  ChainWorkload workload{config};
+  auto tree = workload.ChainViewTree();
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->kind(), OpKind::kAggregate);
+  EXPECT_EQ(workload.AllTxns().size(), 3u);
+  EXPECT_EQ(workload.AllTxns({7})[0].weight, 7);
+}
+
+TEST(Fig5Test, PopulateAndEvaluate) {
+  Fig5Config config;
+  config.num_items = 30;
+  Fig5Workload workload{config};
+  Database db;
+  ASSERT_TRUE(workload.Populate(&db).ok());
+  auto tree = workload.ViewTree();
+  ASSERT_TRUE(tree.ok());
+  Executor executor(&db);
+  auto result = executor.Execute(**tree);
+  ASSERT_TRUE(result.ok());
+  // One output row per R row (every item has orders).
+  EXPECT_EQ(result->total_count(), 30 * config.r_rows_per_item);
+}
+
+TEST(TxnGeneratorTest, ModifyPerturbsOnlyDeclaredAttrs) {
+  EmpDeptConfig config;
+  config.num_depts = 10;
+  config.emps_per_dept = 2;
+  EmpDeptWorkload workload{config};
+  Database db;
+  ASSERT_TRUE(workload.Populate(&db).ok());
+  TxnGenerator gen(99);
+  auto txn = gen.Generate(workload.TxnModEmp(), db);
+  ASSERT_TRUE(txn.ok());
+  ASSERT_EQ(txn->updates.size(), 1u);
+  ASSERT_EQ(txn->updates[0].modifies.size(), 1u);
+  const auto& [old_row, new_row] = txn->updates[0].modifies[0];
+  EXPECT_EQ(old_row[0], new_row[0]);  // EName unchanged
+  EXPECT_EQ(old_row[1], new_row[1]);  // DName unchanged
+  EXPECT_NE(old_row[2], new_row[2]);  // Salary changed
+  // The old row really exists.
+  EXPECT_GT(db.FindTable("Emp")->CountOf(old_row), 0);
+}
+
+TEST(TxnGeneratorTest, InsertUsesFreshKeys) {
+  EmpDeptConfig config;
+  config.num_depts = 5;
+  config.emps_per_dept = 2;
+  EmpDeptWorkload workload{config};
+  Database db;
+  ASSERT_TRUE(workload.Populate(&db).ok());
+  TxnGenerator gen(7);
+  TransactionType hire;
+  hire.name = "hire";
+  hire.updates.push_back(UpdateSpec{"Emp", UpdateKind::kInsert, 3, {}, {}});
+  auto txn = gen.Generate(hire, db);
+  ASSERT_TRUE(txn.ok());
+  ASSERT_EQ(txn->updates[0].inserts.size(), 3u);
+  for (const auto& [row, count] : txn->updates[0].inserts) {
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(db.FindTable("Emp")->CountOf(row), 0);  // genuinely new
+    EXPECT_EQ(row[0].str().rfind("fresh_", 0), 0u);
+  }
+}
+
+TEST(TxnGeneratorTest, DeleteTargetsExistingRows) {
+  EmpDeptConfig config;
+  config.num_depts = 5;
+  config.emps_per_dept = 2;
+  EmpDeptWorkload workload{config};
+  Database db;
+  ASSERT_TRUE(workload.Populate(&db).ok());
+  TxnGenerator gen(8);
+  TransactionType quit;
+  quit.name = "quit";
+  quit.updates.push_back(UpdateSpec{"Emp", UpdateKind::kDelete, 2, {}, {}});
+  auto txn = gen.Generate(quit, db);
+  ASSERT_TRUE(txn.ok());
+  ASSERT_EQ(txn->updates[0].deletes.size(), 2u);
+  for (const auto& [row, count] : txn->updates[0].deletes) {
+    EXPECT_EQ(db.FindTable("Emp")->CountOf(row), count);
+  }
+}
+
+TEST(TxnGeneratorTest, UnknownRelationFails) {
+  Database db;
+  TxnGenerator gen(1);
+  EXPECT_EQ(gen.Generate(SingleModifyTxn("t", "Ghost", {"x"}), db)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace auxview

@@ -1,0 +1,206 @@
+// An interactive shell over the Session facade — the quickest way to poke
+// at the system:
+//
+//   $ ./build/tools/auxview_shell
+//   auxview> CREATE TABLE Emp (EName STRING PRIMARY KEY, DName STRING,
+//            Salary INT, INDEX (DName));
+//   auxview> CREATE VIEW SumOfSals (DName, SalSum) AS
+//            SELECT DName, SUM(Salary) FROM Emp GROUPBY DName;
+//   auxview> INSERT INTO Emp VALUES ('alice', 'eng', 100);
+//   auxview> .workload modify Emp Salary 5
+//   auxview> .prepare
+//   auxview> .plan
+//   auxview> UPDATE Emp SET Salary = 120 WHERE EName = 'alice';
+//   auxview> SELECT * FROM SumOfSals;
+//
+// Dot-commands: .prepare [strategy], .workload <modify|insert|delete>
+// <relation> [attr] [weight], .plan, .check, .io, .consistency, .help,
+// .quit. Statements may span lines; they run at ';'.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "auxview.h"
+#include "optimizer/explain.h"
+
+namespace {
+
+using namespace auxview;
+
+void PrintHelp() {
+  std::printf(
+      "SQL: CREATE TABLE/VIEW/ASSERTION, SELECT, INSERT, UPDATE, DELETE\n"
+      "dot-commands:\n"
+      "  .workload <modify|insert|delete> <relation> [attr] [weight]\n"
+      "      declare an expected transaction type (repeatable)\n"
+      "  .prepare [exhaustive|shielding|single-tree|marking|greedy]\n"
+      "      optimize view selection and materialize\n"
+      "  .plan          show the chosen views and per-transaction tracks\n"
+      "  .check         check all assertions\n"
+      "  .consistency   verify maintained views against recomputation\n"
+      "  .io            show the page-I/O counter\n"
+      "  .reset-io      reset the page-I/O counter\n"
+      "  .help .quit\n");
+}
+
+std::vector<std::string> Split(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> out;
+  std::string word;
+  while (in >> word) out.push_back(word);
+  return out;
+}
+
+class Shell {
+ public:
+  int Run() {
+    std::printf("auxview shell — SIGMOD'96 \"Trading Space for Time\"; "
+                ".help for help\n");
+    std::string buffer;
+    std::string line;
+    while (true) {
+      std::printf(buffer.empty() ? "auxview> " : "    ...> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      if (buffer.empty() && !line.empty() && line[0] == '.') {
+        if (!DotCommand(line)) break;
+        continue;
+      }
+      buffer += line + "\n";
+      if (line.find(';') == std::string::npos) continue;
+      RunSql(buffer);
+      buffer.clear();
+    }
+    return 0;
+  }
+
+ private:
+  void RunSql(const std::string& sql) {
+    auto result = session_.Execute(sql);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    if (result->rejected()) {
+      std::printf("REJECTED: assertion %s would be violated (rolled back)\n",
+                  result->violated_assertion.c_str());
+      return;
+    }
+    switch (result->kind) {
+      case ExecResult::Kind::kDdl:
+        std::printf("ok\n");
+        break;
+      case ExecResult::Kind::kDml:
+        std::printf("ok, %lld row(s)\n",
+                    static_cast<long long>(result->affected));
+        break;
+      case ExecResult::Kind::kRows: {
+        std::printf("[%s]\n", result->rows->schema().ToString().c_str());
+        for (const auto& [row, count] : result->rows->SortedRows()) {
+          for (int64_t i = 0; i < count; ++i) {
+            std::printf("%s\n", RowToString(row).c_str());
+          }
+        }
+        std::printf("(%lld row(s))\n",
+                    static_cast<long long>(result->rows->total_count()));
+        break;
+      }
+    }
+  }
+
+  bool DotCommand(const std::string& line) {
+    const std::vector<std::string> words = Split(line);
+    const std::string& cmd = words[0];
+    if (cmd == ".quit" || cmd == ".exit") return false;
+    if (cmd == ".help") {
+      PrintHelp();
+    } else if (cmd == ".workload") {
+      if (words.size() < 3) {
+        std::printf("usage: .workload <modify|insert|delete> <relation> "
+                    "[attr] [weight]\n");
+        return true;
+      }
+      TransactionType txn;
+      UpdateSpec spec;
+      spec.relation = words[2];
+      size_t next = 3;
+      if (words[1] == "modify") {
+        spec.kind = UpdateKind::kModify;
+        if (words.size() > next) spec.modified_attrs = {words[next++]};
+      } else if (words[1] == "insert") {
+        spec.kind = UpdateKind::kInsert;
+      } else if (words[1] == "delete") {
+        spec.kind = UpdateKind::kDelete;
+      } else {
+        std::printf("unknown update kind: %s\n", words[1].c_str());
+        return true;
+      }
+      txn.weight = words.size() > next ? std::atof(words[next].c_str()) : 1;
+      txn.name = ">" + spec.relation + "/" + words[1];
+      txn.updates.push_back(spec);
+      workload_.push_back(txn);
+      session_.DeclareWorkload(workload_);
+      std::printf("declared %s\n", txn.ToString().c_str());
+    } else if (cmd == ".prepare") {
+      SessionOptions options;
+      if (words.size() > 1) {
+        const std::string& s = words[1];
+        if (s == "shielding") options.strategy = Strategy::kShielding;
+        else if (s == "single-tree") options.strategy = Strategy::kSingleTree;
+        else if (s == "marking") {
+          options.strategy = Strategy::kHeuristicMarking;
+        } else if (s == "greedy") {
+          options.strategy = Strategy::kGreedy;
+        }
+      }
+      // Sessions are single-prepare; strategy changes need a fresh shell.
+      if (session_.prepared()) {
+        std::printf("already prepared\n");
+        return true;
+      }
+      Status st = session_.Prepare();
+      if (!st.ok()) {
+        std::printf("prepare failed: %s\n", st.ToString().c_str());
+        return true;
+      }
+      std::printf("%s", ExplainPlan(session_.memo(), session_.plan()).c_str());
+    } else if (cmd == ".plan") {
+      if (!session_.prepared()) {
+        std::printf("not prepared yet\n");
+        return true;
+      }
+      std::printf("%s", ExplainPlan(session_.memo(), session_.plan()).c_str());
+    } else if (cmd == ".check") {
+      auto checks = session_.CheckAssertions();
+      if (!checks.ok()) {
+        std::printf("error: %s\n", checks.status().ToString().c_str());
+        return true;
+      }
+      for (const AssertionCheck& check : *checks) {
+        std::printf("%s\n", check.ToString().c_str());
+      }
+      if (checks->empty()) std::printf("(no assertions declared)\n");
+    } else if (cmd == ".consistency") {
+      Status st = session_.CheckConsistency();
+      std::printf("%s\n", st.ok() ? "consistent" : st.ToString().c_str());
+    } else if (cmd == ".io") {
+      std::printf("%s\n", session_.counter().ToString().c_str());
+    } else if (cmd == ".reset-io") {
+      session_.db().counter().Reset();
+      std::printf("ok\n");
+    } else {
+      std::printf("unknown command %s (.help for help)\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  Session session_;
+  std::vector<TransactionType> workload_;
+};
+
+}  // namespace
+
+int main() { return Shell().Run(); }
