@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_f2_dag.dir/bench_f1_f2_dag.cc.o"
+  "CMakeFiles/bench_f1_f2_dag.dir/bench_f1_f2_dag.cc.o.d"
+  "bench_f1_f2_dag"
+  "bench_f1_f2_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_f2_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_adepts.dir/bench_f3_adepts.cc.o"
+  "CMakeFiles/bench_f3_adepts.dir/bench_f3_adepts.cc.o.d"
+  "bench_f3_adepts"
+  "bench_f3_adepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_adepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_shielding.dir/bench_f5_shielding.cc.o"
+  "CMakeFiles/bench_f5_shielding.dir/bench_f5_shielding.cc.o.d"
+  "bench_f5_shielding"
+  "bench_f5_shielding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_shielding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

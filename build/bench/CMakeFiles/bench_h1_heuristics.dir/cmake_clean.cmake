@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_h1_heuristics.dir/bench_h1_heuristics.cc.o"
+  "CMakeFiles/bench_h1_heuristics.dir/bench_h1_heuristics.cc.o.d"
+  "bench_h1_heuristics"
+  "bench_h1_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_h1_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m1_multiview.dir/bench_m1_multiview.cc.o"
+  "CMakeFiles/bench_m1_multiview.dir/bench_m1_multiview.cc.o.d"
+  "bench_m1_multiview"
+  "bench_m1_multiview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m1_multiview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s1_sharing.dir/bench_s1_sharing.cc.o"
+  "CMakeFiles/bench_s1_sharing.dir/bench_s1_sharing.cc.o.d"
+  "bench_s1_sharing"
+  "bench_s1_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s1_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s3_crossover.dir/bench_s3_crossover.cc.o"
+  "CMakeFiles/bench_s3_crossover.dir/bench_s3_crossover.cc.o.d"
+  "bench_s3_crossover"
+  "bench_s3_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s3_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

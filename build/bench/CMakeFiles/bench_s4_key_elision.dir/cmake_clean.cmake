@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s4_key_elision.dir/bench_s4_key_elision.cc.o"
+  "CMakeFiles/bench_s4_key_elision.dir/bench_s4_key_elision.cc.o.d"
+  "bench_s4_key_elision"
+  "bench_s4_key_elision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s4_key_elision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_s4_key_elision.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s5_update_kinds.dir/bench_s5_update_kinds.cc.o"
+  "CMakeFiles/bench_s5_update_kinds.dir/bench_s5_update_kinds.cc.o.d"
+  "bench_s5_update_kinds"
+  "bench_s5_update_kinds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s5_update_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

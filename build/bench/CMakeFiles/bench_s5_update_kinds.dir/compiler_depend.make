@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_s5_update_kinds.
+# This may be replaced when dependencies are built.

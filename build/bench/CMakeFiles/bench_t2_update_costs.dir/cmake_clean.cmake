@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_update_costs.dir/bench_t2_update_costs.cc.o"
+  "CMakeFiles/bench_t2_update_costs.dir/bench_t2_update_costs.cc.o.d"
+  "bench_t2_update_costs"
+  "bench_t2_update_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_update_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_track_costs.dir/bench_t3_track_costs.cc.o"
+  "CMakeFiles/bench_t3_track_costs.dir/bench_t3_track_costs.cc.o.d"
+  "bench_t3_track_costs"
+  "bench_t3_track_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_track_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assertion_checking.dir/assertion_checking.cc.o"
+  "CMakeFiles/assertion_checking.dir/assertion_checking.cc.o.d"
+  "assertion_checking"
+  "assertion_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assertion_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_revenue.dir/order_revenue.cc.o"
+  "CMakeFiles/order_revenue.dir/order_revenue.cc.o.d"
+  "order_revenue"
+  "order_revenue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

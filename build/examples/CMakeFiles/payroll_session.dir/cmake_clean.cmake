@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payroll_session.dir/payroll_session.cc.o"
+  "CMakeFiles/payroll_session.dir/payroll_session.cc.o.d"
+  "payroll_session"
+  "payroll_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payroll_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_adepts.dir/warehouse_adepts.cc.o"
+  "CMakeFiles/warehouse_adepts.dir/warehouse_adepts.cc.o.d"
+  "warehouse_adepts"
+  "warehouse_adepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_adepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/builder.cc" "src/CMakeFiles/auxview.dir/algebra/builder.cc.o" "gcc" "src/CMakeFiles/auxview.dir/algebra/builder.cc.o.d"
+  "/root/repo/src/algebra/expr.cc" "src/CMakeFiles/auxview.dir/algebra/expr.cc.o" "gcc" "src/CMakeFiles/auxview.dir/algebra/expr.cc.o.d"
+  "/root/repo/src/algebra/scalar.cc" "src/CMakeFiles/auxview.dir/algebra/scalar.cc.o" "gcc" "src/CMakeFiles/auxview.dir/algebra/scalar.cc.o.d"
+  "/root/repo/src/api/session.cc" "src/CMakeFiles/auxview.dir/api/session.cc.o" "gcc" "src/CMakeFiles/auxview.dir/api/session.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/auxview.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/auxview.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/fd.cc" "src/CMakeFiles/auxview.dir/catalog/fd.cc.o" "gcc" "src/CMakeFiles/auxview.dir/catalog/fd.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/auxview.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/auxview.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/catalog/statistics.cc" "src/CMakeFiles/auxview.dir/catalog/statistics.cc.o" "gcc" "src/CMakeFiles/auxview.dir/catalog/statistics.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/auxview.dir/common/status.cc.o" "gcc" "src/CMakeFiles/auxview.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/auxview.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/auxview.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/auxview.dir/common/value.cc.o" "gcc" "src/CMakeFiles/auxview.dir/common/value.cc.o.d"
+  "/root/repo/src/cost/io_cost_model.cc" "src/CMakeFiles/auxview.dir/cost/io_cost_model.cc.o" "gcc" "src/CMakeFiles/auxview.dir/cost/io_cost_model.cc.o.d"
+  "/root/repo/src/cost/query_cost.cc" "src/CMakeFiles/auxview.dir/cost/query_cost.cc.o" "gcc" "src/CMakeFiles/auxview.dir/cost/query_cost.cc.o.d"
+  "/root/repo/src/cost/statistics_propagation.cc" "src/CMakeFiles/auxview.dir/cost/statistics_propagation.cc.o" "gcc" "src/CMakeFiles/auxview.dir/cost/statistics_propagation.cc.o.d"
+  "/root/repo/src/delta/analysis.cc" "src/CMakeFiles/auxview.dir/delta/analysis.cc.o" "gcc" "src/CMakeFiles/auxview.dir/delta/analysis.cc.o.d"
+  "/root/repo/src/delta/delta.cc" "src/CMakeFiles/auxview.dir/delta/delta.cc.o" "gcc" "src/CMakeFiles/auxview.dir/delta/delta.cc.o.d"
+  "/root/repo/src/delta/transaction.cc" "src/CMakeFiles/auxview.dir/delta/transaction.cc.o" "gcc" "src/CMakeFiles/auxview.dir/delta/transaction.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/auxview.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/auxview.dir/exec/executor.cc.o.d"
+  "/root/repo/src/maintain/assertion.cc" "src/CMakeFiles/auxview.dir/maintain/assertion.cc.o" "gcc" "src/CMakeFiles/auxview.dir/maintain/assertion.cc.o.d"
+  "/root/repo/src/maintain/delta_engine.cc" "src/CMakeFiles/auxview.dir/maintain/delta_engine.cc.o" "gcc" "src/CMakeFiles/auxview.dir/maintain/delta_engine.cc.o.d"
+  "/root/repo/src/maintain/view_manager.cc" "src/CMakeFiles/auxview.dir/maintain/view_manager.cc.o" "gcc" "src/CMakeFiles/auxview.dir/maintain/view_manager.cc.o.d"
+  "/root/repo/src/memo/articulation.cc" "src/CMakeFiles/auxview.dir/memo/articulation.cc.o" "gcc" "src/CMakeFiles/auxview.dir/memo/articulation.cc.o.d"
+  "/root/repo/src/memo/dot.cc" "src/CMakeFiles/auxview.dir/memo/dot.cc.o" "gcc" "src/CMakeFiles/auxview.dir/memo/dot.cc.o.d"
+  "/root/repo/src/memo/expand.cc" "src/CMakeFiles/auxview.dir/memo/expand.cc.o" "gcc" "src/CMakeFiles/auxview.dir/memo/expand.cc.o.d"
+  "/root/repo/src/memo/fd_analysis.cc" "src/CMakeFiles/auxview.dir/memo/fd_analysis.cc.o" "gcc" "src/CMakeFiles/auxview.dir/memo/fd_analysis.cc.o.d"
+  "/root/repo/src/memo/memo.cc" "src/CMakeFiles/auxview.dir/memo/memo.cc.o" "gcc" "src/CMakeFiles/auxview.dir/memo/memo.cc.o.d"
+  "/root/repo/src/memo/rules.cc" "src/CMakeFiles/auxview.dir/memo/rules.cc.o" "gcc" "src/CMakeFiles/auxview.dir/memo/rules.cc.o.d"
+  "/root/repo/src/optimizer/exhaustive.cc" "src/CMakeFiles/auxview.dir/optimizer/exhaustive.cc.o" "gcc" "src/CMakeFiles/auxview.dir/optimizer/exhaustive.cc.o.d"
+  "/root/repo/src/optimizer/explain.cc" "src/CMakeFiles/auxview.dir/optimizer/explain.cc.o" "gcc" "src/CMakeFiles/auxview.dir/optimizer/explain.cc.o.d"
+  "/root/repo/src/optimizer/heuristics.cc" "src/CMakeFiles/auxview.dir/optimizer/heuristics.cc.o" "gcc" "src/CMakeFiles/auxview.dir/optimizer/heuristics.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/auxview.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/auxview.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/shielding.cc" "src/CMakeFiles/auxview.dir/optimizer/shielding.cc.o" "gcc" "src/CMakeFiles/auxview.dir/optimizer/shielding.cc.o.d"
+  "/root/repo/src/optimizer/track.cc" "src/CMakeFiles/auxview.dir/optimizer/track.cc.o" "gcc" "src/CMakeFiles/auxview.dir/optimizer/track.cc.o.d"
+  "/root/repo/src/optimizer/track_cost.cc" "src/CMakeFiles/auxview.dir/optimizer/track_cost.cc.o" "gcc" "src/CMakeFiles/auxview.dir/optimizer/track_cost.cc.o.d"
+  "/root/repo/src/optimizer/view_set.cc" "src/CMakeFiles/auxview.dir/optimizer/view_set.cc.o" "gcc" "src/CMakeFiles/auxview.dir/optimizer/view_set.cc.o.d"
+  "/root/repo/src/parser/ast.cc" "src/CMakeFiles/auxview.dir/parser/ast.cc.o" "gcc" "src/CMakeFiles/auxview.dir/parser/ast.cc.o.d"
+  "/root/repo/src/parser/binder.cc" "src/CMakeFiles/auxview.dir/parser/binder.cc.o" "gcc" "src/CMakeFiles/auxview.dir/parser/binder.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/auxview.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/auxview.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/auxview.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/auxview.dir/parser/parser.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/auxview.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/auxview.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/page_counter.cc" "src/CMakeFiles/auxview.dir/storage/page_counter.cc.o" "gcc" "src/CMakeFiles/auxview.dir/storage/page_counter.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/auxview.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/auxview.dir/storage/table.cc.o.d"
+  "/root/repo/src/workload/chain.cc" "src/CMakeFiles/auxview.dir/workload/chain.cc.o" "gcc" "src/CMakeFiles/auxview.dir/workload/chain.cc.o.d"
+  "/root/repo/src/workload/emp_dept.cc" "src/CMakeFiles/auxview.dir/workload/emp_dept.cc.o" "gcc" "src/CMakeFiles/auxview.dir/workload/emp_dept.cc.o.d"
+  "/root/repo/src/workload/fig5.cc" "src/CMakeFiles/auxview.dir/workload/fig5.cc.o" "gcc" "src/CMakeFiles/auxview.dir/workload/fig5.cc.o.d"
+  "/root/repo/src/workload/star.cc" "src/CMakeFiles/auxview.dir/workload/star.cc.o" "gcc" "src/CMakeFiles/auxview.dir/workload/star.cc.o.d"
+  "/root/repo/src/workload/txn_stream.cc" "src/CMakeFiles/auxview.dir/workload/txn_stream.cc.o" "gcc" "src/CMakeFiles/auxview.dir/workload/txn_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

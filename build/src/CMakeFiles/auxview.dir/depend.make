@@ -1,0 +1,2 @@
+# Empty dependencies file for auxview.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/articulation_test.dir/articulation_test.cc.o"
+  "CMakeFiles/articulation_test.dir/articulation_test.cc.o.d"
+  "articulation_test"
+  "articulation_test.pdb"
+  "articulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/articulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assertion_test.dir/assertion_test.cc.o"
+  "CMakeFiles/assertion_test.dir/assertion_test.cc.o.d"
+  "assertion_test"
+  "assertion_test.pdb"
+  "assertion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assertion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_analysis_test.dir/delta_analysis_test.cc.o"
+  "CMakeFiles/delta_analysis_test.dir/delta_analysis_test.cc.o.d"
+  "delta_analysis_test"
+  "delta_analysis_test.pdb"
+  "delta_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

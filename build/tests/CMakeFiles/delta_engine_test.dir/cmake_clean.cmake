@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_engine_test.dir/delta_engine_test.cc.o"
+  "CMakeFiles/delta_engine_test.dir/delta_engine_test.cc.o.d"
+  "delta_engine_test"
+  "delta_engine_test.pdb"
+  "delta_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_costs_test.dir/paper_costs_test.cc.o"
+  "CMakeFiles/paper_costs_test.dir/paper_costs_test.cc.o.d"
+  "paper_costs_test"
+  "paper_costs_test.pdb"
+  "paper_costs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_costs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_cost_test.dir/query_cost_test.cc.o"
+  "CMakeFiles/query_cost_test.dir/query_cost_test.cc.o.d"
+  "query_cost_test"
+  "query_cost_test.pdb"
+  "query_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

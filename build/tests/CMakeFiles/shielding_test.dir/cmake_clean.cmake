@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shielding_test.dir/shielding_test.cc.o"
+  "CMakeFiles/shielding_test.dir/shielding_test.cc.o.d"
+  "shielding_test"
+  "shielding_test.pdb"
+  "shielding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shielding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auxview_shell.dir/auxview_shell.cc.o"
+  "CMakeFiles/auxview_shell.dir/auxview_shell.cc.o.d"
+  "auxview_shell"
+  "auxview_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auxview_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
