@@ -63,8 +63,6 @@ BENCHMARK(BM_BuildFigure2Dag);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintFigures();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("f1_f2_dag", argc, argv,
+                                   [] { auxview::PrintFigures(); });
 }

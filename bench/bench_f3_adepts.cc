@@ -102,8 +102,6 @@ BENCHMARK(BM_ExhaustiveAdeptsStatus);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintResult();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("f3_adepts", argc, argv,
+                                   [] { auxview::PrintResult(); });
 }

@@ -132,8 +132,6 @@ BENCHMARK(BM_FindArticulationGroups);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintResult();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("f5_shielding", argc, argv,
+                                   [] { auxview::PrintResult(); });
 }

@@ -112,8 +112,6 @@ BENCHMARK(BM_StrategyOnChain4)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintResults();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("h1_heuristics", argc, argv,
+                                   [] { auxview::PrintResults(); });
 }

@@ -90,8 +90,6 @@ BENCHMARK(BM_MultiViewExhaustive);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintResult();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("m1_multiview", argc, argv,
+                                   [] { auxview::PrintResult(); });
 }

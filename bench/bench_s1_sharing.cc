@@ -67,8 +67,6 @@ BENCHMARK(BM_ExhaustiveSharing)->Arg(0)->Arg(1);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintResult();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("s1_sharing", argc, argv,
+                                   [] { auxview::PrintResult(); });
 }

@@ -107,8 +107,6 @@ BENCHMARK(BM_GreedyChain)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintResult();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("s2_scaling", argc, argv,
+                                   [] { auxview::PrintResult(); });
 }

@@ -78,8 +78,6 @@ BENCHMARK(BM_WeightSweepOptimize)->Arg(10)->Arg(50)->Arg(90);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintResult();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("s3_crossover", argc, argv,
+                                   [] { auxview::PrintResult(); });
 }

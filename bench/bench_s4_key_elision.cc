@@ -84,8 +84,6 @@ BENCHMARK(BM_BestTrackElision)->Arg(0)->Arg(1);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintResult();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("s4_key_elision", argc, argv,
+                                   [] { auxview::PrintResult(); });
 }

@@ -102,8 +102,6 @@ BENCHMARK(BM_MaintainByKind)->DenseRange(0, 3);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("s5_update_kinds", argc, argv,
+                                   [] { auxview::PrintTable(); });
 }

@@ -125,8 +125,6 @@ BENCHMARK(BM_IncrementalVsRecompute)->Arg(0)->Arg(1);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintResult();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("s6_vs_recompute", argc, argv,
+                                   [] { auxview::PrintResult(); });
 }

@@ -92,8 +92,6 @@ BENCHMARK(BM_LookupCostRecursive);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("t1_query_costs", argc, argv,
+                                   [] { auxview::PrintTable(); });
 }

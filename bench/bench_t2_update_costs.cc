@@ -55,8 +55,6 @@ BENCHMARK(BM_BestTrackWithUpdateCosts);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("t2_update_costs", argc, argv,
+                                   [] { auxview::PrintTable(); });
 }

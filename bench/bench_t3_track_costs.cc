@@ -128,8 +128,6 @@ BENCHMARK(BM_CostOneTrack);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("t3_track_costs", argc, argv,
+                                   [] { auxview::PrintTable(); });
 }

@@ -89,8 +89,6 @@ BENCHMARK(BM_MemoExpansion);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("t4_total_costs", argc, argv,
+                                   [] { auxview::PrintTable(); });
 }

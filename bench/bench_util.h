@@ -2,10 +2,19 @@
 #define AUXVIEW_BENCH_BENCH_UTIL_H_
 
 // Shared helpers for the reproduction benchmarks: building the paper's
-// ProblemDept DAG and locating the groups the paper names N1..N6
-// (Figure 2).
+// ProblemDept DAG, locating the groups the paper names N1..N6 (Figure 2),
+// and the JSON reporting harness. Every bench runs through BenchMain, which
+// captures each PrintHeader/PrintRow table (the predicted-vs-measured
+// paper numbers), the process-wide metrics snapshot (page I/O, maintenance
+// and optimizer counters) and wall time into BENCH_<name>.json — see
+// docs/BENCHMARKING.md for the schema and how to read it.
 
+#include <benchmark/benchmark.h>
+
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +23,22 @@
 
 namespace auxview {
 namespace bench {
+
+/// Accumulates the tables a bench prints so BenchMain can serialize them.
+/// PrintHeader opens a section; PrintRow appends to the current one.
+struct JsonReport {
+  struct Table {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+  };
+  std::vector<Table> tables;
+
+  static JsonReport& Global() {
+    static JsonReport* report = new JsonReport();
+    return *report;
+  }
+};
 
 /// The paper's named equivalence nodes in the ProblemDept DAG.
 struct PaperGroups {
@@ -85,20 +110,111 @@ inline PaperSetup MakePaperSetup() {
   return setup;
 }
 
-/// Prints a row of a fixed-width table.
+/// Prints a row of a fixed-width table and records it in the JSON report.
 inline void PrintRow(const std::string& label,
                      const std::vector<double>& values) {
   std::printf("  %-34s", label.c_str());
   for (double v : values) std::printf(" %10.4g", v);
   std::printf("\n");
+  JsonReport& report = JsonReport::Global();
+  if (report.tables.empty()) report.tables.emplace_back();
+  report.tables.back().rows.emplace_back(label, values);
 }
 
+/// Prints a table header and opens a new section in the JSON report.
 inline void PrintHeader(const std::string& title,
                         const std::vector<std::string>& columns) {
   std::printf("\n%s\n", title.c_str());
   std::printf("  %-34s", "");
   for (const std::string& c : columns) std::printf(" %10s", c.c_str());
   std::printf("\n");
+  JsonReport::Table table;
+  table.title = title;
+  table.columns = columns;
+  JsonReport::Global().tables.push_back(std::move(table));
+}
+
+/// Serializes the report (tables + metrics snapshot + wall time) as the
+/// BENCH_<name>.json record described in docs/BENCHMARKING.md.
+inline std::string ReportToJson(const std::string& name,
+                                const JsonReport& report,
+                                const obs::MetricsSnapshot& snapshot,
+                                double wall_seconds, double table_seconds) {
+  std::string out = "{\"schema_version\": 1";
+  out += ", \"bench\": " + obs::JsonString(name);
+  out += ", \"wall_time_seconds\": " + obs::JsonNumber(wall_seconds);
+  out += ", \"table_time_seconds\": " + obs::JsonNumber(table_seconds);
+  out += ", \"page_reads\": " +
+         std::to_string(snapshot.CounterOr("storage.page_reads"));
+  out += ", \"page_writes\": " +
+         std::to_string(snapshot.CounterOr("storage.page_writes"));
+  out += ", \"tables\": [";
+  for (size_t t = 0; t < report.tables.size(); ++t) {
+    const JsonReport::Table& table = report.tables[t];
+    if (t > 0) out += ", ";
+    out += "{\"title\": " + obs::JsonString(table.title) + ", \"columns\": [";
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += obs::JsonString(table.columns[c]);
+    }
+    out += "], \"rows\": [";
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      if (r > 0) out += ", ";
+      out += "{\"label\": " + obs::JsonString(table.rows[r].first) +
+             ", \"values\": [";
+      for (size_t v = 0; v < table.rows[r].second.size(); ++v) {
+        if (v > 0) out += ", ";
+        out += obs::JsonNumber(table.rows[r].second[v]);
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+  out += "], \"metrics\": " + snapshot.ToJson();
+  out += "}";
+  return out;
+}
+
+/// Shared main for every bench binary: runs the table-printing body, then
+/// the registered google-benchmark timings, then writes BENCH_<name>.json
+/// into $AUXVIEW_BENCH_JSON_DIR (default: the working directory).
+inline int BenchMain(const std::string& name, int argc, char** argv,
+                     const std::function<void()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto tables_done = std::chrono::steady_clock::now();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Model-only benches never touch storage; registering the page-I/O
+  // counters here keeps them in every report (as 0) so consumers can rely
+  // on their presence.
+  obs::MetricsRegistry::Global().GetCounter("storage.page_reads");
+  obs::MetricsRegistry::Global().GetCounter("storage.page_writes");
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  const double table_wall =
+      std::chrono::duration<double>(tables_done - start).count();
+  const std::string json = ReportToJson(name, JsonReport::Global(), snapshot,
+                                        wall, table_wall);
+
+  const char* dir = std::getenv("AUXVIEW_BENCH_JSON_DIR");
+  std::string path = dir != nullptr && dir[0] != '\0'
+                         ? std::string(dir) + "/BENCH_" + name + ".json"
+                         : "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace bench

@@ -115,8 +115,6 @@ BENCHMARK(BM_MaterializeViews)->Unit(benchmark::kMillisecond);
 }  // namespace auxview
 
 int main(int argc, char** argv) {
-  auxview::PrintResult();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return auxview::bench::BenchMain("v1_model_validation", argc, argv,
+                                   [] { auxview::PrintResult(); });
 }

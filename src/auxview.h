@@ -45,6 +45,7 @@
 #include "memo/fd_analysis.h"
 #include "memo/memo.h"
 #include "memo/rules.h"
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/explain.h"
 #include "optimizer/select_views.h"

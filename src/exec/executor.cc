@@ -3,8 +3,37 @@
 #include <map>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace auxview {
+
+namespace {
+
+/// Per-operator executor metrics: exec.ops.<op> counts evaluations,
+/// exec.rows_out.<op> counts result multiplicity. Handles are resolved once
+/// per operator kind.
+void RecordOperator(OpKind kind, const Relation& result) {
+  struct OpMetrics {
+    obs::Counter* ops;
+    obs::Counter* rows_out;
+  };
+  static const std::map<OpKind, OpMetrics>* metrics = [] {
+    auto* m = new std::map<OpKind, OpMetrics>();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    for (OpKind k : {OpKind::kScan, OpKind::kSelect, OpKind::kProject,
+                     OpKind::kJoin, OpKind::kAggregate, OpKind::kDupElim}) {
+      const std::string name = OpKindName(k);
+      (*m)[k] = OpMetrics{reg.GetCounter("exec.ops." + name),
+                          reg.GetCounter("exec.rows_out." + name)};
+    }
+    return m;
+  }();
+  const OpMetrics& om = metrics->at(kind);
+  om.ops->Add(1);
+  om.rows_out->Add(result.total_count());
+}
+
+}  // namespace
 
 namespace exec_detail {
 
@@ -224,32 +253,36 @@ StatusOr<Relation> Executor::ExecuteScan(const Expr& expr) const {
 }
 
 StatusOr<Relation> Executor::Execute(const Expr& expr) const {
-  switch (expr.kind()) {
-    case OpKind::kScan:
-      return ExecuteScan(expr);
-    case OpKind::kSelect: {
-      AUXVIEW_ASSIGN_OR_RETURN(Relation in, Execute(*expr.child(0)));
-      return exec_detail::ApplySelect(expr, in);
+  StatusOr<Relation> result = [&]() -> StatusOr<Relation> {
+    switch (expr.kind()) {
+      case OpKind::kScan:
+        return ExecuteScan(expr);
+      case OpKind::kSelect: {
+        AUXVIEW_ASSIGN_OR_RETURN(Relation in, Execute(*expr.child(0)));
+        return exec_detail::ApplySelect(expr, in);
+      }
+      case OpKind::kProject: {
+        AUXVIEW_ASSIGN_OR_RETURN(Relation in, Execute(*expr.child(0)));
+        return exec_detail::ApplyProject(expr, in);
+      }
+      case OpKind::kJoin: {
+        AUXVIEW_ASSIGN_OR_RETURN(Relation left, Execute(*expr.child(0)));
+        AUXVIEW_ASSIGN_OR_RETURN(Relation right, Execute(*expr.child(1)));
+        return exec_detail::ApplyJoin(expr, left, right);
+      }
+      case OpKind::kAggregate: {
+        AUXVIEW_ASSIGN_OR_RETURN(Relation in, Execute(*expr.child(0)));
+        return exec_detail::ApplyAggregate(expr, in);
+      }
+      case OpKind::kDupElim: {
+        AUXVIEW_ASSIGN_OR_RETURN(Relation in, Execute(*expr.child(0)));
+        return exec_detail::ApplyDupElim(expr, in);
+      }
     }
-    case OpKind::kProject: {
-      AUXVIEW_ASSIGN_OR_RETURN(Relation in, Execute(*expr.child(0)));
-      return exec_detail::ApplyProject(expr, in);
-    }
-    case OpKind::kJoin: {
-      AUXVIEW_ASSIGN_OR_RETURN(Relation left, Execute(*expr.child(0)));
-      AUXVIEW_ASSIGN_OR_RETURN(Relation right, Execute(*expr.child(1)));
-      return exec_detail::ApplyJoin(expr, left, right);
-    }
-    case OpKind::kAggregate: {
-      AUXVIEW_ASSIGN_OR_RETURN(Relation in, Execute(*expr.child(0)));
-      return exec_detail::ApplyAggregate(expr, in);
-    }
-    case OpKind::kDupElim: {
-      AUXVIEW_ASSIGN_OR_RETURN(Relation in, Execute(*expr.child(0)));
-      return exec_detail::ApplyDupElim(expr, in);
-    }
-  }
-  return Status::Internal("unhandled op kind in executor");
+    return Status::Internal("unhandled op kind in executor");
+  }();
+  if (result.ok()) RecordOperator(expr.kind(), *result);
+  return result;
 }
 
 }  // namespace auxview

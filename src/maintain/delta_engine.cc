@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/string_util.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
 
 namespace auxview {
 
@@ -101,6 +102,14 @@ StatusOr<Relation> DeltaEngine::LeafDeltaRelation(
 StatusOr<std::map<GroupId, Relation>> DeltaEngine::ComputeDeltas(
     const ConcreteTxn& txn, const TransactionType& type,
     const UpdateTrack& track, const ViewSet& marked) {
+  static obs::Counter* calls =
+      obs::MetricsRegistry::Global().GetCounter("maintain.compute_deltas");
+  static obs::Counter* deltas_out = obs::MetricsRegistry::Global().GetCounter(
+      "maintain.deltas_computed");
+  static obs::Histogram* timing = obs::MetricsRegistry::Global().GetHistogram(
+      "maintain.compute_deltas_us");
+  calls->Add(1);
+  obs::ScopedTimer timer(timing);
   // Fresh caches (the database mutates between transactions).
   stats_.Clear();
   fetch_cache_.clear();
@@ -116,6 +125,7 @@ StatusOr<std::map<GroupId, Relation>> DeltaEngine::ComputeDeltas(
     (void)eid;
     AUXVIEW_RETURN_IF_ERROR(DeltaOf(g, ctx).status());
   }
+  deltas_out->Add(static_cast<int64_t>(ctx.deltas.size()));
   return std::move(ctx.deltas);
 }
 
@@ -451,12 +461,18 @@ StatusOr<Relation> DeltaEngine::DupElimDelta(const MemoExpr& e,
 StatusOr<Relation> DeltaEngine::FetchMatching(
     GroupId g, const std::vector<std::string>& attrs, const Row& key,
     const ViewSet& marked) {
+  static obs::Counter* cache_hits =
+      obs::MetricsRegistry::Global().GetCounter("maintain.fetch_cache_hits");
+  static obs::Counter* cache_misses =
+      obs::MetricsRegistry::Global().GetCounter("maintain.fetch_cache_misses");
   g = memo_->Find(g);
   std::string cache_key = "N" + std::to_string(g) + "|" + Join(attrs, ",") +
                           "|" + RowToString(key);
   if (auto it = fetch_cache_.find(cache_key); it != fetch_cache_.end()) {
+    cache_hits->Add(1);
     return it->second;
   }
+  cache_misses->Add(1);
   const MemoGroup& grp = memo_->group(g);
 
   // Base relation or materialized view: direct (charged) lookup.

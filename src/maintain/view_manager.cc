@@ -3,8 +3,43 @@
 #include <algorithm>
 
 #include "exec/executor.h"
+#include "obs/metrics.h"
 
 namespace auxview {
+
+namespace {
+
+/// Page I/Os charged during one maintenance pass, observed into `hist`
+/// when the guard leaves scope (the paper's per-transaction cost unit).
+class ScopedIoDelta {
+ public:
+  ScopedIoDelta(const PageCounter& counter, obs::Histogram* hist)
+      : counter_(counter), hist_(hist), start_(counter.total()) {}
+  ~ScopedIoDelta() {
+    hist_->Observe(static_cast<double>(counter_.total() - start_));
+  }
+
+  ScopedIoDelta(const ScopedIoDelta&) = delete;
+  ScopedIoDelta& operator=(const ScopedIoDelta&) = delete;
+
+ private:
+  const PageCounter& counter_;
+  obs::Histogram* hist_;
+  int64_t start_;
+};
+
+/// 1/2/5-per-decade bounds for per-transaction page-I/O histograms.
+std::vector<double> PageIoBounds() {
+  std::vector<double> bounds;
+  for (double decade = 1; decade <= 1e6; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+  }
+  return bounds;
+}
+
+}  // namespace
 
 ViewManager::ViewManager(const Memo* memo, const Catalog* catalog,
                          Database* db, MaintainOptions options)
@@ -69,6 +104,9 @@ std::vector<std::string> ViewManager::ChooseIndexAttrs(const Memo& memo,
 }
 
 Status ViewManager::Materialize(const ViewSet& views) {
+  static obs::Counter* materialized =
+      obs::MetricsRegistry::Global().GetCounter(
+          "maintain.views_materialized");
   views_.clear();
   for (GroupId g : views) views_.insert(memo_->Find(g));
   views_.insert(memo_->root());
@@ -95,6 +133,7 @@ Status ViewManager::Materialize(const ViewSet& views) {
       }
       AUXVIEW_RETURN_IF_ERROR(table->Insert(row, count));
     }
+    materialized->Add(1);
   }
   return Status::Ok();
 }
@@ -102,6 +141,14 @@ Status ViewManager::Materialize(const ViewSet& views) {
 Status ViewManager::ApplyTransaction(const ConcreteTxn& txn,
                                      const TransactionType& type,
                                      const UpdateTrack& track) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static obs::Counter* txns = reg.GetCounter("maintain.txns_applied");
+  static obs::Histogram* io_hist =
+      reg.GetHistogram("maintain.txn_page_ios", PageIoBounds());
+  static obs::Histogram* timing = reg.GetHistogram("maintain.apply_txn_us");
+  txns->Add(1);
+  obs::ScopedTimer timer(timing);
+  ScopedIoDelta io_delta(db_->counter(), io_hist);
   // 1. Compute all deltas against the pre-update state.
   AUXVIEW_ASSIGN_OR_RETURN(auto deltas,
                            engine_.ComputeDeltas(txn, type, track, views_));
@@ -152,6 +199,15 @@ Status ViewManager::ApplyTransaction(const ConcreteTxn& txn,
 
 Status ViewManager::ApplyTransactionByRecompute(const ConcreteTxn& txn,
                                                 const TransactionType& type) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static obs::Counter* txns = reg.GetCounter("maintain.txns_recomputed");
+  static obs::Histogram* io_hist =
+      reg.GetHistogram("maintain.recompute_page_ios", PageIoBounds());
+  static obs::Histogram* timing =
+      reg.GetHistogram("maintain.recompute_txn_us");
+  txns->Add(1);
+  obs::ScopedTimer timer(timing);
+  ScopedIoDelta io_delta(db_->counter(), io_hist);
   // 1. Apply the base updates (uncharged, as in ApplyTransaction).
   {
     ScopedCountingDisabled guard(&db_->counter());

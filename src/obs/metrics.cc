@@ -1,0 +1,245 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace auxview {
+namespace obs {
+
+/// Escapes `s` as a JSON string literal (with quotes). Metric names are
+/// ASCII by convention, but escaping keeps arbitrary relation names safe.
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no Inf/NaN
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double value) {
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Accumulate the double sum through its bit pattern (CAS loop).
+  int64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double current;
+    std::memcpy(&current, &expected, sizeof(current));
+    const double next = current + value;
+    int64_t next_bits;
+    std::memcpy(&next_bits, &next, sizeof(next_bits));
+    if (sum_bits_.compare_exchange_weak(expected, next_bits,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  const int64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::vector<int64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::DefaultTimeBoundsUs() {
+  std::vector<double> bounds;
+  for (double decade = 1; decade <= 1e8; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+  }
+  bounds.push_back(1e9);
+  return bounds;
+}
+
+int64_t MetricsSnapshot::CounterOr(const std::string& name,
+                                   int64_t fallback) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return fallback;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const CounterValue& c : counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += JsonString(c.name) + ": " + std::to_string(c.value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const GaugeValue& g : gauges) {
+    if (!first) out += ", ";
+    first = false;
+    out += JsonString(g.name) + ": " + std::to_string(g.value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const HistogramValue& h : histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += JsonString(h.name) + ": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + JsonNumber(h.sum) + ", \"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += JsonNumber(h.bounds[i]);
+    }
+    out += "], \"buckets\": [";
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToTable() const {
+  std::string out;
+  char buf[256];
+  for (const CounterValue& c : counters) {
+    std::snprintf(buf, sizeof(buf), "  %-52s %14lld\n", c.name.c_str(),
+                  static_cast<long long>(c.value));
+    out += buf;
+  }
+  for (const GaugeValue& g : gauges) {
+    std::snprintf(buf, sizeof(buf), "  %-52s %14lld\n", g.name.c_str(),
+                  static_cast<long long>(g.value));
+    out += buf;
+  }
+  for (const HistogramValue& h : histograms) {
+    const double avg =
+        h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "  %-52s n=%-10lld sum=%-12.6g avg=%.6g\n", h.name.c_str(),
+                  static_cast<long long>(h.count), h.sum, avg);
+    out += buf;
+  }
+  if (out.empty()) out = "  (no metrics recorded yet)\n";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = Histogram::DefaultTimeBoundsUs();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramValue h;
+    h.name = name;
+    h.count = hist->count();
+    h.sum = hist->sum();
+    h.bounds = hist->bounds();
+    h.buckets = hist->bucket_counts();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (hist_ != nullptr) hist_->Observe(ElapsedUs());
+}
+
+double ScopedTimer::ElapsedUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+TraceSpan::TraceSpan(const std::string& name)
+    : timer_(MetricsRegistry::Global().GetHistogram("span." + name + ".us")) {
+  MetricsRegistry::Global().GetCounter("span." + name + ".calls")->Add(1);
+}
+
+}  // namespace obs
+}  // namespace auxview

@@ -1,0 +1,179 @@
+#ifndef AUXVIEW_OBS_METRICS_H_
+#define AUXVIEW_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace auxview {
+namespace obs {
+
+/// Lock-cheap metrics for the hot paths (see docs/OBSERVABILITY.md for the
+/// metric catalog and naming conventions).
+///
+/// Registration (name -> handle) takes a mutex once; the returned handles are
+/// stable pointers whose updates are single relaxed atomics, so instrumented
+/// code caches a handle at construction time and pays one `fetch_add` per
+/// event. Snapshots are deterministic: metrics are stored sorted by name.
+
+/// Escapes `s` as a quoted JSON string literal.
+std::string JsonString(const std::string& s);
+
+/// Formats a double as a JSON number ("null" for NaN/Inf, which JSON lacks).
+std::string JsonNumber(double v);
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A value that can go up and down (e.g. live candidate count).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A histogram with fixed bucket upper bounds (cumulative-style buckets:
+/// bucket i counts observations <= bounds[i]; one implicit overflow bucket
+/// counts the rest). Also tracks count and sum, so averages are available
+/// even when the bucket layout is coarse.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last is overflow).
+  std::vector<int64_t> bucket_counts() const;
+  void Reset();
+
+  /// Default bounds for microsecond-scale timings: 1us .. ~1e9us, decades
+  /// subdivided 1/2/5.
+  static std::vector<double> DefaultTimeBoundsUs();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_bits_{0};  // double sum, CAS-accumulated bits
+};
+
+/// A point-in-time, deterministic (name-sorted) copy of every metric.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    int64_t count = 0;
+    double sum = 0;
+    std::vector<double> bounds;
+    std::vector<int64_t> buckets;  // bounds.size() + 1, last is overflow
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Counter value by exact name (0 when absent).
+  int64_t CounterOr(const std::string& name, int64_t fallback = 0) const;
+
+  /// Serializes to a JSON object:
+  /// {"counters": {...}, "gauges": {...},
+  ///  "histograms": {name: {"count": c, "sum": s, "bounds": [...],
+  ///                        "buckets": [...]}}}
+  std::string ToJson() const;
+
+  /// Fixed-width human-readable table (the shell's .metrics command).
+  std::string ToTable() const;
+};
+
+/// The process-wide registry. `Get*` registers on first use and returns a
+/// stable handle; repeated calls with the same name return the same handle
+/// (a histogram's bucket bounds are fixed by the first registration).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (tests and benches; registration
+  /// survives, handles stay valid).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII timer observing elapsed wall time in microseconds into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Elapsed microseconds so far.
+  double ElapsedUs() const;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A named trace span: registers (on first use) and updates
+/// `span.<name>.calls` (counter) and `span.<name>.us` (histogram) for the
+/// enclosed scope. Cheap enough for per-transaction paths; cache the result
+/// of the registry lookups with a function-local static when the span is on
+/// a true hot loop.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const std::string& name);
+  ~TraceSpan() = default;
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  ScopedTimer timer_;
+};
+
+}  // namespace obs
+}  // namespace auxview
+
+#endif  // AUXVIEW_OBS_METRICS_H_

@@ -1,9 +1,35 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 
 namespace auxview {
+
+namespace {
+
+/// Shared optimizer counters (see docs/OBSERVABILITY.md).
+struct OptimizerMetrics {
+  obs::Counter* viewsets_costed;
+  obs::Counter* viewsets_pruned;
+  obs::Counter* tracks_costed;
+  obs::Histogram* enumerate_us;
+
+  static const OptimizerMetrics& Get() {
+    static const OptimizerMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return OptimizerMetrics{
+          reg.GetCounter("optimizer.viewsets_costed"),
+          reg.GetCounter("optimizer.viewsets_pruned"),
+          reg.GetCounter("optimizer.tracks_costed"),
+          reg.GetHistogram("optimizer.enumerate_us"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 ViewSelector::ViewSelector(const Memo* memo, const Catalog* catalog,
                            IoCostModel model)
@@ -27,6 +53,8 @@ StatusOr<TxnPlan> ViewSelector::BestTrack(const ViewSet& views,
   best.txn_name = txn.name;
   best.weight = txn.weight;
   double best_cost = std::numeric_limits<double>::infinity();
+  OptimizerMetrics::Get().tracks_costed->Add(
+      static_cast<int64_t>(tracks.size()));
   for (const UpdateTrack& track : tracks) {
     AUXVIEW_ASSIGN_OR_RETURN(TrackCost cost, coster.Cost(track, views, txn));
     if (cost.total() < best_cost) {
@@ -58,6 +86,7 @@ StatusOr<OptimizeResult> ViewSelector::CostViewSet(
   }
   result.weighted_cost = total_weight > 0 ? weighted / total_weight : 0;
   result.viewsets_costed = 1;
+  OptimizerMetrics::Get().viewsets_costed->Add(1);
   return result;
 }
 
@@ -82,6 +111,9 @@ StatusOr<OptimizeResult> ViewSelector::ExhaustiveOver(
                      options.cost);
   TrackEnumerator enumerator(memo_, &delta_);
 
+  const OptimizerMetrics& metrics = OptimizerMetrics::Get();
+  obs::ScopedTimer enum_timer(metrics.enumerate_us);
+
   OptimizeResult best;
   best.weighted_cost = std::numeric_limits<double>::infinity();
 
@@ -93,6 +125,7 @@ StatusOr<OptimizeResult> ViewSelector::ExhaustiveOver(
     }
     if (filter != nullptr && !filter(views)) {
       ++best.viewsets_pruned;
+      metrics.viewsets_pruned->Add(1);
       continue;
     }
     double weighted = 0;
@@ -111,6 +144,7 @@ StatusOr<OptimizeResult> ViewSelector::ExhaustiveOver(
         AUXVIEW_ASSIGN_OR_RETURN(TrackCost cost,
                                  coster.Cost(track, views, txn));
         ++best.tracks_costed;
+        metrics.tracks_costed->Add(1);
         if (cost.total() < txn_best) {
           txn_best = cost.total();
           plan.track = track;
@@ -128,6 +162,7 @@ StatusOr<OptimizeResult> ViewSelector::ExhaustiveOver(
     if (!feasible) continue;
     const double avg = total_weight > 0 ? weighted / total_weight : 0;
     ++best.viewsets_costed;
+    metrics.viewsets_costed->Add(1);
     if (options.keep_all) best.all_costs.emplace_back(views, avg);
     if (avg < best.weighted_cost) {
       best.weighted_cost = avg;

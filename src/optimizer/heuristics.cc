@@ -2,6 +2,7 @@
 #include <limits>
 #include <map>
 
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 
 namespace auxview {
@@ -76,6 +77,7 @@ void OriginalTreeChoice(const Memo& memo, GroupId g,
 
 StatusOr<OptimizeResult> ViewSelector::SingleTree(
     const std::vector<TransactionType>& txns, const OptimizeOptions& options) {
+  obs::TraceSpan span("optimizer.single_tree");
   QueryCoster query(memo_, catalog_, &stats_, &fds_, model_, options.query);
   // Phase one: a low-cost tree for the view treated as a query.
   std::map<GroupId, int> greedy_choice;
@@ -110,6 +112,7 @@ StatusOr<OptimizeResult> ViewSelector::SingleTree(
 
 StatusOr<OptimizeResult> ViewSelector::HeuristicMarking(
     const std::vector<TransactionType>& txns, const OptimizeOptions& options) {
+  obs::TraceSpan span("optimizer.heuristic_marking");
   QueryCoster query(memo_, catalog_, &stats_, &fds_, model_, options.query);
   std::map<GroupId, int> choice;
   ChooseTree(*memo_, query, memo_->root(), &choice);
@@ -147,6 +150,7 @@ StatusOr<OptimizeResult> ViewSelector::HeuristicMarking(
 
 StatusOr<OptimizeResult> ViewSelector::Greedy(
     const std::vector<TransactionType>& txns, const OptimizeOptions& options) {
+  obs::TraceSpan span("optimizer.greedy");
   // Hill-climbing replaces the 2^n view-set enumeration; track enumeration
   // stays as configured (set options.tracks.greedy for the fully
   // approximate variant of Section 5.3).

@@ -2,6 +2,7 @@
 #include <map>
 
 #include "memo/articulation.h"
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 
 namespace auxview {
@@ -51,6 +52,7 @@ std::set<GroupId> InteriorOf(const Memo& memo, GroupId a) {
 
 StatusOr<OptimizeResult> ViewSelector::Shielding(
     const std::vector<TransactionType>& txns, const OptimizeOptions& options) {
+  obs::TraceSpan span("optimizer.shielding");
   const GroupId root = memo_->root();
   const std::set<GroupId> arts_all = FindArticulationGroups(*memo_);
 

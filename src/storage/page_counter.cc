@@ -4,6 +4,16 @@
 
 namespace auxview {
 
+PageCounter::PageCounter() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  m_index_reads_ = reg.GetCounter("storage.index_reads");
+  m_index_writes_ = reg.GetCounter("storage.index_writes");
+  m_tuple_reads_ = reg.GetCounter("storage.tuple_reads");
+  m_tuple_writes_ = reg.GetCounter("storage.tuple_writes");
+  m_page_reads_ = reg.GetCounter("storage.page_reads");
+  m_page_writes_ = reg.GetCounter("storage.page_writes");
+}
+
 void PageCounter::Reset() {
   index_reads_ = 0;
   index_writes_ = 0;

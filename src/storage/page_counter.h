@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace auxview {
 
 /// Page-I/O accounting that mirrors the paper's cost model (Section 3.6):
@@ -14,18 +16,47 @@ namespace auxview {
 /// The storage engine charges this counter on real operations so that
 /// model-estimated costs can be validated against counted I/Os
 /// (bench_v1_model_validation).
+///
+/// Every charge is mirrored into the process-wide metrics registry
+/// (storage.page_reads / storage.page_writes and the four
+/// storage.{index,tuple}_{reads,writes} counters), so bench JSON reports and
+/// the shell's .metrics command see page I/O without plumbing a counter
+/// reference around. The local fields keep the scoped per-database /
+/// per-transaction accounting the cost-model validation relies on.
 class PageCounter {
  public:
+  PageCounter();
+
   void Reset();
 
   /// Suspends charging (bulk loads, view materialization, test oracles).
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
-  void AddIndexRead(int64_t n = 1) { if (enabled_) index_reads_ += n; }
-  void AddIndexWrite(int64_t n = 1) { if (enabled_) index_writes_ += n; }
-  void AddTupleRead(int64_t n = 1) { if (enabled_) tuple_reads_ += n; }
-  void AddTupleWrite(int64_t n = 1) { if (enabled_) tuple_writes_ += n; }
+  void AddIndexRead(int64_t n = 1) {
+    if (!enabled_) return;
+    index_reads_ += n;
+    m_index_reads_->Add(n);
+    m_page_reads_->Add(n);
+  }
+  void AddIndexWrite(int64_t n = 1) {
+    if (!enabled_) return;
+    index_writes_ += n;
+    m_index_writes_->Add(n);
+    m_page_writes_->Add(n);
+  }
+  void AddTupleRead(int64_t n = 1) {
+    if (!enabled_) return;
+    tuple_reads_ += n;
+    m_tuple_reads_->Add(n);
+    m_page_reads_->Add(n);
+  }
+  void AddTupleWrite(int64_t n = 1) {
+    if (!enabled_) return;
+    tuple_writes_ += n;
+    m_tuple_writes_->Add(n);
+    m_page_writes_->Add(n);
+  }
 
   int64_t index_reads() const { return index_reads_; }
   int64_t index_writes() const { return index_writes_; }
@@ -43,6 +74,13 @@ class PageCounter {
   int64_t index_writes_ = 0;
   int64_t tuple_reads_ = 0;
   int64_t tuple_writes_ = 0;
+  // Global mirrors (never null; resolved once in the constructor).
+  obs::Counter* m_index_reads_;
+  obs::Counter* m_index_writes_;
+  obs::Counter* m_tuple_reads_;
+  obs::Counter* m_tuple_writes_;
+  obs::Counter* m_page_reads_;
+  obs::Counter* m_page_writes_;
 };
 
 /// RAII guard that disables a counter for a scope.

@@ -9,6 +9,10 @@ namespace auxview {
 Table::Table(TableDef def, PageCounter* counter)
     : def_(std::move(def)), counter_(counter) {
   AUXVIEW_CHECK(counter_ != nullptr);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  rel_page_reads_ = reg.GetCounter("storage.rel." + def_.name + ".page_reads");
+  rel_page_writes_ =
+      reg.GetCounter("storage.rel." + def_.name + ".page_writes");
   auto add_index = [&](const std::vector<std::string>& attrs) {
     if (attrs.empty()) return;
     // Skip duplicates (primary key may also be listed as an index).
@@ -72,19 +76,19 @@ Status Table::Apply(const Row& row, int64_t count) {
   // (read; write only when the index contents change, which they do for
   // inserts/deletes of a distinct row).
   const int64_t tuples = count > 0 ? count : -count;
-  counter_->AddIndexRead(static_cast<int64_t>(indexes_.size()));
+  ChargeIndexRead(static_cast<int64_t>(indexes_.size()));
   if (count > 0) {
-    counter_->AddTupleWrite(tuples);
+    ChargeTupleWrite(tuples);
   } else {
-    counter_->AddTupleRead(tuples);
-    counter_->AddTupleWrite(tuples);
+    ChargeTupleRead(tuples);
+    ChargeTupleWrite(tuples);
   }
   if (old == 0 && next > 0) {
     IndexInsert(row);
-    counter_->AddIndexWrite(static_cast<int64_t>(indexes_.size()));
+    ChargeIndexWrite(static_cast<int64_t>(indexes_.size()));
   } else if (old > 0 && next == 0) {
     IndexErase(row);
-    counter_->AddIndexWrite(static_cast<int64_t>(indexes_.size()));
+    ChargeIndexWrite(static_cast<int64_t>(indexes_.size()));
   }
   if (next == 0) {
     rows_.erase(it);
@@ -106,12 +110,12 @@ Status Table::ModifyBatch(const std::vector<std::pair<Row, Row>>& pairs) {
   // Paper's modify model: per index one index-page read for the batch
   // (write only when the indexed attributes change); per tuple one read
   // (old value) + one write.
-  counter_->AddIndexRead(static_cast<int64_t>(indexes_.size()));
+  ChargeIndexRead(static_cast<int64_t>(indexes_.size()));
   RowEq eq;
   for (const IndexState& idx : indexes_) {
     for (const auto& [old_row, new_row] : pairs) {
       if (!eq(ProjectKey(idx, old_row), ProjectKey(idx, new_row))) {
-        counter_->AddIndexWrite(1);
+        ChargeIndexWrite(1);
         break;
       }
     }
@@ -123,8 +127,8 @@ Status Table::ModifyBatch(const std::vector<std::pair<Row, Row>>& pairs) {
                               RowToString(old_row));
     }
     const int64_t count = it->second;
-    counter_->AddTupleRead(count);
-    counter_->AddTupleWrite(count);
+    ChargeTupleRead(count);
+    ChargeTupleWrite(count);
     // Structural update without re-charging.
     IndexErase(old_row);
     rows_.erase(it);
@@ -174,7 +178,7 @@ std::vector<CountedRow> Table::Lookup(const std::vector<std::string>& attrs,
   std::vector<CountedRow> out;
   const IndexState* idx = FindIndex(attrs);
   if (idx != nullptr) {
-    counter_->AddIndexRead(1);
+    ChargeIndexRead(1);
     // Reorder key to the index's attribute order (the index may cover only
     // a subset of the probe attributes; the rest filter after the fetch).
     Row ordered_key(idx->attrs.size());
@@ -197,7 +201,7 @@ std::vector<CountedRow> Table::Lookup(const std::vector<std::string>& attrs,
     if (it != idx->map.end()) {
       for (const Row& row : it->second) {
         const int64_t count = CountOf(row);
-        counter_->AddTupleRead(count);
+        ChargeTupleRead(count);
         bool match = true;
         for (size_t i = 0; i < residual_cols.size(); ++i) {
           if (row[residual_cols[i]] != *residual_vals[i]) {
@@ -218,7 +222,7 @@ std::vector<CountedRow> Table::Lookup(const std::vector<std::string>& attrs,
     cols.push_back(col);
   }
   for (const auto& [row, count] : rows_) {
-    counter_->AddTupleRead(count);
+    ChargeTupleRead(count);
     bool match = true;
     for (size_t i = 0; i < cols.size(); ++i) {
       if (row[cols[i]] != key[i]) {
@@ -235,7 +239,7 @@ std::vector<CountedRow> Table::ScanAll() const {
   std::vector<CountedRow> out;
   out.reserve(rows_.size());
   for (const auto& [row, count] : rows_) {
-    counter_->AddTupleRead(count);
+    ChargeTupleRead(count);
     out.push_back(CountedRow{row, count});
   }
   return out;

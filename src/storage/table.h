@@ -103,6 +103,27 @@ class Table {
     std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> map;
   };
 
+  // Charge helpers: the shared PageCounter plus this relation's own
+  // storage.rel.<name>.page_{reads,writes} metrics. Gated on the counter's
+  // enabled flag so per-relation metrics match the charged cost model
+  // (materialization and test oracles stay invisible).
+  void ChargeIndexRead(int64_t n) const {
+    counter_->AddIndexRead(n);
+    if (counter_->enabled()) rel_page_reads_->Add(n);
+  }
+  void ChargeIndexWrite(int64_t n) const {
+    counter_->AddIndexWrite(n);
+    if (counter_->enabled()) rel_page_writes_->Add(n);
+  }
+  void ChargeTupleRead(int64_t n) const {
+    counter_->AddTupleRead(n);
+    if (counter_->enabled()) rel_page_reads_->Add(n);
+  }
+  void ChargeTupleWrite(int64_t n) const {
+    counter_->AddTupleWrite(n);
+    if (counter_->enabled()) rel_page_writes_->Add(n);
+  }
+
   Row ProjectKey(const IndexState& idx, const Row& row) const;
   void IndexInsert(const Row& row);
   void IndexErase(const Row& row);
@@ -110,6 +131,8 @@ class Table {
 
   TableDef def_;
   PageCounter* counter_;
+  obs::Counter* rel_page_reads_;   // storage.rel.<name>.page_reads
+  obs::Counter* rel_page_writes_;  // storage.rel.<name>.page_writes
   std::unordered_map<Row, int64_t, RowHash, RowEq> rows_;
   int64_t total_count_ = 0;
   std::vector<IndexState> indexes_;

@@ -9,6 +9,7 @@
 #include "exec/executor.h"
 #include "maintain/view_manager.h"
 #include "memo/expand.h"
+#include "obs/metrics.h"
 #include "workload/emp_dept.h"
 
 namespace auxview {
@@ -201,6 +202,49 @@ TEST_F(DeltaEngineTest, FetchCacheAvoidsRecharging) {
   ASSERT_TRUE(deltas.ok());
   // Dept is probed by DName at most once despite two join operation nodes.
   EXPECT_LE(db_.counter().index_reads(), 3);
+}
+
+TEST_F(DeltaEngineTest, MaintenancePassChargesMetricsCounters) {
+  const TransactionType type = workload_->TxnModEmp();
+  StatsAnalysis stats(memo_.get(), &workload_->catalog());
+  DeltaAnalysis analysis(memo_.get(), &workload_->catalog(), &stats);
+  TrackEnumerator enumerator(memo_.get(), &analysis);
+  const ViewSet views = {memo_->root(), n3_};
+  auto tracks = enumerator.Enumerate(views, type);
+  ASSERT_TRUE(tracks.ok());
+  ViewManager manager(memo_.get(), &workload_->catalog(), &db_);
+  ASSERT_TRUE(manager.Materialize(views).ok());
+
+  Table* emp = db_.FindTable("Emp");
+  const Row old_row = emp->SnapshotUncharged()[0].row;
+  Row new_row = old_row;
+  new_row[2] = Value::Int64(old_row[2].int64() + 50);
+  ConcreteTxn txn;
+  txn.type_name = type.name;
+  txn.updates.push_back(TableUpdate{"Emp", {}, {}, {{old_row, new_row}}});
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter* page_reads = reg.GetCounter("storage.page_reads");
+  obs::Counter* computes = reg.GetCounter("maintain.compute_deltas");
+  obs::Counter* deltas_out = reg.GetCounter("maintain.deltas_computed");
+  const int64_t reads_before = page_reads->value();
+  const int64_t computes_before = computes->value();
+  const int64_t deltas_before = deltas_out->value();
+
+  db_.counter().Reset();
+  auto deltas = engine_->ComputeDeltas(txn, type, (*tracks)[0], views);
+  ASSERT_TRUE(deltas.ok());
+
+  EXPECT_EQ(computes->value(), computes_before + 1);
+  EXPECT_EQ(deltas_out->value() - deltas_before,
+            static_cast<int64_t>(deltas->size()));
+  // The global mirror advances in lockstep with the scoped PageCounter:
+  // fetching the pre-update state pays real page reads, and every one of
+  // them lands in storage.page_reads.
+  const int64_t local_reads =
+      db_.counter().index_reads() + db_.counter().tuple_reads();
+  EXPECT_GT(local_reads, 0);
+  EXPECT_EQ(page_reads->value() - reads_before, local_reads);
 }
 
 }  // namespace

@@ -43,7 +43,9 @@ void PrintHelp() {
       "  .consistency   verify maintained views against recomputation\n"
       "  .io            show the page-I/O counter\n"
       "  .reset-io      reset the page-I/O counter\n"
-      "  .help .quit\n");
+      "  .metrics       dump the live metrics snapshot (\\metrics works too)\n"
+      "  .help .quit\n"
+      "(docs/SHELL.md documents every command in detail)\n");
 }
 
 std::vector<std::string> Split(const std::string& line) {
@@ -65,7 +67,8 @@ class Shell {
       std::printf(buffer.empty() ? "auxview> " : "    ...> ");
       std::fflush(stdout);
       if (!std::getline(std::cin, line)) break;
-      if (buffer.empty() && !line.empty() && line[0] == '.') {
+      if (buffer.empty() && !line.empty() &&
+          (line[0] == '.' || line[0] == '\\')) {
         if (!DotCommand(line)) break;
         continue;
       }
@@ -112,7 +115,10 @@ class Shell {
   }
 
   bool DotCommand(const std::string& line) {
-    const std::vector<std::string> words = Split(line);
+    std::vector<std::string> words = Split(line);
+    // psql-style backslash spelling maps onto the same commands
+    // (\metrics == .metrics).
+    if (!words[0].empty() && words[0][0] == '\\') words[0][0] = '.';
     const std::string& cmd = words[0];
     if (cmd == ".quit" || cmd == ".exit") return false;
     if (cmd == ".help") {
@@ -188,6 +194,10 @@ class Shell {
       std::printf("%s\n", st.ok() ? "consistent" : st.ToString().c_str());
     } else if (cmd == ".io") {
       std::printf("%s\n", session_.counter().ToString().c_str());
+    } else if (cmd == ".metrics") {
+      const obs::MetricsSnapshot snapshot =
+          obs::MetricsRegistry::Global().Snapshot();
+      std::printf("%s", snapshot.ToTable().c_str());
     } else if (cmd == ".reset-io") {
       session_.db().counter().Reset();
       std::printf("ok\n");
