@@ -6,6 +6,7 @@
 #include "exec/executor.h"
 #include "maintain/assertion.h"
 #include "parser/parser.h"
+#include "storage/undo_log.h"
 
 namespace auxview {
 
@@ -77,36 +78,6 @@ StatusOr<Value> Coerce(const Value& v, ValueType type,
   }
   return Status::InvalidArgument("type mismatch for column " + col + ": " +
                                  v.ToString());
-}
-
-/// The inverse of a concrete transaction (for rollback).
-ConcreteTxn Invert(const ConcreteTxn& txn) {
-  ConcreteTxn inverse;
-  inverse.type_name = txn.type_name + "_rollback";
-  for (const TableUpdate& u : txn.updates) {
-    TableUpdate r;
-    r.relation = u.relation;
-    r.inserts = u.deletes;
-    r.deletes = u.inserts;
-    for (const auto& [old_row, new_row] : u.modifies) {
-      r.modifies.emplace_back(new_row, old_row);
-    }
-    inverse.updates.push_back(std::move(r));
-  }
-  return inverse;
-}
-
-TransactionType InvertType(const TransactionType& type) {
-  TransactionType inverse = type;
-  inverse.name += "_rollback";
-  for (UpdateSpec& spec : inverse.updates) {
-    if (spec.kind == UpdateKind::kInsert) {
-      spec.kind = UpdateKind::kDelete;
-    } else if (spec.kind == UpdateKind::kDelete) {
-      spec.kind = UpdateKind::kInsert;
-    }
-  }
-  return inverse;
 }
 
 }  // namespace
@@ -301,20 +272,37 @@ StatusOr<ConcreteTxn> Session::BuildConcreteTxn(const Statement& stmt,
 }
 
 Status Session::ApplyDirect(const ConcreteTxn& txn) {
-  for (const TableUpdate& u : txn.updates) {
-    Table* t = db_.FindTable(u.relation);
-    if (t == nullptr) return Status::NotFound("no such table: " + u.relation);
-    ScopedCountingDisabled guard(&db_.counter());
-    for (const auto& [row, count] : u.inserts) {
-      AUXVIEW_RETURN_IF_ERROR(t->Insert(row, count));
-    }
-    for (const auto& [row, count] : u.deletes) {
-      AUXVIEW_RETURN_IF_ERROR(t->Delete(row, count));
-    }
-    for (const auto& [old_row, new_row] : u.modifies) {
-      AUXVIEW_RETURN_IF_ERROR(t->Modify(old_row, new_row));
-    }
+  // Pre-Prepare loads are transactions too: a mid-statement failure
+  // (e.g. deleting below multiplicity zero) must not leave half the rows in.
+  UndoLog undo;
+  Status applied;
+  {
+    ScopedUndo undo_scope(&db_, &undo);
+    applied = [&]() -> Status {
+      for (const TableUpdate& u : txn.updates) {
+        Table* t = db_.FindTable(u.relation);
+        if (t == nullptr) {
+          return Status::NotFound("no such table: " + u.relation);
+        }
+        ScopedCountingDisabled guard(&db_.counter());
+        for (const auto& [row, count] : u.inserts) {
+          AUXVIEW_RETURN_IF_ERROR(t->Insert(row, count));
+        }
+        for (const auto& [row, count] : u.deletes) {
+          AUXVIEW_RETURN_IF_ERROR(t->Delete(row, count));
+        }
+        for (const auto& [old_row, new_row] : u.modifies) {
+          AUXVIEW_RETURN_IF_ERROR(t->Modify(old_row, new_row));
+        }
+      }
+      return Status::Ok();
+    }();
   }
+  if (!applied.ok()) {
+    AUXVIEW_RETURN_IF_ERROR(undo.RollBack());
+    return applied;
+  }
+  undo.Commit();
   return Status::Ok();
 }
 
@@ -352,25 +340,18 @@ StatusOr<ExecResult> Session::ApplyDml(const Statement& stmt) {
   }
 
   AUXVIEW_ASSIGN_OR_RETURN(UpdateTrack track, TrackFor(type));
-  AUXVIEW_RETURN_IF_ERROR(manager_->ApplyTransaction(txn, type, track));
-
-  // Assertion enforcement: a violating transaction rolls back.
-  for (const BoundAssertion& assertion : binder_.assertions()) {
-    auto root_it = roots_.find(assertion.name);
-    if (root_it == roots_.end()) continue;
-    AUXVIEW_ASSIGN_OR_RETURN(Relation contents,
-                             manager_->ViewContents(root_it->second));
-    if (!contents.empty()) {
-      const ConcreteTxn inverse = Invert(txn);
-      const TransactionType inverse_type = InvertType(type);
-      AUXVIEW_ASSIGN_OR_RETURN(UpdateTrack inverse_track,
-                               TrackFor(inverse_type));
-      AUXVIEW_RETURN_IF_ERROR(
-          manager_->ApplyTransaction(inverse, inverse_type, inverse_track));
-      result.violated_assertion = assertion.name;
+  // Assertion enforcement happens inside the staged apply: the verdict is
+  // computed against the pre-update state and a violating transaction is
+  // rejected before a single row moves (Section 4's "abort before commit").
+  Status applied = manager_->ApplyTransaction(txn, type, track);
+  if (!applied.ok()) {
+    if (applied.code() == StatusCode::kAborted &&
+        !manager_->aborted_assertion().empty()) {
+      result.violated_assertion = manager_->aborted_assertion();
       result.affected = 0;
       return result;
     }
+    return applied;  // injected fault or genuine error — rolled back
   }
   return result;
 }
@@ -444,6 +425,10 @@ Status Session::Prepare() {
 
   manager_ = std::make_unique<ViewManager>(memo_.get(), &catalog_, &db_,
                                            options_.maintain);
+  for (const BoundAssertion& assertion : binder_.assertions()) {
+    AUXVIEW_ASSIGN_OR_RETURN(GroupId g, GroupOf(assertion.name));
+    manager_->DeclareAssertion(assertion.name, g);
+  }
   return manager_->Materialize(plan_.views);
 }
 

@@ -24,6 +24,7 @@
 #include "catalog/fd.h"
 #include "catalog/schema.h"
 #include "catalog/statistics.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/value.h"
@@ -56,6 +57,7 @@
 #include "parser/parser.h"
 #include "storage/database.h"
 #include "storage/table.h"
+#include "storage/undo_log.h"
 #include "workload/chain.h"
 #include "workload/emp_dept.h"
 #include "workload/fig5.h"

@@ -1,0 +1,129 @@
+#ifndef AUXVIEW_COMMON_FAILPOINT_H_
+#define AUXVIEW_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace auxview {
+
+/// Named fault-injection points (the catalog lives in docs/ROBUSTNESS.md).
+///
+/// A failpoint is a site that can be asked — by tests, the shell's `.fail`
+/// command, or the AUXVIEW_FAILPOINTS environment variable — to fail with a
+/// clean Status instead of doing its work. The atomic-commit machinery is
+/// proven by arming each point in turn and checking that the database comes
+/// back bit-identical (tests/failpoint_test.cc).
+///
+/// Every site threaded through the code base is pre-registered, so Names()
+/// enumerates the full catalog before anything has executed. Disarmed
+/// overhead is a single relaxed atomic load per site, so the points stay
+/// compiled in everywhere, including the benches (whose paper cost tables
+/// must not move when no fault is armed).
+///
+/// Trigger counts are exported through the obs metrics registry as
+/// `failpoint.triggers` (total) and `failpoint.<name>.triggers`.
+class FailpointRegistry {
+ public:
+  /// How an armed failpoint decides to fire.
+  struct Arming {
+    /// Fires on the nth Check() after arming (1 = the very next hit), then
+    /// disarms itself. Ignored when `probability` > 0.
+    int64_t nth_hit = 1;
+    /// When > 0, fires independently with this probability on every hit and
+    /// stays armed until Disarm.
+    double probability = 0;
+  };
+
+  static FailpointRegistry& Global();
+
+  /// Registered names, sorted (the pre-registered catalog plus any names
+  /// armed on the fly).
+  std::vector<std::string> Names() const;
+
+  /// Arms `name`; unknown names register on first use so tests can define
+  /// private points.
+  void Arm(const std::string& name, Arming arming);
+  /// Convenience: fire on the nth hit from now (1 = next), then disarm.
+  void ArmAfter(const std::string& name, int64_t nth_hit = 1);
+  /// Convenience: fire each hit with probability `p` until disarmed.
+  void ArmProbability(const std::string& name, double p, uint64_t seed = 42);
+  void Disarm(const std::string& name);
+  void DisarmAll();
+
+  bool armed(const std::string& name) const;
+  /// Times the site executed while any failpoint was armed (the fast path
+  /// skips counting entirely when the registry is idle).
+  int64_t hits(const std::string& name) const;
+  /// Times the site fired since process start.
+  int64_t triggers(const std::string& name) const;
+
+  /// The per-site check: Ok unless `name` is armed and decides to fire, in
+  /// which case an Aborted status naming the failpoint is returned. Sites
+  /// call this through AUXVIEW_FAILPOINT.
+  Status Check(const char* name);
+
+  /// Parses and applies an arming spec (the AUXVIEW_FAILPOINTS format):
+  /// `name=N` arms at the Nth hit, `name=pP` arms with probability P;
+  /// multiple entries separate with `,` or `;`. Example:
+  ///   AUXVIEW_FAILPOINTS="storage.table.apply=3,maintain.fetch=p0.01"
+  Status LoadSpec(const std::string& spec);
+
+ private:
+  friend class FailpointSuspension;
+
+  struct State {
+    bool armed = false;
+    int64_t countdown = 0;  // nth-hit mode: fires when it reaches zero
+    double probability = 0;
+    uint64_t rng_state = 0;  // splitmix64 state for probability mode
+    int64_t hits = 0;
+    int64_t triggers = 0;
+  };
+
+  FailpointRegistry();
+
+  /// Registers (idempotently) and returns the state for `name`; mu_ held.
+  State& StateFor(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::map<std::string, State> points_;
+  /// Number of currently armed points; the disarmed fast path is one load.
+  std::atomic<int64_t> armed_count_{0};
+  /// Suspension depth; > 0 disables every failpoint (rollback paths).
+  std::atomic<int64_t> suspended_{0};
+};
+
+/// RAII guard disabling every failpoint for a scope. Rollback runs under
+/// this guard: undo must never itself be injected with a fault.
+class FailpointSuspension {
+ public:
+  FailpointSuspension() {
+    FailpointRegistry::Global().suspended_.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  ~FailpointSuspension() {
+    FailpointRegistry::Global().suspended_.fetch_sub(
+        1, std::memory_order_relaxed);
+  }
+
+  FailpointSuspension(const FailpointSuspension&) = delete;
+  FailpointSuspension& operator=(const FailpointSuspension&) = delete;
+};
+
+/// Drops a named failpoint into a Status-returning function.
+#define AUXVIEW_FAILPOINT(name)                                       \
+  do {                                                                \
+    ::auxview::Status _fp_status =                                    \
+        ::auxview::FailpointRegistry::Global().Check(name);           \
+    if (!_fp_status.ok()) return _fp_status;                          \
+  } while (false)
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_COMMON_FAILPOINT_H_

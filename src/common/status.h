@@ -20,6 +20,10 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  /// The operation was cleanly rejected and every effect undone (assertion
+  /// violations, injected faults). Distinct from kFailedPrecondition: an
+  /// aborted transaction leaves the database exactly as it found it.
+  kAborted,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -54,6 +58,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
@@ -47,10 +48,24 @@ Relation FilterByKey(const Relation& rel, const std::vector<std::string>& attrs,
   return out;
 }
 
+/// Live entry count of the (per-engine) fetch cache. Process-cumulative
+/// last-writer-wins when several engines exist, like the other global
+/// mirrors.
+obs::Gauge* FetchCacheGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("maintain.fetch_cache_size");
+  return gauge;
+}
+
 }  // namespace
 
 std::string MaterializedViewName(GroupId g) {
   return "__mv_N" + std::to_string(g);
+}
+
+void DeltaEngine::ClearFetchCache() {
+  fetch_cache_.clear();
+  FetchCacheGauge()->Set(0);
 }
 
 DeltaEngine::DeltaEngine(const Memo* memo, const Catalog* catalog,
@@ -110,9 +125,10 @@ StatusOr<std::map<GroupId, Relation>> DeltaEngine::ComputeDeltas(
       "maintain.compute_deltas_us");
   calls->Add(1);
   obs::ScopedTimer timer(timing);
+  AUXVIEW_FAILPOINT("maintain.compute_deltas");
   // Fresh caches (the database mutates between transactions).
   stats_.Clear();
-  fetch_cache_.clear();
+  ClearFetchCache();
   ApplyContext ctx;
   ctx.txn = &txn;
   ctx.type = &type;
@@ -473,6 +489,7 @@ StatusOr<Relation> DeltaEngine::FetchMatching(
     return it->second;
   }
   cache_misses->Add(1);
+  AUXVIEW_FAILPOINT("maintain.fetch");
   const MemoGroup& grp = memo_->group(g);
 
   // Base relation or materialized view: direct (charged) lookup.
@@ -501,6 +518,7 @@ StatusOr<Relation> DeltaEngine::FetchMatching(
     AUXVIEW_ASSIGN_OR_RETURN(Relation aligned,
                              AlignRelation(out, grp.schema));
     fetch_cache_[cache_key] = aligned;
+    FetchCacheGauge()->Set(static_cast<int64_t>(fetch_cache_.size()));
     return aligned;
   }
 
@@ -615,6 +633,7 @@ StatusOr<Relation> DeltaEngine::FetchMatching(
                            AlignRelation(*natural, grp.schema));
   Relation filtered = FilterByKey(aligned, attrs, key);
   fetch_cache_[cache_key] = filtered;
+  FetchCacheGauge()->Set(static_cast<int64_t>(fetch_cache_.size()));
   return filtered;
 }
 

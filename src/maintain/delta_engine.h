@@ -49,7 +49,7 @@ class DeltaEngine {
 
   /// Drops cached fetch results. Call after mutating the database outside
   /// ComputeDeltas (which clears automatically).
-  void ClearFetchCache() { fetch_cache_.clear(); }
+  void ClearFetchCache();
 
  private:
   struct ApplyContext {

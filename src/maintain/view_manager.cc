@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
+#include "storage/undo_log.h"
 
 namespace auxview {
 
@@ -138,22 +140,42 @@ Status ViewManager::Materialize(const ViewSet& views) {
   return Status::Ok();
 }
 
-Status ViewManager::ApplyTransaction(const ConcreteTxn& txn,
-                                     const TransactionType& type,
-                                     const UpdateTrack& track) {
-  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-  static obs::Counter* txns = reg.GetCounter("maintain.txns_applied");
-  static obs::Histogram* io_hist =
-      reg.GetHistogram("maintain.txn_page_ios", PageIoBounds());
-  static obs::Histogram* timing = reg.GetHistogram("maintain.apply_txn_us");
-  txns->Add(1);
-  obs::ScopedTimer timer(timing);
-  ScopedIoDelta io_delta(db_->counter(), io_hist);
-  // 1. Compute all deltas against the pre-update state.
-  AUXVIEW_ASSIGN_OR_RETURN(auto deltas,
-                           engine_.ComputeDeltas(txn, type, track, views_));
+void ViewManager::DeclareAssertion(const std::string& name, GroupId g) {
+  assertions_[memo_->Find(g)] = name;
+}
 
-  // 2. Apply deltas to the materialized views.
+Status ViewManager::CheckAssertionVerdict(
+    const std::map<GroupId, Relation>& deltas) {
+  static obs::Counter* aborted = obs::MetricsRegistry::Global().GetCounter(
+      "maintain.txns_aborted_assertion");
+  for (const auto& [g, name] : assertions_) {
+    auto it = deltas.find(g);
+    if (it == deltas.end() || it->second.empty()) continue;  // unaffected
+    // Pre-update contents of the assertion view: a maintained view is a
+    // free inspection (the paper's Section 4 point); an unmaterialized
+    // assertion group answers from the cheapest plan, uncharged — the
+    // verdict is bookkeeping, not track I/O.
+    AUXVIEW_ASSIGN_OR_RETURN(Relation current, [&]() -> StatusOr<Relation> {
+      if (views_.count(g) > 0) return ViewContents(g);
+      ScopedCountingDisabled guard(&db_->counter());
+      return engine_.FetchMatching(g, {}, {}, views_);
+    }());
+    Relation next = current;
+    next.AddAll(it->second);  // zero-multiplicity rows drop out, so
+                              // emptiness is exact
+    if (!next.empty()) {
+      aborted_assertion_ = name;
+      aborted->Add(1);
+      return Status::Aborted("assertion '" + name +
+                             "' would be violated; transaction rejected");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ViewManager::CommitTransaction(
+    const ConcreteTxn& txn, const std::map<GroupId, Relation>& deltas) {
+  // Apply the staged deltas to the materialized views.
   const GroupId root = memo_->root();
   for (GroupId g : views_) {
     if (memo_->group(g).is_leaf) continue;
@@ -164,6 +186,7 @@ Status ViewManager::ApplyTransaction(const ConcreteTxn& txn,
       return Status::Internal("materialized view table missing for N" +
                               std::to_string(g));
     }
+    AUXVIEW_FAILPOINT("maintain.apply_view_delta");
     const bool charge = g != root || options_.charge_root_update;
     if (charge) {
       AUXVIEW_RETURN_IF_ERROR(
@@ -175,7 +198,7 @@ Status ViewManager::ApplyTransaction(const ConcreteTxn& txn,
     }
   }
 
-  // 3. Apply the base-relation updates.
+  // Apply the base-relation updates.
   ScopedCountingDisabled base_guard(&db_->counter());
   if (options_.charge_base_updates) db_->counter().set_enabled(true);
   for (const TableUpdate& update : txn.updates) {
@@ -184,6 +207,7 @@ Status ViewManager::ApplyTransaction(const ConcreteTxn& txn,
       return Status::NotFound("updated base table missing: " +
                               update.relation);
     }
+    AUXVIEW_FAILPOINT("maintain.apply_base");
     for (const auto& [row, count] : update.inserts) {
       AUXVIEW_RETURN_IF_ERROR(table->Insert(row, count));
     }
@@ -194,6 +218,46 @@ Status ViewManager::ApplyTransaction(const ConcreteTxn& txn,
       AUXVIEW_RETURN_IF_ERROR(table->Modify(old_row, new_row));
     }
   }
+  return Status::Ok();
+}
+
+Status ViewManager::ApplyTransaction(const ConcreteTxn& txn,
+                                     const TransactionType& type,
+                                     const UpdateTrack& track) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static obs::Counter* txns = reg.GetCounter("maintain.txns_applied");
+  static obs::Counter* rollbacks = reg.GetCounter("maintain.txns_rolled_back");
+  static obs::Histogram* io_hist =
+      reg.GetHistogram("maintain.txn_page_ios", PageIoBounds());
+  static obs::Histogram* timing = reg.GetHistogram("maintain.apply_txn_us");
+  txns->Add(1);
+  obs::ScopedTimer timer(timing);
+  ScopedIoDelta io_delta(db_->counter(), io_hist);
+  aborted_assertion_.clear();
+
+  // Phase 1 (compute): every delta query and the assertion verdict run
+  // against the pre-update state. Nothing has been mutated, so a failure
+  // anywhere in this phase aborts with no cleanup.
+  AUXVIEW_ASSIGN_OR_RETURN(auto deltas,
+                           engine_.ComputeDeltas(txn, type, track, views_));
+  AUXVIEW_RETURN_IF_ERROR(CheckAssertionVerdict(deltas));
+
+  // Phase 2 (commit): all-or-nothing. Every table mutation records its net
+  // effect in the undo log; a mid-commit failure (injected fault, missing
+  // table, negative multiplicity) rolls everything back, leaving tables
+  // and indexes bit-identical to the pre-transaction state.
+  UndoLog undo;
+  Status committed;
+  {
+    ScopedUndo undo_scope(db_, &undo);
+    committed = CommitTransaction(txn, deltas);
+  }
+  if (!committed.ok()) {
+    rollbacks->Add(1);
+    AUXVIEW_RETURN_IF_ERROR(undo.RollBack());
+    return committed;
+  }
+  undo.Commit();
   return Status::Ok();
 }
 
@@ -208,61 +272,105 @@ Status ViewManager::ApplyTransactionByRecompute(const ConcreteTxn& txn,
   txns->Add(1);
   obs::ScopedTimer timer(timing);
   ScopedIoDelta io_delta(db_->counter(), io_hist);
-  // 1. Apply the base updates (uncharged, as in ApplyTransaction).
+  aborted_assertion_.clear();
+  // Unlike the staged path, the baseline mutates before it knows the
+  // assertion verdict, so the whole mutating body runs under the undo log
+  // and an assertion violation (or injected fault) rolls everything back.
+  UndoLog undo;
+  Status committed;
   {
-    ScopedCountingDisabled guard(&db_->counter());
-    if (options_.charge_base_updates) db_->counter().set_enabled(true);
-    for (const TableUpdate& update : txn.updates) {
-      Table* table = db_->FindTable(update.relation);
-      if (table == nullptr) {
-        return Status::NotFound("updated base table missing: " +
-                                update.relation);
-      }
-      for (const auto& [row, count] : update.inserts) {
-        AUXVIEW_RETURN_IF_ERROR(table->Insert(row, count));
-      }
-      for (const auto& [row, count] : update.deletes) {
-        AUXVIEW_RETURN_IF_ERROR(table->Delete(row, count));
-      }
-      for (const auto& [old_row, new_row] : update.modifies) {
-        AUXVIEW_RETURN_IF_ERROR(table->Modify(old_row, new_row));
-      }
-    }
-  }
-
-  // 2. Recompute every affected view with charged reads and writes. The
-  //    base tables just changed, so cached fetches are stale.
-  engine_.ClearFetchCache();
-  StatsAnalysis stats(memo_, catalog_);
-  DeltaAnalysis analysis(memo_, catalog_, &stats);
-  const std::set<GroupId> affected = analysis.AffectedGroups(type);
-  const GroupId root = memo_->root();
-  for (GroupId g : views_) {
-    if (memo_->group(g).is_leaf || affected.count(g) == 0) continue;
-    const bool charge = g != root || options_.charge_root_update;
-    // Read through the DAG with only base relations available: the cost of
-    // evaluating the view as a query.
-    AUXVIEW_ASSIGN_OR_RETURN(Relation contents, [&]() -> StatusOr<Relation> {
-      if (!charge) {
+    ScopedUndo undo_scope(db_, &undo);
+    committed = [&]() -> Status {
+      // 1. Apply the base updates (uncharged, as in ApplyTransaction).
+      {
         ScopedCountingDisabled guard(&db_->counter());
-        return engine_.FetchMatching(g, {}, {}, {});
+        if (options_.charge_base_updates) db_->counter().set_enabled(true);
+        for (const TableUpdate& update : txn.updates) {
+          Table* table = db_->FindTable(update.relation);
+          if (table == nullptr) {
+            return Status::NotFound("updated base table missing: " +
+                                    update.relation);
+          }
+          AUXVIEW_FAILPOINT("maintain.apply_base");
+          for (const auto& [row, count] : update.inserts) {
+            AUXVIEW_RETURN_IF_ERROR(table->Insert(row, count));
+          }
+          for (const auto& [row, count] : update.deletes) {
+            AUXVIEW_RETURN_IF_ERROR(table->Delete(row, count));
+          }
+          for (const auto& [old_row, new_row] : update.modifies) {
+            AUXVIEW_RETURN_IF_ERROR(table->Modify(old_row, new_row));
+          }
+        }
       }
-      return engine_.FetchMatching(g, {}, {}, {});
+
+      // 2. Recompute every affected view with charged reads and writes. The
+      //    base tables just changed, so cached fetches are stale.
+      engine_.ClearFetchCache();
+      StatsAnalysis stats(memo_, catalog_);
+      DeltaAnalysis analysis(memo_, catalog_, &stats);
+      const std::set<GroupId> affected = analysis.AffectedGroups(type);
+      const GroupId root = memo_->root();
+      for (GroupId g : views_) {
+        if (memo_->group(g).is_leaf || affected.count(g) == 0) continue;
+        const bool charge = g != root || options_.charge_root_update;
+        // Read through the DAG with only base relations available: the cost
+        // of evaluating the view as a query.
+        AUXVIEW_ASSIGN_OR_RETURN(Relation contents,
+                                 [&]() -> StatusOr<Relation> {
+          if (!charge) {
+            ScopedCountingDisabled guard(&db_->counter());
+            return engine_.FetchMatching(g, {}, {}, {});
+          }
+          return engine_.FetchMatching(g, {}, {}, {});
+        }());
+        Table* table = db_->FindTable(MaterializedViewName(g));
+        if (table == nullptr) {
+          return Status::Internal("materialized view table missing for N" +
+                                  std::to_string(g));
+        }
+        AUXVIEW_FAILPOINT("maintain.apply_view_delta");
+        // Rewrite the table in place.
+        ScopedCountingDisabled guard(&db_->counter());
+        if (charge) db_->counter().set_enabled(true);
+        for (const CountedRow& cr : table->SnapshotUncharged()) {
+          AUXVIEW_RETURN_IF_ERROR(table->Delete(cr.row, cr.count));
+        }
+        for (const auto& [row, count] : contents.rows()) {
+          if (count < 0) return Status::Internal("negative recomputed count");
+          AUXVIEW_RETURN_IF_ERROR(table->Insert(row, count));
+        }
+      }
+
+      // 3. Post-recompute assertion verdict.
+      return CheckAssertionViewsEmpty();
+    }();
+  }
+  if (!committed.ok()) {
+    AUXVIEW_RETURN_IF_ERROR(undo.RollBack());
+    // Rolled-back views are current again, but cached fetches taken between
+    // the base update and the rollback are not.
+    engine_.ClearFetchCache();
+    return committed;
+  }
+  undo.Commit();
+  return Status::Ok();
+}
+
+Status ViewManager::CheckAssertionViewsEmpty() {
+  static obs::Counter* aborted = obs::MetricsRegistry::Global().GetCounter(
+      "maintain.txns_aborted_assertion");
+  for (const auto& [g, name] : assertions_) {
+    AUXVIEW_ASSIGN_OR_RETURN(Relation contents, [&]() -> StatusOr<Relation> {
+      if (views_.count(g) > 0) return ViewContents(g);
+      ScopedCountingDisabled guard(&db_->counter());
+      return engine_.FetchMatching(g, {}, {}, views_);
     }());
-    Table* table = db_->FindTable(MaterializedViewName(g));
-    if (table == nullptr) {
-      return Status::Internal("materialized view table missing for N" +
-                              std::to_string(g));
-    }
-    // Rewrite the table in place.
-    ScopedCountingDisabled guard(&db_->counter());
-    if (charge) db_->counter().set_enabled(true);
-    for (const CountedRow& cr : table->SnapshotUncharged()) {
-      AUXVIEW_RETURN_IF_ERROR(table->Delete(cr.row, cr.count));
-    }
-    for (const auto& [row, count] : contents.rows()) {
-      if (count < 0) return Status::Internal("negative recomputed count");
-      AUXVIEW_RETURN_IF_ERROR(table->Insert(row, count));
+    if (!contents.empty()) {
+      aborted_assertion_ = name;
+      aborted->Add(1);
+      return Status::Aborted("assertion '" + name +
+                             "' would be violated; transaction rejected");
     }
   }
   return Status::Ok();

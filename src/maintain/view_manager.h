@@ -35,9 +35,23 @@ class ViewManager {
   /// gets one hash index on the attributes its parents probe it by.
   Status Materialize(const ViewSet& views);
 
-  /// Applies a concrete transaction: computes deltas along `track` (posing
-  /// charged queries against the pre-update state), updates every
-  /// materialized view, then applies the base-relation updates.
+  /// Declares that group `g` backs the SQL-92 assertion `name` (a view
+  /// required to stay empty, Section 4). ApplyTransaction computes the
+  /// assertion verdict against the staged deltas and aborts — leaving every
+  /// table and index untouched — when the view would become non-empty.
+  void DeclareAssertion(const std::string& name, GroupId g);
+
+  /// Name of the assertion that aborted the most recent Apply* call (empty
+  /// when it committed or failed for another reason).
+  const std::string& aborted_assertion() const { return aborted_assertion_; }
+
+  /// Applies a concrete transaction atomically, in two phases. Phase 1
+  /// (compute) poses every delta query and the assertion verdict against
+  /// the pre-update state without mutating anything. Phase 2 (commit)
+  /// applies the staged deltas to the materialized views and the base
+  /// relations under an undo log; any mid-commit failure (e.g. an injected
+  /// fault) rolls the database back bit-identical to the pre-transaction
+  /// state. Returns Aborted on an assertion violation or injected fault.
   Status ApplyTransaction(const ConcreteTxn& txn, const TransactionType& type,
                           const UpdateTrack& track);
 
@@ -73,6 +87,16 @@ class ViewManager {
   Database& db() { return *db_; }
 
  private:
+  /// Phase-1 helper: Aborted if any declared assertion view would become
+  /// non-empty once `deltas` apply. Reads only pre-update state.
+  Status CheckAssertionVerdict(const std::map<GroupId, Relation>& deltas);
+  /// Phase-2 helper: applies staged view deltas then base updates. Partial
+  /// effects on failure are the caller's to roll back via the undo log.
+  Status CommitTransaction(const ConcreteTxn& txn,
+                           const std::map<GroupId, Relation>& deltas);
+  /// Post-recompute assertion check (the baseline path mutates first).
+  Status CheckAssertionViewsEmpty();
+
   const Memo* memo_;
   const Catalog* catalog_;
   Database* db_;
@@ -80,6 +104,8 @@ class ViewManager {
   DeltaEngine engine_;
   ViewSet views_;
   std::map<GroupId, std::vector<std::string>> index_attrs_;
+  std::map<GroupId, std::string> assertions_;
+  std::string aborted_assertion_;
 };
 
 }  // namespace auxview

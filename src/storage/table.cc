@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/failpoint.h"
+#include "storage/undo_log.h"
 
 namespace auxview {
 
@@ -60,6 +62,7 @@ void Table::IndexErase(const Row& row) {
 
 Status Table::Apply(const Row& row, int64_t count) {
   if (count == 0) return Status::Ok();
+  AUXVIEW_FAILPOINT("storage.table.apply");
   if (static_cast<int>(row.size()) != def_.schema.num_columns()) {
     return Status::InvalidArgument("row arity mismatch for table " +
                                    def_.name);
@@ -83,6 +86,10 @@ Status Table::Apply(const Row& row, int64_t count) {
     ChargeTupleRead(tuples);
     ChargeTupleWrite(tuples);
   }
+  // The structural update below is all-or-nothing: the failpoint sits
+  // before the first mutation, so a triggered fault leaves the table (rows
+  // and indexes) untouched by this call.
+  AUXVIEW_FAILPOINT("storage.table.index_update");
   if (old == 0 && next > 0) {
     IndexInsert(row);
     ChargeIndexWrite(static_cast<int64_t>(indexes_.size()));
@@ -98,6 +105,7 @@ Status Table::Apply(const Row& row, int64_t count) {
     it->second = next;
   }
   total_count_ += count;
+  if (undo_log_ != nullptr) undo_log_->RecordApply(this, row, count);
   return Status::Ok();
 }
 
@@ -107,6 +115,7 @@ Status Table::Modify(const Row& old_row, const Row& new_row) {
 
 Status Table::ModifyBatch(const std::vector<std::pair<Row, Row>>& pairs) {
   if (pairs.empty()) return Status::Ok();
+  AUXVIEW_FAILPOINT("storage.table.modify_batch");
   // Paper's modify model: per index one index-page read for the batch
   // (write only when the indexed attributes change); per tuple one read
   // (old value) + one write.
@@ -121,6 +130,10 @@ Status Table::ModifyBatch(const std::vector<std::pair<Row, Row>>& pairs) {
     }
   }
   for (const auto& [old_row, new_row] : pairs) {
+    // A mid-batch fault leaves the earlier pairs applied (and recorded in
+    // the undo log) and this pair untouched — the interleaving the
+    // rollback sweep exercises.
+    AUXVIEW_FAILPOINT("storage.table.modify_pair");
     auto it = rows_.find(old_row);
     if (it == rows_.end()) {
       return Status::NotFound("modify of absent row in " + def_.name + ": " +
@@ -137,6 +150,10 @@ Status Table::ModifyBatch(const std::vector<std::pair<Row, Row>>& pairs) {
     // A pre-existing row (inserted == false) is already indexed; zero-count
     // rows never persist in rows_, so this is exhaustive.
     if (inserted) IndexInsert(new_row);
+    if (undo_log_ != nullptr) {
+      undo_log_->RecordApply(this, old_row, -count);
+      undo_log_->RecordApply(this, new_row, count);
+    }
   }
   return Status::Ok();
 }
@@ -250,6 +267,36 @@ std::vector<CountedRow> Table::SnapshotUncharged() const {
   out.reserve(rows_.size());
   for (const auto& [row, count] : rows_) {
     out.push_back(CountedRow{row, count});
+  }
+  return out;
+}
+
+std::string Table::Fingerprint() const {
+  std::vector<std::string> lines;
+  lines.reserve(rows_.size());
+  for (const auto& [row, count] : rows_) {
+    lines.push_back("row " + RowToString(row) + " x" + std::to_string(count));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out = "table " + def_.name + " total=" +
+                    std::to_string(total_count_) + "\n";
+  for (const std::string& line : lines) out += line + "\n";
+  for (const IndexState& idx : indexes_) {
+    std::vector<std::string> buckets;
+    for (const auto& [key, rows] : idx.map) {
+      std::vector<std::string> members;
+      members.reserve(rows.size());
+      for (const Row& r : rows) members.push_back(RowToString(r));
+      std::sort(members.begin(), members.end());
+      std::string bucket = "  " + RowToString(key) + " ->";
+      for (const std::string& m : members) bucket += " " + m;
+      buckets.push_back(std::move(bucket));
+    }
+    std::sort(buckets.begin(), buckets.end());
+    std::string attrs;
+    for (const std::string& a : idx.attrs) attrs += a + ",";
+    out += "index (" + attrs + ")\n";
+    for (const std::string& b : buckets) out += b + "\n";
   }
   return out;
 }

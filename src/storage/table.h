@@ -15,6 +15,8 @@
 
 namespace auxview {
 
+class UndoLog;
+
 /// A (row, multiplicity) pair — relations have bag semantics.
 struct CountedRow {
   Row row;
@@ -93,6 +95,16 @@ class Table {
   /// Recomputed exact statistics (row count, per-column distinct counts).
   RelationStats ComputeStats() const;
 
+  /// Deterministic dump of the full physical state — rows with
+  /// multiplicities plus every hash index's buckets — for byte-identity
+  /// checks in the fault-injection harness.
+  std::string Fingerprint() const;
+
+  /// Attaches an undo log: every successful mutation records its net effect
+  /// so an aborting transaction can be rolled back exactly. nullptr
+  /// detaches. Normally managed by ScopedUndo.
+  void set_undo_log(UndoLog* log) { undo_log_ = log; }
+
   PageCounter* counter() const { return counter_; }
 
  private:
@@ -131,6 +143,7 @@ class Table {
 
   TableDef def_;
   PageCounter* counter_;
+  UndoLog* undo_log_ = nullptr;
   obs::Counter* rel_page_reads_;   // storage.rel.<name>.page_reads
   obs::Counter* rel_page_writes_;  // storage.rel.<name>.page_writes
   std::unordered_map<Row, int64_t, RowHash, RowEq> rows_;

@@ -1,0 +1,88 @@
+#include "storage/undo_log.h"
+
+#include "common/failpoint.h"
+#include "storage/database.h"
+#include "storage/table.h"
+
+namespace auxview {
+
+namespace {
+
+obs::Gauge* UndoBytesGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("storage.undo_log_bytes");
+  return gauge;
+}
+
+int64_t RowBytes(const Row& row) {
+  int64_t bytes = static_cast<int64_t>(row.size() * sizeof(Value));
+  for (const Value& v : row) {
+    if (v.type() == ValueType::kString) {
+      bytes += static_cast<int64_t>(v.str().size());
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+UndoLog::UndoLog() = default;
+
+UndoLog::~UndoLog() {
+  // A destroyed log zeroes its share of the gauge even if the owner forgot
+  // to Commit (the entries die with it either way).
+  if (bytes_ != 0) {
+    UndoBytesGauge()->Add(-bytes_);
+  }
+}
+
+void UndoLog::RecordApply(Table* table, const Row& row, int64_t count) {
+  if (rolling_back_ || count == 0) return;
+  entries_.push_back(Entry{table, row, count});
+  const int64_t delta = static_cast<int64_t>(sizeof(Entry)) + RowBytes(row);
+  bytes_ += delta;
+  UndoBytesGauge()->Add(delta);
+}
+
+Status UndoLog::RollBack() {
+  // Rollback must be unconditional: no fault injection, no I/O charging
+  // (the paper's counters account the forward work; an abort does not pay
+  // twice), no re-recording into this same log.
+  FailpointSuspension no_faults;
+  rolling_back_ = true;
+  Status first_error;
+  for (size_t i = entries_.size(); i-- > 0;) {
+    const Entry& e = entries_[i];
+    ScopedCountingDisabled guard(e.table->counter());
+    Status st = e.table->Apply(e.row, -e.count);
+    if (!st.ok() && first_error.ok()) {
+      first_error = Status::Internal("undo log replay failed on " +
+                                     e.table->name() + ": " + st.ToString());
+    }
+  }
+  rolling_back_ = false;
+  Commit();  // the entries are consumed either way
+  return first_error;
+}
+
+void UndoLog::Commit() {
+  entries_.clear();
+  if (bytes_ != 0) {
+    UndoBytesGauge()->Add(-bytes_);
+    bytes_ = 0;
+  }
+}
+
+ScopedUndo::ScopedUndo(Database* db, UndoLog* log) : db_(db) {
+  for (const std::string& name : db_->TableNames()) {
+    db_->FindTable(name)->set_undo_log(log);
+  }
+}
+
+ScopedUndo::~ScopedUndo() {
+  for (const std::string& name : db_->TableNames()) {
+    db_->FindTable(name)->set_undo_log(nullptr);
+  }
+}
+
+}  // namespace auxview

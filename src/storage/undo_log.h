@@ -1,0 +1,80 @@
+#ifndef AUXVIEW_STORAGE_UNDO_LOG_H_
+#define AUXVIEW_STORAGE_UNDO_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace auxview {
+
+class Database;
+class Table;
+
+/// Physical undo log for atomic transaction application.
+///
+/// While attached to a set of tables (ScopedUndo), every successful mutation
+/// — a bag Apply or one pair of an in-place ModifyBatch — appends its net
+/// effect as signed (row, count) entries. RollBack() replays the entries in
+/// reverse with the sign flipped, restoring rows *and* hash indexes to the
+/// exact pre-transaction state; it runs with page-I/O charging disabled (an
+/// abort costs whatever the forward work cost, not double) and failpoints
+/// suspended (rollback itself must be infallible).
+///
+/// Live size is exported as the `storage.undo_log_bytes` gauge.
+class UndoLog {
+ public:
+  UndoLog();
+  ~UndoLog();
+
+  UndoLog(const UndoLog&) = delete;
+  UndoLog& operator=(const UndoLog&) = delete;
+
+  /// Appends the net effect of a successful Table mutation. Called by Table;
+  /// no-op while a rollback is replaying.
+  void RecordApply(Table* table, const Row& row, int64_t count);
+
+  /// Undoes every recorded entry (newest first) and clears the log. Returns
+  /// Internal if an undo application fails — which means the log no longer
+  /// matches the table state, i.e. a bug, not a recoverable condition.
+  Status RollBack();
+
+  /// Forgets the recorded entries (the transaction committed).
+  void Commit();
+
+  bool empty() const { return entries_.empty(); }
+  int64_t entry_count() const { return static_cast<int64_t>(entries_.size()); }
+  /// Approximate live heap footprint of the log.
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  struct Entry {
+    Table* table;
+    Row row;
+    int64_t count;  // the applied delta; undo applies -count
+  };
+
+  std::vector<Entry> entries_;
+  int64_t bytes_ = 0;
+  bool rolling_back_ = false;
+};
+
+/// RAII guard attaching an undo log to every table of a database for one
+/// transaction's scope. Detaches on destruction; the log's contents survive
+/// so the caller decides between Commit() and RollBack().
+class ScopedUndo {
+ public:
+  ScopedUndo(Database* db, UndoLog* log);
+  ~ScopedUndo();
+
+  ScopedUndo(const ScopedUndo&) = delete;
+  ScopedUndo& operator=(const ScopedUndo&) = delete;
+
+ private:
+  Database* db_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_STORAGE_UNDO_LOG_H_

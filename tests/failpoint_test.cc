@@ -1,0 +1,393 @@
+// The atomic-apply proof harness: every registered failpoint, armed at every
+// reachable hit depth, must abort the transaction with a clean Status and
+// leave every table and index bit-identical to the pre-transaction state
+// (verified by Table::Fingerprint and the recompute oracle).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "common/failpoint.h"
+
+namespace auxview {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry unit tests.
+
+TEST(FailpointRegistryTest, CatalogIsPreRegistered) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  const std::vector<std::string> names = reg.Names();
+  ASSERT_GE(names.size(), 8u);
+  for (const char* expected :
+       {"storage.table.apply", "storage.table.index_update",
+        "storage.table.modify_batch", "storage.table.modify_pair",
+        "maintain.compute_deltas", "maintain.fetch",
+        "maintain.apply_view_delta", "maintain.apply_base"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  for (const std::string& name : names) EXPECT_FALSE(reg.armed(name));
+}
+
+TEST(FailpointRegistryTest, DisarmedCheckIsInvisible) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.DisarmAll();
+  const int64_t hits = reg.hits("storage.table.apply");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(reg.Check("storage.table.apply").ok());
+  }
+  // The idle fast path doesn't even count hits.
+  EXPECT_EQ(reg.hits("storage.table.apply"), hits);
+}
+
+TEST(FailpointRegistryTest, NthHitFiresOnceThenDisarms) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.DisarmAll();
+  reg.ArmAfter("storage.table.apply", 3);
+  EXPECT_TRUE(reg.armed("storage.table.apply"));
+  EXPECT_TRUE(reg.Check("storage.table.apply").ok());
+  EXPECT_TRUE(reg.Check("storage.table.apply").ok());
+  Status fired = reg.Check("storage.table.apply");
+  EXPECT_EQ(fired.code(), StatusCode::kAborted);
+  EXPECT_NE(fired.ToString().find("storage.table.apply"), std::string::npos);
+  // One-shot: the point disarmed itself.
+  EXPECT_FALSE(reg.armed("storage.table.apply"));
+  EXPECT_TRUE(reg.Check("storage.table.apply").ok());
+  EXPECT_GE(reg.triggers("storage.table.apply"), 1);
+}
+
+TEST(FailpointRegistryTest, ArmedPointDoesNotFireOtherPoints) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.DisarmAll();
+  reg.ArmAfter("maintain.fetch", 1);
+  EXPECT_TRUE(reg.Check("storage.table.apply").ok());
+  EXPECT_EQ(reg.Check("maintain.fetch").code(), StatusCode::kAborted);
+  reg.DisarmAll();
+}
+
+TEST(FailpointRegistryTest, ProbabilityOneFiresEveryHitUntilDisarmed) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.DisarmAll();
+  reg.ArmProbability("maintain.fetch", 1.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(reg.Check("maintain.fetch").code(), StatusCode::kAborted);
+  }
+  EXPECT_TRUE(reg.armed("maintain.fetch"));  // probability mode stays armed
+  reg.Disarm("maintain.fetch");
+  EXPECT_TRUE(reg.Check("maintain.fetch").ok());
+}
+
+TEST(FailpointRegistryTest, SuspensionDisablesFiring) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.DisarmAll();
+  reg.ArmAfter("storage.table.apply", 1);
+  {
+    FailpointSuspension no_faults;
+    EXPECT_TRUE(reg.Check("storage.table.apply").ok());
+    {
+      FailpointSuspension nested;
+      EXPECT_TRUE(reg.Check("storage.table.apply").ok());
+    }
+    EXPECT_TRUE(reg.Check("storage.table.apply").ok());
+  }
+  EXPECT_EQ(reg.Check("storage.table.apply").code(), StatusCode::kAborted);
+  reg.DisarmAll();
+}
+
+TEST(FailpointRegistryTest, LoadSpecParsesNamesCountsAndProbabilities) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.DisarmAll();
+  Status ok =
+      reg.LoadSpec("storage.table.apply=3;maintain.fetch=p0.25,, ");
+  // Trailing separators and empty entries are tolerated; " " is not.
+  EXPECT_FALSE(ok.ok());
+  reg.DisarmAll();
+  ASSERT_TRUE(
+      reg.LoadSpec("storage.table.apply=3;maintain.fetch=p0.25").ok());
+  EXPECT_TRUE(reg.armed("storage.table.apply"));
+  EXPECT_TRUE(reg.armed("maintain.fetch"));
+  reg.DisarmAll();
+  EXPECT_FALSE(reg.LoadSpec("no-equals-sign").ok());
+  EXPECT_FALSE(reg.LoadSpec("name=").ok());
+  EXPECT_FALSE(reg.LoadSpec("name=0").ok());
+  EXPECT_FALSE(reg.LoadSpec("name=-2").ok());
+  EXPECT_FALSE(reg.LoadSpec("name=p0").ok());
+  EXPECT_FALSE(reg.LoadSpec("name=p1.5").ok());
+  EXPECT_FALSE(reg.LoadSpec("name=3x").ok());
+  reg.DisarmAll();
+}
+
+// ---------------------------------------------------------------------------
+// Session-level harness.
+
+constexpr char kDdl[] = R"sql(
+CREATE TABLE Emp (EName STRING PRIMARY KEY, DName STRING, Salary INT,
+                  INDEX (DName));
+CREATE TABLE Dept (DName STRING PRIMARY KEY, MName STRING, Budget INT);
+CREATE VIEW SumOfSals (DName, SalSum) AS
+  SELECT DName, SUM(Salary) FROM Emp GROUPBY DName;
+CREATE ASSERTION DeptConstraint CHECK
+  (NOT EXISTS (SELECT Dept.DName FROM Emp, Dept
+               WHERE Dept.DName = Emp.DName
+               GROUPBY Dept.DName, Budget
+               HAVING SUM(Salary) > Budget));
+)sql";
+
+std::unique_ptr<Session> MakeLoadedSession() {
+  auto session = std::make_unique<Session>();
+  EXPECT_TRUE(session->Execute(kDdl).ok());
+  for (int d = 0; d < 4; ++d) {
+    const std::string dname = "d" + std::to_string(d);
+    for (int k = 0; k < 3; ++k) {
+      auto r = session->Execute(
+          "INSERT INTO Emp VALUES ('" + dname + "e" + std::to_string(k) +
+          "', '" + dname + "', " + std::to_string(1000 + 10 * k) + ");");
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+    }
+    auto r = session->Execute("INSERT INTO Dept VALUES ('" + dname + "', 'm" +
+                              std::to_string(d) + "', 5000);");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+  session->DeclareWorkload({SingleModifyTxn(">Emp", "Emp", {"Salary"}, 2),
+                            SingleModifyTxn(">Dept", "Dept", {"Budget"}, 1)});
+  Status prepared = session->Prepare();
+  EXPECT_TRUE(prepared.ok()) << prepared.ToString();
+  return session;
+}
+
+/// Byte-exact physical state of every table (base relations and materialized
+/// views), rows plus index buckets.
+std::map<std::string, std::string> FingerprintAll(Session& session) {
+  std::map<std::string, std::string> out;
+  for (const std::string& name : session.db().TableNames()) {
+    out[name] = session.db().FindTable(name)->Fingerprint();
+  }
+  return out;
+}
+
+// The exhaustive sweep: for every registered failpoint, for every statement
+// shape (insert / update / delete), arm the point at hit depth 1, 2, 3, ...
+// until one whole transaction runs without reaching it. Each armed run must
+// either commit cleanly (point unreached) or abort with kAborted and a
+// bit-identical database. This exercises every interleaving of "crash after
+// the first k mutations" that the commit path can produce.
+TEST(FailpointSweepTest, EveryFailpointAbortsAtomicallyAtEveryDepth) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.DisarmAll();
+  struct StatementShape {
+    const char* setup;  // run unarmed before the armed statement ("" = none)
+    const char* armed;  // the transaction under fault injection
+    const char* undo;   // run unarmed after a commit to restore state
+  };
+  const std::vector<StatementShape> shapes = {
+      {"", "INSERT INTO Emp VALUES ('fprobe', 'd0', 1);",
+       "DELETE FROM Emp WHERE EName = 'fprobe';"},
+      {"", "UPDATE Emp SET Salary = Salary + 1 WHERE DName = 'd1';",
+       "UPDATE Emp SET Salary = Salary - 1 WHERE DName = 'd1';"},
+      {"INSERT INTO Emp VALUES ('fprobe', 'd0', 1);",
+       "DELETE FROM Emp WHERE EName = 'fprobe';", ""},
+  };
+  int aborted_runs = 0;
+  for (const std::string& point : reg.Names()) {
+    SCOPED_TRACE("failpoint: " + point);
+    auto session = MakeLoadedSession();
+    for (const StatementShape& shape : shapes) {
+      SCOPED_TRACE(std::string("statement: ") + shape.armed);
+      for (int64_t nth = 1;; ++nth) {
+        ASSERT_LT(nth, 300) << "failpoint fired at every depth; runaway?";
+        if (shape.setup[0] != '\0') {
+          auto setup = session->Execute(shape.setup);
+          ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+        }
+        const auto before = FingerprintAll(*session);
+        const int64_t triggers_before = reg.triggers(point);
+        reg.ArmAfter(point, nth);
+        auto result = session->Execute(shape.armed);
+        const bool fired = reg.triggers(point) > triggers_before;
+        reg.DisarmAll();
+        if (fired) {
+          ++aborted_runs;
+          // A fired failpoint must surface as a clean abort naming it...
+          ASSERT_FALSE(result.ok())
+              << "failpoint fired but the transaction reported success";
+          EXPECT_EQ(result.status().code(), StatusCode::kAborted)
+              << result.status().ToString();
+          EXPECT_NE(result.status().ToString().find(point),
+                    std::string::npos);
+          // ...with the database bit-identical: rows, counts, and indexes.
+          EXPECT_EQ(FingerprintAll(*session), before);
+          Status consistent = session->CheckConsistency();
+          ASSERT_TRUE(consistent.ok()) << consistent.ToString();
+          if (shape.setup[0] != '\0') {
+            // The aborted statement left the setup row in place; remove it
+            // so the next depth starts from the same state.
+            auto cleanup =
+                session->Execute("DELETE FROM Emp WHERE EName = 'fprobe';");
+            ASSERT_TRUE(cleanup.ok()) << cleanup.status().ToString();
+          }
+          continue;  // next depth
+        }
+        // Point unreached at this depth: the statement must have committed
+        // normally — fired-but-committed would be an atomicity hole.
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        EXPECT_FALSE(result->rejected());
+        Status consistent = session->CheckConsistency();
+        ASSERT_TRUE(consistent.ok()) << consistent.ToString();
+        if (shape.undo[0] != '\0') {
+          auto undo = session->Execute(shape.undo);
+          ASSERT_TRUE(undo.ok()) << undo.status().ToString();
+        }
+        break;  // this point is exhausted for this statement shape
+      }
+    }
+    // Every catalogued point must be reachable by at least one shape —
+    // otherwise the sweep silently proves nothing about it.
+    EXPECT_GT(reg.triggers(point), 0)
+        << "failpoint never fired; is the site still threaded?";
+  }
+  EXPECT_GT(aborted_runs, 0);
+}
+
+// Paper Section 4 regression: an update that would violate the standing
+// assertion is rejected with zero effect — detected against pre-update
+// state, before a single row moves.
+TEST(AssertionRollbackTest, Section4ViolationRejectedBitIdentical) {
+  auto session = MakeLoadedSession();
+  const auto before = FingerprintAll(*session);
+
+  // Salary raise blows the d0 budget: SUM(Salary) 99999+1010+1020 > 5000.
+  auto update =
+      session->Execute("UPDATE Emp SET Salary = 99999 WHERE EName = 'd0e0';");
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  EXPECT_TRUE(update->rejected());
+  EXPECT_EQ(update->violated_assertion, "DeptConstraint");
+  EXPECT_EQ(update->affected, 0);
+  EXPECT_EQ(FingerprintAll(*session), before);
+
+  // Same for a violating INSERT and a budget cut.
+  auto insert =
+      session->Execute("INSERT INTO Emp VALUES ('rich', 'd1', 99999);");
+  ASSERT_TRUE(insert.ok()) << insert.status().ToString();
+  EXPECT_TRUE(insert->rejected());
+  EXPECT_EQ(FingerprintAll(*session), before);
+  auto cut = session->Execute("UPDATE Dept SET Budget = 10 WHERE DName = 'd2';");
+  ASSERT_TRUE(cut.ok()) << cut.status().ToString();
+  EXPECT_TRUE(cut->rejected());
+  EXPECT_EQ(FingerprintAll(*session), before);
+
+  Status consistent = session->CheckConsistency();
+  EXPECT_TRUE(consistent.ok()) << consistent.ToString();
+  auto checks = session->CheckAssertions();
+  ASSERT_TRUE(checks.ok());
+  for (const auto& check : *checks) EXPECT_TRUE(check.holds);
+
+  // A legal version of the same update still goes through.
+  auto legal =
+      session->Execute("UPDATE Emp SET Salary = 1500 WHERE EName = 'd0e0';");
+  ASSERT_TRUE(legal.ok()) << legal.status().ToString();
+  EXPECT_FALSE(legal->rejected());
+  EXPECT_EQ(legal->affected, 1);
+  EXPECT_TRUE(session->CheckConsistency().ok());
+}
+
+// The crash-interleaving soak: a long alternating stream of committed,
+// assertion-aborted, and fault-aborted transactions, with the recompute
+// oracle run throughout. Any residue from an abort — a half-applied view
+// delta, a stale index bucket — shows up as a later divergence.
+TEST(FailpointSoakTest, AlternatingCommitAssertionAndFaultAborts) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.DisarmAll();
+  auto session = MakeLoadedSession();
+  const std::vector<std::string> names = reg.Names();
+  int committed = 0;
+  int assertion_aborts = 0;
+  int fault_aborts = 0;
+  for (int i = 0; i < 60; ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    switch (i % 3) {
+      case 0: {  // a legal update commits
+        auto r = session->Execute(
+            "UPDATE Emp SET Salary = Salary + 1 WHERE DName = 'd" +
+            std::to_string(i % 4) + "';");
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        ASSERT_FALSE(r->rejected());
+        ++committed;
+        break;
+      }
+      case 1: {  // an assertion-violating update is rejected with no effect
+        const auto before = FingerprintAll(*session);
+        auto r = session->Execute(
+            "UPDATE Emp SET Salary = 99999 WHERE EName = 'd1e0';");
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_TRUE(r->rejected());
+        EXPECT_EQ(r->violated_assertion, "DeptConstraint");
+        ASSERT_EQ(FingerprintAll(*session), before);
+        ++assertion_aborts;
+        break;
+      }
+      case 2: {  // a fault mid-commit rolls back with no effect
+        const std::string& point = names[(i / 3) % names.size()];
+        const auto before = FingerprintAll(*session);
+        const int64_t triggers_before = reg.triggers(point);
+        reg.ArmAfter(point, 1 + (i % 4));
+        auto r = session->Execute(
+            "UPDATE Emp SET Salary = Salary + 2 WHERE EName = 'd2e1';");
+        const bool fired = reg.triggers(point) > triggers_before;
+        reg.DisarmAll();
+        if (fired) {
+          ASSERT_FALSE(r.ok());
+          EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+          ASSERT_EQ(FingerprintAll(*session), before);
+          ++fault_aborts;
+        } else {
+          ASSERT_TRUE(r.ok()) << r.status().ToString();
+          ++committed;
+        }
+        break;
+      }
+    }
+    if (i % 10 == 9) {
+      Status consistent = session->CheckConsistency();
+      ASSERT_TRUE(consistent.ok()) << consistent.ToString();
+      auto checks = session->CheckAssertions();
+      ASSERT_TRUE(checks.ok());
+      for (const auto& check : *checks) EXPECT_TRUE(check.holds);
+    }
+  }
+  EXPECT_GT(committed, 0);
+  EXPECT_GT(assertion_aborts, 0);
+  EXPECT_GT(fault_aborts, 0);
+  Status consistent = session->CheckConsistency();
+  EXPECT_TRUE(consistent.ok()) << consistent.ToString();
+}
+
+// Pre-Prepare bulk loads are atomic too: a multi-row INSERT faulted after
+// its first row leaves nothing applied.
+TEST(ApplyDirectTest, FaultedLoadStatementRollsBack) {
+  Session session;
+  ASSERT_TRUE(session.Execute("CREATE TABLE T (x INT PRIMARY KEY);").ok());
+  ASSERT_TRUE(session.Execute("INSERT INTO T VALUES (1), (2);").ok());
+  const std::string before = session.db().FindTable("T")->Fingerprint();
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.DisarmAll();
+  // The second Apply faults: row 10 is already in, row 11 is not — the
+  // rollback must take row 10 back out.
+  reg.ArmAfter("storage.table.apply", 2);
+  auto faulted = session.Execute("INSERT INTO T VALUES (10), (11), (12);");
+  reg.DisarmAll();
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(session.db().FindTable("T")->Fingerprint(), before);
+  // Unarmed, the same statement lands whole.
+  ASSERT_TRUE(session.Execute("INSERT INTO T VALUES (10), (11), (12);").ok());
+  EXPECT_EQ(session.db().FindTable("T")->CountOf({Value::Int64(11)}), 1);
+}
+
+}  // namespace
+}  // namespace auxview

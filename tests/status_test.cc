@@ -26,6 +26,14 @@ TEST(StatusTest, AllCodesNamed) {
                "FailedPrecondition");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAborted), "Aborted");
+}
+
+TEST(StatusTest, AbortedIsAnError) {
+  Status s = Status::Aborted("assertion 'A' would be violated");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(s.ToString(), "Aborted: assertion 'A' would be violated");
 }
 
 StatusOr<int> ParsePositive(int x) {

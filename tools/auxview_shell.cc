@@ -44,6 +44,9 @@ void PrintHelp() {
       "  .io            show the page-I/O counter\n"
       "  .reset-io      reset the page-I/O counter\n"
       "  .metrics       dump the live metrics snapshot (\\metrics works too)\n"
+      "  .fail          list failpoints (armed state, hits, triggers)\n"
+      "  .fail <name> <N|pP>   arm: abort at the Nth hit / with probability P\n"
+      "  .fail off [name]      disarm one failpoint, or all\n"
       "  .help .quit\n"
       "(docs/SHELL.md documents every command in detail)\n");
 }
@@ -198,6 +201,29 @@ class Shell {
       const obs::MetricsSnapshot snapshot =
           obs::MetricsRegistry::Global().Snapshot();
       std::printf("%s", snapshot.ToTable().c_str());
+    } else if (cmd == ".fail") {
+      FailpointRegistry& reg = FailpointRegistry::Global();
+      if (words.size() == 1) {
+        for (const std::string& name : reg.Names()) {
+          std::printf("%-30s %-8s hits=%lld triggers=%lld\n", name.c_str(),
+                      reg.armed(name) ? "ARMED" : "off",
+                      static_cast<long long>(reg.hits(name)),
+                      static_cast<long long>(reg.triggers(name)));
+        }
+      } else if (words[1] == "off") {
+        if (words.size() > 2) {
+          reg.Disarm(words[2]);
+        } else {
+          reg.DisarmAll();
+        }
+        std::printf("ok\n");
+      } else if (words.size() == 3) {
+        // Reuse the AUXVIEW_FAILPOINTS spec grammar: name=N or name=pP.
+        Status st = reg.LoadSpec(words[1] + "=" + words[2]);
+        std::printf("%s\n", st.ok() ? "armed" : st.ToString().c_str());
+      } else {
+        std::printf("usage: .fail | .fail <name> <N|pP> | .fail off [name]\n");
+      }
     } else if (cmd == ".reset-io") {
       session_.db().counter().Reset();
       std::printf("ok\n");
