@@ -86,6 +86,15 @@ void PrintResult() {
                     {best->weighted_cost, none->weighted_cost,
                      static_cast<double>(best->views.size() - 1)});
   }
+
+  // Enumeration wall time with/without the track-cost cache and with
+  // worker threads, on the mixed-update workload (the widest track space
+  // this bench exercises).
+  bench::PrintOptimizerScaling(
+      s.memo.get(), &s.workload->catalog(),
+      {s.workload->TxnInsertADept(2), s.workload->TxnModEmp(1),
+       s.workload->TxnModDept(1)},
+      OptimizeOptions{}, "  F3 optimizer scaling: ADeptsStatus, 3 txns");
 }
 
 void BM_ExhaustiveAdeptsStatus(benchmark::State& state) {

@@ -72,6 +72,24 @@ void PrintResults() {
     RunComparison("chain-" + std::to_string(k), *tree, workload.catalog(),
                   workload.AllTxns({4, 1, 1, 1, 1}), max_tracks);
   }
+
+  // Enumeration wall time with/without the track-cost cache and with worker
+  // threads, on the largest DAG the exhaustive reference fully explores.
+  {
+    ChainConfig config;
+    config.num_relations = 4;
+    config.with_aggregate = true;
+    ChainWorkload workload{config};
+    auto tree = workload.ChainViewTree();
+    if (!tree.ok()) return;
+    auto memo = BuildExpandedMemo(*tree, workload.catalog());
+    if (!memo.ok()) return;
+    OptimizeOptions base;
+    base.tracks.max_tracks = 4096;
+    bench::PrintOptimizerScaling(&*memo, &workload.catalog(),
+                                 workload.AllTxns({4, 1, 1, 1, 1}), base,
+                                 "H1 optimizer scaling: chain-4, 5 txns");
+  }
 }
 
 void BM_StrategyOnChain4(benchmark::State& state) {

@@ -59,6 +59,21 @@ void PrintResult() {
   small_depts.num_depts = 10000;
   small_depts.emps_per_dept = 1;
   SweepFor(small_depts, "10000 depts x 1 emp");
+
+  // Enumeration wall time with/without the track-cost cache and with
+  // worker threads, on the paper-size ProblemDept at a balanced mix.
+  {
+    EmpDeptWorkload workload{EmpDeptConfig{}};
+    auto tree = workload.ProblemDeptTree();
+    if (!tree.ok()) return;
+    auto memo = BuildExpandedMemo(*tree, workload.catalog());
+    if (!memo.ok()) return;
+    bench::PrintOptimizerScaling(
+        &*memo, &workload.catalog(),
+        {workload.TxnModEmp(0.5), workload.TxnModDept(0.5)},
+        OptimizeOptions{},
+        "S3 optimizer scaling: ProblemDept, 50/50 mix");
+  }
 }
 
 void BM_WeightSweepOptimize(benchmark::State& state) {

@@ -89,6 +89,23 @@ void PrintResult() {
   std::printf(
       "  (recompute scales with database size; incremental stays constant "
       "— the \"trading space for time\" premise, measured.)\n");
+
+  // Latency quantiles over every transaction applied above (all database
+  // sizes and view sets pooled), from the maintenance histograms. The
+  // `_us` quantile columns are wall time and excluded from the golden
+  // tables; `n` is deterministic.
+  bench::PrintHeader("S6: per-transaction latency quantiles",
+                     {"n", "p50_us", "p95_us"});
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  for (const char* name :
+       {"maintain.apply_txn_us", "maintain.recompute_txn_us"}) {
+    const obs::MetricsSnapshot::HistogramValue* h =
+        snapshot.FindHistogram(name);
+    if (h == nullptr) continue;
+    bench::PrintRow(name, {static_cast<double>(h->count), h->Quantile(0.5),
+                           h->Quantile(0.95)});
+  }
 }
 
 void BM_IncrementalVsRecompute(benchmark::State& state) {

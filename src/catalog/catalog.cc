@@ -39,6 +39,7 @@ Status Catalog::AddTable(TableDef def) {
     return Status::AlreadyExists("table already exists: " + def.name);
   }
   tables_.emplace(def.name, std::move(def));
+  ++stats_epoch_;
   return Status::Ok();
 }
 
@@ -64,6 +65,7 @@ Status Catalog::SetStats(const std::string& name, RelationStats stats) {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   it->second.stats = std::move(stats);
+  ++stats_epoch_;
   return Status::Ok();
 }
 

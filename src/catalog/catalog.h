@@ -56,8 +56,15 @@ class Catalog {
   /// Replaces the statistics of an existing table.
   Status SetStats(const std::string& name, RelationStats stats);
 
+  /// Monotonic version of the catalog's cost-relevant contents; bumped by
+  /// every AddTable and SetStats. Consumers that cache values derived from
+  /// table statistics (the optimizer's TrackCostCache, see
+  /// docs/OPTIMIZER.md) compare epochs to decide when to invalidate.
+  uint64_t stats_epoch() const { return stats_epoch_; }
+
  private:
   std::map<std::string, TableDef> tables_;
+  uint64_t stats_epoch_ = 0;
 };
 
 }  // namespace auxview

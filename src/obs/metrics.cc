@@ -98,12 +98,44 @@ std::vector<double> Histogram::DefaultTimeBoundsUs() {
   return bounds;
 }
 
+double MetricsSnapshot::HistogramValue::Quantile(double q) const {
+  if (count <= 0) return std::nan("");
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based, ceil) among `count` sorted
+  // observations, then walk the cumulative bucket counts.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count))));
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] < rank) {
+      seen += buckets[i];
+      continue;
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    if (i >= bounds.size()) return lo;  // overflow bucket: lower bound
+    const double hi = bounds[i];
+    const double frac = static_cast<double>(rank - seen) /
+                        static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return std::nan("");  // unreachable when count matches bucket totals
+}
+
 int64_t MetricsSnapshot::CounterOr(const std::string& name,
                                    int64_t fallback) const {
   for (const CounterValue& c : counters) {
     if (c.name == name) return c.value;
   }
   return fallback;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
 }
 
 std::string MetricsSnapshot::ToJson() const {

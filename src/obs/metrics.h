@@ -94,6 +94,11 @@ struct MetricsSnapshot {
     double sum = 0;
     std::vector<double> bounds;
     std::vector<int64_t> buckets;  // bounds.size() + 1, last is overflow
+
+    /// Estimated quantile `q` in [0, 1], linearly interpolated inside the
+    /// winning bucket (0 is the implicit lower edge of the first bucket;
+    /// the overflow bucket reports its lower bound). NaN when empty.
+    double Quantile(double q) const;
   };
 
   std::vector<CounterValue> counters;
@@ -102,6 +107,9 @@ struct MetricsSnapshot {
 
   /// Counter value by exact name (0 when absent).
   int64_t CounterOr(const std::string& name, int64_t fallback = 0) const;
+
+  /// Histogram by exact name (nullptr when absent).
+  const HistogramValue* FindHistogram(const std::string& name) const;
 
   /// Serializes to a JSON object:
   /// {"counters": {...}, "gauges": {...},

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <limits>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "optimizer/optimizer.h"
@@ -13,7 +14,9 @@ struct OptimizerMetrics {
   obs::Counter* viewsets_costed;
   obs::Counter* viewsets_pruned;
   obs::Counter* tracks_costed;
+  obs::Counter* workers_spawned;
   obs::Histogram* enumerate_us;
+  obs::Histogram* worker_us;
 
   static const OptimizerMetrics& Get() {
     static const OptimizerMetrics m = [] {
@@ -22,11 +25,57 @@ struct OptimizerMetrics {
           reg.GetCounter("optimizer.viewsets_costed"),
           reg.GetCounter("optimizer.viewsets_pruned"),
           reg.GetCounter("optimizer.tracks_costed"),
+          reg.GetCounter("optimizer.workers_spawned"),
           reg.GetHistogram("optimizer.enumerate_us"),
+          reg.GetHistogram("optimizer.worker_us"),
       };
     }();
     return m;
   }
+};
+
+/// TrackCoster::Cost routed through the cross-view-set cache. `cache` may
+/// be null (caching disabled), in which case this is a plain Cost call.
+/// `hits`/`misses` accumulate into the caller's (thread-local) tallies.
+StatusOr<TrackCost> CostThroughCache(const TrackCoster& coster,
+                                     const UpdateTrack& track,
+                                     const ViewSet& views,
+                                     const TransactionType& txn,
+                                     const std::string& key_prefix,
+                                     TrackCostCache* cache,
+                                     const DescendantsIndex* descendants,
+                                     int64_t* hits, int64_t* misses) {
+  if (cache == nullptr) return coster.Cost(track, views, txn);
+  const std::string key = TrackCostCache::Key(
+      key_prefix, track, descendants->RelevantMarked(track, views));
+  TrackCost cached;
+  if (cache->Lookup(key, &cached)) {
+    ++*hits;
+    return cached;
+  }
+  ++*misses;
+  AUXVIEW_ASSIGN_OR_RETURN(TrackCost cost, coster.Cost(track, views, txn));
+  cache->Insert(key, cost);
+  return cost;
+}
+
+/// One enumeration worker's accumulated state. Workers never touch shared
+/// mutable state except the TrackCostCache (internally locked); everything
+/// else merges deterministically after the join.
+struct ShardResult {
+  double best_cost = std::numeric_limits<double>::infinity();
+  uint64_t best_mask = ~0ull;
+  ViewSet best_views;
+  std::vector<TxnPlan> best_plans;
+  int64_t viewsets_costed = 0;
+  int64_t viewsets_pruned = 0;
+  int64_t tracks_costed = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  /// (mask, views, cost) for keep_all; merged in mask order.
+  std::vector<std::tuple<uint64_t, ViewSet, double>> all_costs;
+  Status error = Status::Ok();
+  uint64_t error_mask = ~0ull;
 };
 
 }  // namespace
@@ -38,15 +87,43 @@ ViewSelector::ViewSelector(const Memo* memo, const Catalog* catalog,
       model_(model),
       stats_(memo, catalog),
       fds_(memo, catalog),
-      delta_(memo, catalog, &stats_) {}
+      delta_(memo, catalog, &stats_),
+      analyses_epoch_(catalog->stats_epoch()) {}
+
+void ViewSelector::RefreshAnalyses() {
+  const uint64_t epoch = catalog_->stats_epoch();
+  if (epoch == analyses_epoch_) return;
+  stats_.Clear();
+  fds_.Clear();
+  analyses_epoch_ = epoch;
+}
+
+void ViewSelector::PrepareTrackCache() {
+  if (track_cache_ == nullptr) {
+    track_cache_ = std::make_unique<TrackCostCache>(catalog_);
+  }
+  track_cache_->Refresh();
+  if (descendants_ == nullptr) {
+    descendants_ = std::make_unique<DescendantsIndex>(memo_);
+  }
+}
 
 StatusOr<TxnPlan> ViewSelector::BestTrack(const ViewSet& views,
                                           const TransactionType& txn,
                                           const OptimizeOptions& options) {
+  RefreshAnalyses();
   QueryCoster query(memo_, catalog_, &stats_, &fds_, model_, options.query);
   TrackCoster coster(memo_, catalog_, &stats_, &fds_, &delta_, &query,
                      options.cost);
   TrackEnumerator enumerator(memo_, &delta_);
+  TrackCostCache* cache = nullptr;
+  std::string key_prefix;
+  if (options.use_track_cache) {
+    PrepareTrackCache();
+    cache = track_cache_.get();
+    key_prefix = TrackCostCache::KeyPrefix(
+        options.cost, options.query, delta_.use_completeness(), txn);
+  }
   AUXVIEW_ASSIGN_OR_RETURN(std::vector<UpdateTrack> tracks,
                            enumerator.Enumerate(views, txn, options.tracks));
   TxnPlan best;
@@ -55,8 +132,13 @@ StatusOr<TxnPlan> ViewSelector::BestTrack(const ViewSet& views,
   double best_cost = std::numeric_limits<double>::infinity();
   OptimizerMetrics::Get().tracks_costed->Add(
       static_cast<int64_t>(tracks.size()));
+  int64_t hits = 0;
+  int64_t misses = 0;
   for (const UpdateTrack& track : tracks) {
-    AUXVIEW_ASSIGN_OR_RETURN(TrackCost cost, coster.Cost(track, views, txn));
+    AUXVIEW_ASSIGN_OR_RETURN(
+        TrackCost cost,
+        CostThroughCache(coster, track, views, txn, key_prefix, cache,
+                         descendants_.get(), &hits, &misses));
     if (cost.total() < best_cost) {
       best_cost = cost.total();
       best.track = track;
@@ -94,80 +176,196 @@ StatusOr<OptimizeResult> ViewSelector::ExhaustiveOver(
     const std::vector<TransactionType>& txns, const OptimizeOptions& options,
     std::set<GroupId> roots, std::set<GroupId> candidates,
     const std::function<bool(const ViewSet&)>& filter) {
+  RefreshAnalyses();
   std::set<GroupId> roots_canon;
   for (GroupId r : roots) roots_canon.insert(memo_->Find(r));
   for (GroupId r : roots_canon) candidates.erase(r);
   std::vector<GroupId> cand(candidates.begin(), candidates.end());
-  if (static_cast<int>(cand.size()) > options.max_candidates) {
+  // `1ull << cand.size()` below is undefined at >= 64 candidates, so the
+  // cap holds regardless of how high callers push max_candidates.
+  const int max_candidates = std::min(options.max_candidates, 63);
+  if (static_cast<int>(cand.size()) > max_candidates) {
     return Status::FailedPrecondition(
         "too many candidate groups for exhaustive enumeration (" +
         std::to_string(cand.size()) + " > " +
-        std::to_string(options.max_candidates) +
+        std::to_string(max_candidates) +
         "); raise max_candidates or use a heuristic strategy");
   }
 
-  QueryCoster query(memo_, catalog_, &stats_, &fds_, model_, options.query);
-  TrackCoster coster(memo_, catalog_, &stats_, &fds_, &delta_, &query,
-                     options.cost);
-  TrackEnumerator enumerator(memo_, &delta_);
+  TrackCostCache* cache = nullptr;
+  if (options.use_track_cache) {
+    PrepareTrackCache();
+    cache = track_cache_.get();
+  }
+  // Per-transaction cache-key prefixes: fixed for the whole enumeration,
+  // shared read-only by every worker.
+  std::vector<std::string> key_prefixes(txns.size());
+  if (cache != nullptr) {
+    for (size_t t = 0; t < txns.size(); ++t) {
+      key_prefixes[t] = TrackCostCache::KeyPrefix(
+          options.cost, options.query, delta_.use_completeness(), txns[t]);
+    }
+  }
 
   const OptimizerMetrics& metrics = OptimizerMetrics::Get();
   obs::ScopedTimer enum_timer(metrics.enumerate_us);
 
+  const uint64_t num_sets = 1ull << cand.size();
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::max(1, threads);
+  threads = static_cast<int>(
+      std::min<uint64_t>(static_cast<uint64_t>(threads), num_sets));
+
+  // The mask shard [w, w+threads, w+2*threads, ...) for one worker, with
+  // thread-local costing machinery. Mutable shared state is limited to the
+  // internally-synchronized TrackCostCache; results merge after the join.
+  auto run_shard = [&](int worker, const TrackCoster* coster,
+                       const TrackEnumerator* enumerator, ShardResult* out) {
+    for (uint64_t mask = static_cast<uint64_t>(worker); mask < num_sets;
+         mask += static_cast<uint64_t>(threads)) {
+      ViewSet views = roots_canon;
+      for (size_t i = 0; i < cand.size(); ++i) {
+        if (mask & (1ull << i)) views.insert(cand[i]);
+      }
+      if (filter != nullptr && !filter(views)) {
+        ++out->viewsets_pruned;
+        continue;
+      }
+      double weighted = 0;
+      double total_weight = 0;
+      std::vector<TxnPlan> plans;
+      bool feasible = true;
+      for (size_t t = 0; t < txns.size(); ++t) {
+        const TransactionType& txn = txns[t];
+        StatusOr<std::vector<UpdateTrack>> tracks =
+            enumerator->Enumerate(views, txn, options.tracks);
+        if (!tracks.ok()) {
+          out->error = tracks.status();
+          out->error_mask = mask;
+          return;
+        }
+        double txn_best = std::numeric_limits<double>::infinity();
+        TxnPlan plan;
+        plan.txn_name = txn.name;
+        plan.weight = txn.weight;
+        for (const UpdateTrack& track : *tracks) {
+          StatusOr<TrackCost> cost = CostThroughCache(
+              *coster, track, views, txn, key_prefixes[t], cache,
+              descendants_.get(), &out->cache_hits, &out->cache_misses);
+          if (!cost.ok()) {
+            out->error = cost.status();
+            out->error_mask = mask;
+            return;
+          }
+          ++out->tracks_costed;
+          if (cost->total() < txn_best) {
+            txn_best = cost->total();
+            plan.track = track;
+            plan.cost = std::move(cost).value();
+          }
+        }
+        if (tracks->empty()) {
+          feasible = false;
+          break;
+        }
+        weighted += txn_best * txn.weight;
+        total_weight += txn.weight;
+        plans.push_back(std::move(plan));
+      }
+      if (!feasible) continue;
+      const double avg = total_weight > 0 ? weighted / total_weight : 0;
+      ++out->viewsets_costed;
+      if (options.keep_all) out->all_costs.emplace_back(mask, views, avg);
+      if (avg < out->best_cost) {
+        out->best_cost = avg;
+        out->best_mask = mask;
+        out->best_views = views;
+        out->best_plans = std::move(plans);
+      }
+    }
+  };
+
+  std::vector<ShardResult> shards(threads);
+  if (threads == 1) {
+    // Sequential walk on the selector's own (warm) analyses.
+    QueryCoster query(memo_, catalog_, &stats_, &fds_, model_, options.query);
+    TrackCoster coster(memo_, catalog_, &stats_, &fds_, &delta_, &query,
+                       options.cost);
+    TrackEnumerator enumerator(memo_, &delta_);
+    run_shard(0, &coster, &enumerator, &shards[0]);
+  } else {
+    metrics.workers_spawned->Add(threads);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        // Thread-local analyses: StatsAnalysis/FdAnalysis memoize into
+        // unsynchronized maps, so each worker owns a private copy. They
+        // recompute the same deterministic values the sequential walk uses.
+        obs::ScopedTimer worker_timer(metrics.worker_us);
+        StatsAnalysis stats(memo_, catalog_);
+        FdAnalysis fds(memo_, catalog_);
+        DeltaAnalysis delta(memo_, catalog_, &stats);
+        delta.set_use_completeness(delta_.use_completeness());
+        QueryCoster query(memo_, catalog_, &stats, &fds, model_,
+                          options.query);
+        TrackCoster coster(memo_, catalog_, &stats, &fds, &delta, &query,
+                           options.cost);
+        TrackEnumerator enumerator(memo_, &delta);
+        run_shard(w, &coster, &enumerator, &shards[w]);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic merge. Errors first: the sequential walk would have
+  // surfaced the error of the lowest failing mask.
+  const ShardResult* failed = nullptr;
+  for (const ShardResult& s : shards) {
+    if (s.error.ok()) continue;
+    if (failed == nullptr || s.error_mask < failed->error_mask) failed = &s;
+  }
+  if (failed != nullptr) return failed->error;
+
   OptimizeResult best;
   best.weighted_cost = std::numeric_limits<double>::infinity();
-
-  const uint64_t num_sets = 1ull << cand.size();
-  for (uint64_t mask = 0; mask < num_sets; ++mask) {
-    ViewSet views = roots_canon;
-    for (size_t i = 0; i < cand.size(); ++i) {
-      if (mask & (1ull << i)) views.insert(cand[i]);
+  uint64_t best_mask = ~0ull;
+  for (ShardResult& s : shards) {
+    best.viewsets_costed += s.viewsets_costed;
+    best.viewsets_pruned += s.viewsets_pruned;
+    best.tracks_costed += s.tracks_costed;
+    best.trackcache_hits += s.cache_hits;
+    best.trackcache_misses += s.cache_misses;
+    // Same (cost, mask) lexicographic order the sequential walk follows:
+    // strictly lower cost wins; at equal cost the lowest mask wins.
+    if (s.best_mask != ~0ull &&
+        (s.best_cost < best.weighted_cost ||
+         (s.best_cost == best.weighted_cost && s.best_mask < best_mask))) {
+      best.weighted_cost = s.best_cost;
+      best_mask = s.best_mask;
+      best.views = std::move(s.best_views);
+      best.plans = std::move(s.best_plans);
     }
-    if (filter != nullptr && !filter(views)) {
-      ++best.viewsets_pruned;
-      metrics.viewsets_pruned->Add(1);
-      continue;
+  }
+  metrics.viewsets_costed->Add(best.viewsets_costed);
+  metrics.viewsets_pruned->Add(best.viewsets_pruned);
+  metrics.tracks_costed->Add(best.tracks_costed);
+  if (options.keep_all) {
+    std::vector<std::tuple<uint64_t, ViewSet, double>> all;
+    for (ShardResult& s : shards) {
+      for (auto& entry : s.all_costs) all.push_back(std::move(entry));
     }
-    double weighted = 0;
-    double total_weight = 0;
-    std::vector<TxnPlan> plans;
-    bool feasible = true;
-    for (const TransactionType& txn : txns) {
-      AUXVIEW_ASSIGN_OR_RETURN(std::vector<UpdateTrack> tracks,
-                               enumerator.Enumerate(views, txn,
-                                                    options.tracks));
-      double txn_best = std::numeric_limits<double>::infinity();
-      TxnPlan plan;
-      plan.txn_name = txn.name;
-      plan.weight = txn.weight;
-      for (const UpdateTrack& track : tracks) {
-        AUXVIEW_ASSIGN_OR_RETURN(TrackCost cost,
-                                 coster.Cost(track, views, txn));
-        ++best.tracks_costed;
-        metrics.tracks_costed->Add(1);
-        if (cost.total() < txn_best) {
-          txn_best = cost.total();
-          plan.track = track;
-          plan.cost = std::move(cost);
-        }
-      }
-      if (tracks.empty()) {
-        feasible = false;
-        break;
-      }
-      weighted += txn_best * txn.weight;
-      total_weight += txn.weight;
-      plans.push_back(std::move(plan));
-    }
-    if (!feasible) continue;
-    const double avg = total_weight > 0 ? weighted / total_weight : 0;
-    ++best.viewsets_costed;
-    metrics.viewsets_costed->Add(1);
-    if (options.keep_all) best.all_costs.emplace_back(views, avg);
-    if (avg < best.weighted_cost) {
-      best.weighted_cost = avg;
-      best.views = views;
-      best.plans = std::move(plans);
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) {
+                return std::get<0>(a) < std::get<0>(b);
+              });
+    best.all_costs.reserve(all.size());
+    for (auto& [mask, views, cost] : all) {
+      (void)mask;
+      best.all_costs.emplace_back(std::move(views), cost);
     }
   }
   return best;

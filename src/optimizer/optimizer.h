@@ -13,6 +13,7 @@
 #include "delta/analysis.h"
 #include "optimizer/track.h"
 #include "optimizer/track_cost.h"
+#include "optimizer/track_cost_cache.h"
 #include "optimizer/view_set.h"
 
 namespace auxview {
@@ -23,8 +24,21 @@ struct OptimizeOptions {
   TrackCostOptions cost;
   QueryCostOptions query;
   /// Hard cap on the number of candidate groups for exhaustive subset
-  /// enumeration (2^n view sets).
+  /// enumeration (2^n view sets). Clamped to 63 internally: the mask walk
+  /// shifts `1ull << candidates`, which is undefined at 64.
   int max_candidates = 22;
+  /// Worker threads for exhaustive enumeration. 1 = the sequential walk;
+  /// 0 = one per hardware thread; N > 1 shards the view-set mask space
+  /// across N workers with thread-local costers. The result is bit-identical
+  /// for every value (per-mask costings are independent and the merge
+  /// tie-breaks on the lowest mask); only wall time changes. A caller-
+  /// supplied ExhaustiveOver filter must be safe to call concurrently.
+  int threads = 1;
+  /// Reuse TrackCoster::Cost results across view sets through the
+  /// selector's TrackCostCache (see docs/OPTIMIZER.md). Adjacent view sets
+  /// share most update tracks, so exhaustive enumeration hits constantly.
+  /// Disable to force recomputation (ablations, cache-correctness tests).
+  bool use_track_cache = true;
   /// Record the cost of every view set considered (benches).
   bool keep_all = false;
 };
@@ -44,7 +58,13 @@ struct OptimizeResult {
   std::vector<TxnPlan> plans;  // per transaction, for the winning view set
   int64_t viewsets_costed = 0;
   int64_t viewsets_pruned = 0;  // skipped by shielding
+  /// Tracks considered (cache hits included, so the count is independent of
+  /// caching and threading).
   int64_t tracks_costed = 0;
+  /// TrackCostCache traffic for this run. Hit+miss ordering is scheduling-
+  /// dependent when threads > 1, but hits+misses == tracks evaluated.
+  int64_t trackcache_hits = 0;
+  int64_t trackcache_misses = 0;
   /// Per-view-set weighted costs when keep_all was set.
   std::vector<std::pair<ViewSet, double>> all_costs;
 };
@@ -123,12 +143,30 @@ class ViewSelector {
   DeltaAnalysis& delta() { return delta_; }
 
  private:
+  /// Clears the memoized statistics/FD analyses when Catalog::stats_epoch()
+  /// has advanced since they were last used, so a long-lived selector picks
+  /// up SetStats/AddTable instead of serving stale derived stats. Called
+  /// single-threaded at the costing entry points (BestTrack,
+  /// ExhaustiveOver) before any worker threads exist.
+  void RefreshAnalyses();
+
+  /// Builds (lazily) and epoch-refreshes the shared track-cost cache and
+  /// the descendants index. Called single-threaded at optimization entry
+  /// points before any worker may touch the cache.
+  void PrepareTrackCache();
+
   const Memo* memo_;
   const Catalog* catalog_;
   IoCostModel model_;
   StatsAnalysis stats_;
   FdAnalysis fds_;
   DeltaAnalysis delta_;
+  /// Epoch the analyses' memoized values were derived from.
+  uint64_t analyses_epoch_;
+  /// Shared across Exhaustive/Shielding/heuristic entry points (and their
+  /// worker threads); invalidated when Catalog::stats_epoch() advances.
+  std::unique_ptr<TrackCostCache> track_cache_;
+  std::unique_ptr<DescendantsIndex> descendants_;
 };
 
 }  // namespace auxview

@@ -1,0 +1,122 @@
+#ifndef AUXVIEW_OPTIMIZER_TRACK_COST_CACHE_H_
+#define AUXVIEW_OPTIMIZER_TRACK_COST_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cost/query_cost.h"
+#include "optimizer/track.h"
+#include "optimizer/track_cost.h"
+#include "optimizer/view_set.h"
+
+namespace auxview {
+
+/// Precomputed descendant closures of every live memo group — `{g} plus
+/// every group reachable through operation-node inputs`. Built once per
+/// memo (the memo must not be mutated afterwards) and read concurrently by
+/// the enumeration workers.
+///
+/// Its job is to shrink a TrackCost cache key: `TrackCoster::Cost` only
+/// ever consults the marked (materialized) status of groups at or below the
+/// track's chosen operation nodes — delta queries are posed on the chosen
+/// ops' inputs and answered by descending the DAG (`QueryCoster::LookupCost`
+/// recurses through inputs only), and update-application charges are taken
+/// on marked groups of the track itself. Everything else in the view set is
+/// irrelevant to that track's cost, so adjacent view sets that differ only
+/// in irrelevant groups share one cache entry.
+class DescendantsIndex {
+ public:
+  explicit DescendantsIndex(const Memo* memo);
+
+  /// The subset of `marked` that can influence `TrackCoster::Cost(track)`:
+  /// marked groups on the track itself, plus marked groups in the
+  /// descendant closure of an input of a chosen join/aggregate/dup-elim
+  /// node (the only places lookup queries are posed). Returned sorted
+  /// (canonical ids), ready for key building.
+  std::vector<GroupId> RelevantMarked(const UpdateTrack& track,
+                                      const ViewSet& marked) const;
+
+ private:
+  const Memo* memo_;
+  std::map<GroupId, std::set<GroupId>> descendants_;
+};
+
+/// Memoizes TrackCoster::Cost results across view sets (and across
+/// optimizer entry points): key = (costing-option fingerprint, transaction
+/// fingerprint, update track, marked-subset-relevant-to-the-track). The key
+/// is the exact canonical serialization — no lossy hashing — so a hit is
+/// guaranteed to be the value a recomputation would produce and cached
+/// results are bit-identical to uncached ones.
+///
+/// Thread safety: Lookup/Insert are safe from concurrent enumeration
+/// workers (the map is sharded by key hash, one mutex per shard). Because
+/// the cached value for a key is a deterministic function of the memo,
+/// catalog and options, racing workers that miss on the same key insert the
+/// same value — the final contents are deterministic even though hit/miss
+/// interleavings are not.
+///
+/// Invalidation: cost estimates derive from catalog statistics, so the
+/// cache records `Catalog::stats_epoch()` when filled and `Refresh()`
+/// (called at every optimizer entry point, single-threaded) clears it when
+/// the epoch has advanced — i.e. after any `Catalog::SetStats` or
+/// `AddTable`. The memo is immutable for the life of the owning
+/// ViewSelector, so no memo-based invalidation is needed.
+class TrackCostCache {
+ public:
+  explicit TrackCostCache(const Catalog* catalog);
+
+  /// Drops every entry if the catalog's stats epoch moved since the cache
+  /// was last filled. Call before each optimization run, never concurrently
+  /// with Lookup/Insert.
+  void Refresh();
+
+  /// Copies the cached cost into `*out` and returns true on a hit.
+  /// Maintains the `optimizer.trackcache_{hits,misses}` counters.
+  bool Lookup(const std::string& key, TrackCost* out);
+
+  /// Stores `cost` for `key` (first writer wins; racing duplicates are
+  /// identical by construction).
+  void Insert(const std::string& key, const TrackCost& cost);
+
+  void Clear();
+
+  /// Entries across all shards (tests / introspection).
+  size_t size() const;
+
+  /// Key-prefix for everything that is fixed across one optimization run
+  /// but may differ between runs sharing this cache: every option that
+  /// changes what TrackCoster::Cost returns, plus the transaction's update
+  /// specs (weights are applied outside the track cost and are excluded).
+  static std::string KeyPrefix(const TrackCostOptions& cost,
+                               const QueryCostOptions& query,
+                               bool use_completeness,
+                               const TransactionType& txn);
+
+  /// Full key: prefix + the track's (group -> op) choices + the relevant
+  /// marked subset from DescendantsIndex::RelevantMarked.
+  static std::string Key(const std::string& prefix, const UpdateTrack& track,
+                         const std::vector<GroupId>& relevant_marked);
+
+ private:
+  static constexpr int kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, TrackCost> entries;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  const Catalog* catalog_;
+  uint64_t filled_at_epoch_ = 0;
+  Shard shards_[kShards];
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_OPTIMIZER_TRACK_COST_CACHE_H_
