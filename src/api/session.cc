@@ -291,9 +291,7 @@ Status Session::ApplyDirect(const ConcreteTxn& txn) {
         for (const auto& [row, count] : u.deletes) {
           AUXVIEW_RETURN_IF_ERROR(t->Delete(row, count));
         }
-        for (const auto& [old_row, new_row] : u.modifies) {
-          AUXVIEW_RETURN_IF_ERROR(t->Modify(old_row, new_row));
-        }
+        AUXVIEW_RETURN_IF_ERROR(t->ModifyBatch(u.modifies));
       }
       return Status::Ok();
     }();

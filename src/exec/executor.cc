@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "exec/kernels/kernels.h"
 #include "obs/metrics.h"
 
 namespace auxview {
@@ -11,8 +12,9 @@ namespace {
 
 /// Per-operator executor metrics: exec.ops.<op> counts evaluations,
 /// exec.rows_out.<op> counts result multiplicity. Handles are resolved once
-/// per operator kind.
-void RecordOperator(OpKind kind, const Relation& result) {
+/// per operator kind. (The kernel layer keeps its own exec.kernel.* metrics;
+/// these count tree-node evaluations, which include Scan.)
+void RecordOperator(OpKind kind, const RowBatch& result) {
   struct OpMetrics {
     obs::Counter* ops;
     obs::Counter* rows_out;
@@ -35,208 +37,7 @@ void RecordOperator(OpKind kind, const Relation& result) {
 
 }  // namespace
 
-namespace exec_detail {
-
-StatusOr<Relation> ApplySelect(const Expr& expr, const Relation& input) {
-  Relation out(expr.output_schema());
-  for (const auto& [row, count] : input.rows()) {
-    AUXVIEW_ASSIGN_OR_RETURN(Value v,
-                             expr.predicate()->Eval(row, input.schema()));
-    if (!v.is_null() && v.boolean()) out.Add(row, count);
-  }
-  return out;
-}
-
-StatusOr<Relation> ApplyProject(const Expr& expr, const Relation& input) {
-  Relation out(expr.output_schema());
-  for (const auto& [row, count] : input.rows()) {
-    Row projected;
-    projected.reserve(expr.projections().size());
-    for (const ProjectItem& item : expr.projections()) {
-      AUXVIEW_ASSIGN_OR_RETURN(Value v, item.expr->Eval(row, input.schema()));
-      projected.push_back(std::move(v));
-    }
-    out.Add(projected, count);
-  }
-  return out;
-}
-
-StatusOr<Relation> ApplyJoin(const Expr& expr, const Relation& left,
-                             const Relation& right) {
-  Relation out(expr.output_schema());
-  const Schema& ls = left.schema();
-  const Schema& rs = right.schema();
-  std::vector<int> l_key_cols;
-  std::vector<int> r_key_cols;
-  for (const std::string& a : expr.join_attrs()) {
-    l_key_cols.push_back(ls.IndexOf(a));
-    r_key_cols.push_back(rs.IndexOf(a));
-    AUXVIEW_CHECK(l_key_cols.back() >= 0 && r_key_cols.back() >= 0);
-  }
-  // Columns of the right side that survive (non-join attrs).
-  std::vector<int> r_out_cols;
-  for (int c = 0; c < rs.num_columns(); ++c) {
-    bool is_join = false;
-    for (int k : r_key_cols) {
-      if (k == c) {
-        is_join = true;
-        break;
-      }
-    }
-    if (!is_join) r_out_cols.push_back(c);
-  }
-  // Hash the right side on the join key.
-  std::unordered_map<Row, std::vector<std::pair<const Row*, int64_t>>, RowHash,
-                     RowEq>
-      hash;
-  for (const auto& [row, count] : right.rows()) {
-    Row key;
-    key.reserve(r_key_cols.size());
-    for (int c : r_key_cols) key.push_back(row[c]);
-    hash[std::move(key)].emplace_back(&row, count);
-  }
-  for (const auto& [lrow, lcount] : left.rows()) {
-    Row key;
-    key.reserve(l_key_cols.size());
-    for (int c : l_key_cols) key.push_back(lrow[c]);
-    auto it = hash.find(key);
-    if (it == hash.end()) continue;
-    for (const auto& [rrow, rcount] : it->second) {
-      Row joined = lrow;
-      for (int c : r_out_cols) joined.push_back((*rrow)[c]);
-      out.Add(joined, lcount * rcount);
-    }
-  }
-  return out;
-}
-
-namespace {
-
-/// Running aggregate state for one group.
-struct GroupState {
-  int64_t count = 0;           // total multiplicity of contributing rows
-  std::vector<double> sums;    // per-agg running sum (SUM/AVG)
-  std::vector<bool> all_int;   // SUM stays integral?
-  std::vector<Value> minmax;   // per-agg current MIN/MAX
-  std::vector<int64_t> nonnull_count;  // per-agg count of non-null args
-};
-
-}  // namespace
-
-StatusOr<Relation> ApplyAggregate(const Expr& expr, const Relation& input) {
-  const Schema& cs = input.schema();
-  std::vector<int> group_cols;
-  for (const std::string& g : expr.group_by()) {
-    group_cols.push_back(cs.IndexOf(g));
-    AUXVIEW_CHECK(group_cols.back() >= 0);
-  }
-  const size_t num_aggs = expr.aggs().size();
-  std::unordered_map<Row, GroupState, RowHash, RowEq> groups;
-  for (const auto& [row, count] : input.rows()) {
-    if (count < 0) {
-      return Status::FailedPrecondition(
-          "Aggregate over a relation with negative multiplicities");
-    }
-    Row key;
-    key.reserve(group_cols.size());
-    for (int c : group_cols) key.push_back(row[c]);
-    GroupState& gs = groups[std::move(key)];
-    if (gs.sums.empty()) {
-      gs.sums.assign(num_aggs, 0.0);
-      gs.all_int.assign(num_aggs, true);
-      gs.minmax.assign(num_aggs, Value::Null());
-      gs.nonnull_count.assign(num_aggs, 0);
-    }
-    gs.count += count;
-    for (size_t i = 0; i < num_aggs; ++i) {
-      const AggSpec& agg = expr.aggs()[i];
-      Value v = Value::Null();
-      if (agg.arg != nullptr) {
-        AUXVIEW_ASSIGN_OR_RETURN(v, agg.arg->Eval(row, cs));
-      }
-      switch (agg.func) {
-        case AggFunc::kCount:
-          if (agg.arg == nullptr) {
-            gs.nonnull_count[i] += count;
-          } else if (!v.is_null()) {
-            gs.nonnull_count[i] += count;
-          }
-          break;
-        case AggFunc::kSum:
-        case AggFunc::kAvg:
-          if (!v.is_null()) {
-            gs.sums[i] += v.AsDouble() * static_cast<double>(count);
-            gs.nonnull_count[i] += count;
-            if (v.type() != ValueType::kInt64) gs.all_int[i] = false;
-          }
-          break;
-        case AggFunc::kMin:
-          if (!v.is_null() &&
-              (gs.minmax[i].is_null() || v.Compare(gs.minmax[i]) < 0)) {
-            gs.minmax[i] = v;
-          }
-          break;
-        case AggFunc::kMax:
-          if (!v.is_null() &&
-              (gs.minmax[i].is_null() || v.Compare(gs.minmax[i]) > 0)) {
-            gs.minmax[i] = v;
-          }
-          break;
-      }
-    }
-  }
-  Relation out(expr.output_schema());
-  for (const auto& [key, gs] : groups) {
-    Row row = key;
-    for (size_t i = 0; i < num_aggs; ++i) {
-      const AggSpec& agg = expr.aggs()[i];
-      switch (agg.func) {
-        case AggFunc::kCount:
-          row.push_back(Value::Int64(gs.nonnull_count[i]));
-          break;
-        case AggFunc::kSum:
-          if (gs.nonnull_count[i] == 0) {
-            row.push_back(Value::Null());
-          } else if (gs.all_int[i]) {
-            row.push_back(Value::Int64(static_cast<int64_t>(gs.sums[i])));
-          } else {
-            row.push_back(Value::Double(gs.sums[i]));
-          }
-          break;
-        case AggFunc::kAvg:
-          if (gs.nonnull_count[i] == 0) {
-            row.push_back(Value::Null());
-          } else {
-            row.push_back(Value::Double(
-                gs.sums[i] / static_cast<double>(gs.nonnull_count[i])));
-          }
-          break;
-        case AggFunc::kMin:
-        case AggFunc::kMax:
-          row.push_back(gs.minmax[i]);
-          break;
-      }
-    }
-    out.Add(row, 1);
-  }
-  return out;
-}
-
-StatusOr<Relation> ApplyDupElim(const Expr& expr, const Relation& input) {
-  Relation out(expr.output_schema());
-  for (const auto& [row, count] : input.rows()) {
-    if (count < 0) {
-      return Status::FailedPrecondition(
-          "DupElim over a relation with negative multiplicities");
-    }
-    if (count > 0) out.Add(row, 1);
-  }
-  return out;
-}
-
-}  // namespace exec_detail
-
-StatusOr<Relation> Executor::ExecuteScan(const Expr& expr) const {
+StatusOr<RowBatch> Executor::ScanBatch(const Expr& expr) const {
   const Table* table = db_->FindTable(expr.table());
   if (table == nullptr) {
     return Status::NotFound("scan of missing table: " + expr.table());
@@ -245,44 +46,41 @@ StatusOr<Relation> Executor::ExecuteScan(const Expr& expr) const {
     return Status::FailedPrecondition("schema mismatch for table " +
                                       expr.table());
   }
-  Relation out(expr.output_schema());
+  RowBatch out(expr.output_schema());
+  out.Reserve(table->distinct_rows());
   for (const CountedRow& cr : table->SnapshotUncharged()) {
-    out.Add(cr.row, cr.count);
+    out.Append(cr.row, cr.count);
   }
   return out;
 }
 
-StatusOr<Relation> Executor::Execute(const Expr& expr) const {
-  StatusOr<Relation> result = [&]() -> StatusOr<Relation> {
+StatusOr<RowBatch> Executor::ExecuteBatch(const Expr& expr) const {
+  StatusOr<RowBatch> result = [&]() -> StatusOr<RowBatch> {
     switch (expr.kind()) {
       case OpKind::kScan:
-        return ExecuteScan(expr);
-      case OpKind::kSelect: {
-        AUXVIEW_ASSIGN_OR_RETURN(Relation in, Execute(*expr.child(0)));
-        return exec_detail::ApplySelect(expr, in);
-      }
-      case OpKind::kProject: {
-        AUXVIEW_ASSIGN_OR_RETURN(Relation in, Execute(*expr.child(0)));
-        return exec_detail::ApplyProject(expr, in);
-      }
+        return ScanBatch(expr);
       case OpKind::kJoin: {
-        AUXVIEW_ASSIGN_OR_RETURN(Relation left, Execute(*expr.child(0)));
-        AUXVIEW_ASSIGN_OR_RETURN(Relation right, Execute(*expr.child(1)));
-        return exec_detail::ApplyJoin(expr, left, right);
+        AUXVIEW_ASSIGN_OR_RETURN(RowBatch left, ExecuteBatch(*expr.child(0)));
+        AUXVIEW_ASSIGN_OR_RETURN(RowBatch right, ExecuteBatch(*expr.child(1)));
+        return kernels::HashJoin(expr, left, right);
       }
-      case OpKind::kAggregate: {
-        AUXVIEW_ASSIGN_OR_RETURN(Relation in, Execute(*expr.child(0)));
-        return exec_detail::ApplyAggregate(expr, in);
-      }
+      case OpKind::kSelect:
+      case OpKind::kProject:
+      case OpKind::kAggregate:
       case OpKind::kDupElim: {
-        AUXVIEW_ASSIGN_OR_RETURN(Relation in, Execute(*expr.child(0)));
-        return exec_detail::ApplyDupElim(expr, in);
+        AUXVIEW_ASSIGN_OR_RETURN(RowBatch in, ExecuteBatch(*expr.child(0)));
+        return kernels::ApplyUnary(expr, in);
       }
     }
     return Status::Internal("unhandled op kind in executor");
   }();
   if (result.ok()) RecordOperator(expr.kind(), *result);
   return result;
+}
+
+StatusOr<Relation> Executor::Execute(const Expr& expr) const {
+  AUXVIEW_ASSIGN_OR_RETURN(RowBatch batch, ExecuteBatch(expr));
+  return batch.ToRelation();
 }
 
 }  // namespace auxview

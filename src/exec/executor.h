@@ -3,6 +3,7 @@
 
 #include "algebra/expr.h"
 #include "common/status.h"
+#include "exec/kernels/row_batch.h"
 #include "exec/relation.h"
 #include "storage/database.h"
 
@@ -15,37 +16,28 @@ namespace auxview {
 /// checked against. It reads tables without charging page I/O — charged,
 /// index-driven access happens in the delta engine, which is what the paper's
 /// cost model prices.
+///
+/// Evaluation composes the shared batch kernels (exec/kernels/kernels.h):
+/// each operator consumes its children's whole output batches and produces
+/// one batch, so the executor and the delta engine run the same operator
+/// code — the executor merely streams batches bottom-up through the tree.
 class Executor {
  public:
   explicit Executor(const Database* db) : db_(db) {}
 
   /// Evaluates `expr`; every Scan leaf must name a table present in the
-  /// database.
+  /// database. The result is the coalesced bag of the root's output batch.
   StatusOr<Relation> Execute(const Expr& expr) const;
 
+  /// Batch-level entry point: evaluates `expr` and returns the root
+  /// operator's output batch uncoalesced.
+  StatusOr<RowBatch> ExecuteBatch(const Expr& expr) const;
+
  private:
-  StatusOr<Relation> ExecuteScan(const Expr& expr) const;
-  StatusOr<Relation> ExecuteSelect(const Expr& expr) const;
-  StatusOr<Relation> ExecuteProject(const Expr& expr) const;
-  StatusOr<Relation> ExecuteJoin(const Expr& expr) const;
-  StatusOr<Relation> ExecuteAggregate(const Expr& expr) const;
-  StatusOr<Relation> ExecuteDupElim(const Expr& expr) const;
+  StatusOr<RowBatch> ScanBatch(const Expr& expr) const;
 
   const Database* db_;
 };
-
-/// Applies `expr`'s operator to already-computed input relations. Exposed
-/// separately so the delta engine can run single operators over deltas.
-namespace exec_detail {
-
-StatusOr<Relation> ApplySelect(const Expr& expr, const Relation& input);
-StatusOr<Relation> ApplyProject(const Expr& expr, const Relation& input);
-StatusOr<Relation> ApplyJoin(const Expr& expr, const Relation& left,
-                             const Relation& right);
-StatusOr<Relation> ApplyAggregate(const Expr& expr, const Relation& input);
-StatusOr<Relation> ApplyDupElim(const Expr& expr, const Relation& input);
-
-}  // namespace exec_detail
 
 }  // namespace auxview
 

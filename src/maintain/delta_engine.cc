@@ -6,7 +6,8 @@
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
-#include "exec/executor.h"
+#include "exec/kernels/kernels.h"
+#include "exec/kernels/row_batch.h"
 #include "obs/metrics.h"
 
 namespace auxview {
@@ -46,6 +47,25 @@ Relation FilterByKey(const Relation& rel, const std::vector<std::string>& attrs,
     if (eq(ProjectRow(row, rel.schema(), attrs), key)) out.Add(row, count);
   }
   return out;
+}
+
+/// Runs a unary operator kernel over a coalesced relation: batch in, batch
+/// out, coalesce back. Entry order is the relation's iteration order, so
+/// accumulation order matches the former row-at-a-time code.
+StatusOr<Relation> ApplyUnaryKernel(const Expr& op, const Relation& in) {
+  AUXVIEW_ASSIGN_OR_RETURN(RowBatch out,
+                           kernels::ApplyUnary(op, RowBatch::FromRelation(in)));
+  return out.ToRelation();
+}
+
+/// Joins two coalesced relations through the shared hash-join kernel: one
+/// hash build over the right side, one probe per left row.
+StatusOr<Relation> ApplyJoinKernel(const Expr& op, const Relation& left,
+                                   const Relation& right) {
+  AUXVIEW_ASSIGN_OR_RETURN(
+      RowBatch out, kernels::HashJoin(op, RowBatch::FromRelation(left),
+                                      RowBatch::FromRelation(right)));
+  return out.ToRelation();
 }
 
 /// Live entry count of the (per-engine) fetch cache. Process-cumulative
@@ -200,13 +220,10 @@ StatusOr<Relation> DeltaEngine::DeltaOf(GroupId g, ApplyContext& ctx) {
       switch (e.kind()) {
         case OpKind::kScan:
           return Status::Internal("scan operation node off a leaf group");
-        case OpKind::kSelect: {
-          AUXVIEW_ASSIGN_OR_RETURN(Relation in, DeltaOf(e.inputs[0], ctx));
-          return exec_detail::ApplySelect(*e.op, in);
-        }
+        case OpKind::kSelect:
         case OpKind::kProject: {
           AUXVIEW_ASSIGN_OR_RETURN(Relation in, DeltaOf(e.inputs[0], ctx));
-          return exec_detail::ApplyProject(*e.op, in);
+          return ApplyUnaryKernel(*e.op, in);
         }
         case OpKind::kJoin:
           return JoinDelta(e, ctx);
@@ -234,19 +251,24 @@ StatusOr<Relation> DeltaEngine::JoinDelta(const MemoExpr& e,
 
   Relation out(e.natural_schema);
 
+  // Distinct join keys of a delta, fetched as one batch: a single probe-plan
+  // resolution (or push-down plan choice) serves every key, then the delta
+  // joins its whole partner set through one hash build.
   auto fetch_partners = [&](const Relation& delta,
                             GroupId other) -> StatusOr<Relation> {
     Relation partners(memo_->group(other).schema);
     std::set<std::string> seen;
+    std::vector<Row> probe_keys;
     for (const auto& [row, count] : delta.rows()) {
       (void)count;
       Row key = ProjectRow(row, delta.schema(), s);
-      const std::string key_str = RowToString(key);
-      if (!seen.insert(key_str).second) continue;
-      AUXVIEW_ASSIGN_OR_RETURN(Relation matches,
-                               FetchMatching(other, s, key, *ctx.marked));
-      partners.AddAll(matches);
+      if (!seen.insert(RowToString(key)).second) continue;
+      probe_keys.push_back(std::move(key));
     }
+    AUXVIEW_ASSIGN_OR_RETURN(
+        std::vector<Relation> matches,
+        FetchMatchingBatch(other, s, probe_keys, *ctx.marked));
+    for (const Relation& m : matches) partners.AddAll(m);
     return partners;
   };
 
@@ -254,21 +276,20 @@ StatusOr<Relation> DeltaEngine::JoinDelta(const MemoExpr& e,
     AUXVIEW_ASSIGN_OR_RETURN(Relation dl, DeltaOf(left, ctx));
     AUXVIEW_ASSIGN_OR_RETURN(Relation partners, fetch_partners(dl, right));
     AUXVIEW_ASSIGN_OR_RETURN(Relation term,
-                             exec_detail::ApplyJoin(*e.op, dl, partners));
+                             ApplyJoinKernel(*e.op, dl, partners));
     out.AddAll(term);
   }
   if (r_aff) {
     AUXVIEW_ASSIGN_OR_RETURN(Relation dr, DeltaOf(right, ctx));
     AUXVIEW_ASSIGN_OR_RETURN(Relation partners, fetch_partners(dr, left));
     AUXVIEW_ASSIGN_OR_RETURN(Relation term,
-                             exec_detail::ApplyJoin(*e.op, partners, dr));
+                             ApplyJoinKernel(*e.op, partners, dr));
     out.AddAll(term);
   }
   if (l_aff && r_aff) {
     AUXVIEW_ASSIGN_OR_RETURN(Relation dl, DeltaOf(left, ctx));
     AUXVIEW_ASSIGN_OR_RETURN(Relation dr, DeltaOf(right, ctx));
-    AUXVIEW_ASSIGN_OR_RETURN(Relation term,
-                             exec_detail::ApplyJoin(*e.op, dl, dr));
+    AUXVIEW_ASSIGN_OR_RETURN(Relation term, ApplyJoinKernel(*e.op, dl, dr));
     out.AddAll(term);
   }
   return out;
@@ -304,6 +325,34 @@ StatusOr<Relation> DeltaEngine::AggregateDelta(const MemoExpr& e,
   const Table* view_table =
       materialized ? db_->FindTable(MaterializedViewName(g)) : nullptr;
 
+  // The complete/self-maintenance/query choice below is key-independent, so
+  // every group key takes the same branch — prefetch whatever that branch
+  // reads with one batched probe over all keys (in per_key order).
+  std::vector<Row> group_keys;
+  group_keys.reserve(per_key.size());
+  for (const auto& [key_str, entry] : per_key) {
+    (void)key_str;
+    group_keys.push_back(entry.first);
+  }
+  std::vector<Relation> old_contents;              // query path
+  std::vector<std::vector<CountedRow>> view_rows;  // self-maintenance path
+  if (!group_keys.empty() && !complete) {
+    if (!needs_query && materialized) {
+      if (view_table == nullptr) {
+        return Status::Internal("materialized view table missing for N" +
+                                std::to_string(g));
+      }
+      // These reads are part of the update cost, so they are not charged.
+      ScopedCountingDisabled guard(&db_->counter());
+      view_rows = view_table->LookupBatch(group_by, group_keys);
+    } else {
+      AUXVIEW_ASSIGN_OR_RETURN(
+          old_contents,
+          FetchMatchingBatch(input, group_by, group_keys, *ctx.marked));
+    }
+  }
+
+  size_t key_idx = 0;
   for (auto& [key_str, entry] : per_key) {
     (void)key_str;
     const Row& key = entry.first;
@@ -315,27 +364,21 @@ StatusOr<Relation> DeltaEngine::AggregateDelta(const MemoExpr& e,
         if (count < 0) old_content.Add(row, -count);
         if (count > 0) new_content.Add(row, count);
       }
-      AUXVIEW_ASSIGN_OR_RETURN(
-          Relation old_rows, exec_detail::ApplyAggregate(*e.op, old_content));
-      AUXVIEW_ASSIGN_OR_RETURN(
-          Relation new_rows, exec_detail::ApplyAggregate(*e.op, new_content));
+      AUXVIEW_ASSIGN_OR_RETURN(Relation old_rows,
+                               ApplyUnaryKernel(*e.op, old_content));
+      AUXVIEW_ASSIGN_OR_RETURN(Relation new_rows,
+                               ApplyUnaryKernel(*e.op, new_content));
       for (const auto& [row, count] : old_rows.rows()) {
         out_natural.Add(row, -count);
       }
       out_natural.AddAll(new_rows);
     } else if (!needs_query && materialized) {
-      if (view_table == nullptr) {
-        return Status::Internal("materialized view table missing for N" +
-                                std::to_string(g));
-      }
-      // Self-maintenance: read the old group row from the view (this read is
-      // part of the update cost, so it is not charged here), derive the new
-      // row algebraically.
+      // Self-maintenance: the old group row came from the batched
+      // (uncharged) view probe above; derive the new row algebraically.
       Row old_row;
       bool have_old = false;
       {
-        ScopedCountingDisabled guard(&db_->counter());
-        std::vector<CountedRow> found = view_table->Lookup(group_by, key);
+        const std::vector<CountedRow>& found = view_rows[key_idx];
         if (found.size() > 1) {
           return Status::Internal("duplicate group row in materialized view");
         }
@@ -430,21 +473,21 @@ StatusOr<Relation> DeltaEngine::AggregateDelta(const MemoExpr& e,
       if (have_old) out_canonical.Add(old_row, -1);
       if (!group_becomes_empty) out_canonical.Add(new_row, 1);
     } else {
-      // Query path: fetch the group's current contents from the input.
-      AUXVIEW_ASSIGN_OR_RETURN(
-          Relation old_content,
-          FetchMatching(input, group_by, key, *ctx.marked));
+      // Query path: the group's current contents came from the batched
+      // prefetch above.
+      const Relation& old_content = old_contents[key_idx];
       Relation new_content = old_content;
       new_content.AddAll(sub);
-      AUXVIEW_ASSIGN_OR_RETURN(
-          Relation old_rows, exec_detail::ApplyAggregate(*e.op, old_content));
-      AUXVIEW_ASSIGN_OR_RETURN(
-          Relation new_rows, exec_detail::ApplyAggregate(*e.op, new_content));
+      AUXVIEW_ASSIGN_OR_RETURN(Relation old_rows,
+                               ApplyUnaryKernel(*e.op, old_content));
+      AUXVIEW_ASSIGN_OR_RETURN(Relation new_rows,
+                               ApplyUnaryKernel(*e.op, new_content));
       for (const auto& [row, count] : old_rows.rows()) {
         out_natural.Add(row, -count);
       }
       out_natural.AddAll(new_rows);
     }
+    ++key_idx;
   }
 
   AUXVIEW_ASSIGN_OR_RETURN(Relation aligned,
@@ -459,10 +502,22 @@ StatusOr<Relation> DeltaEngine::DupElimDelta(const MemoExpr& e,
   AUXVIEW_ASSIGN_OR_RETURN(Relation dc, DeltaOf(input, ctx));
   Relation out(e.natural_schema);
   const std::vector<std::string> attrs = SchemaAttrList(dc.schema());
+  // One batched probe for every delta row's prior multiplicity (delta rows
+  // are distinct, so the batch is too).
+  std::vector<Row> probe_rows;
+  std::vector<int64_t> probe_counts;
+  probe_rows.reserve(dc.distinct_rows());
   for (const auto& [row, count] : dc.rows()) {
-    AUXVIEW_ASSIGN_OR_RETURN(Relation existing,
-                             FetchMatching(input, attrs, row, *ctx.marked));
-    const int64_t old_mult = existing.CountOf(row);
+    probe_rows.push_back(row);
+    probe_counts.push_back(count);
+  }
+  AUXVIEW_ASSIGN_OR_RETURN(
+      std::vector<Relation> existing_per_row,
+      FetchMatchingBatch(input, attrs, probe_rows, *ctx.marked));
+  for (size_t i = 0; i < probe_rows.size(); ++i) {
+    const Row& row = probe_rows[i];
+    const int64_t count = probe_counts[i];
+    const int64_t old_mult = existing_per_row[i].CountOf(row);
     const int64_t new_mult = old_mult + count;
     if (new_mult < 0) {
       return Status::FailedPrecondition(
@@ -477,22 +532,66 @@ StatusOr<Relation> DeltaEngine::DupElimDelta(const MemoExpr& e,
 StatusOr<Relation> DeltaEngine::FetchMatching(
     GroupId g, const std::vector<std::string>& attrs, const Row& key,
     const ViewSet& marked) {
+  AUXVIEW_ASSIGN_OR_RETURN(std::vector<Relation> out,
+                           FetchMatchingBatch(g, attrs, {key}, marked));
+  return std::move(out[0]);
+}
+
+StatusOr<std::vector<Relation>> DeltaEngine::FetchMatchingBatch(
+    GroupId g, const std::vector<std::string>& attrs,
+    const std::vector<Row>& keys, const ViewSet& marked) {
   static obs::Counter* cache_hits =
       obs::MetricsRegistry::Global().GetCounter("maintain.fetch_cache_hits");
   static obs::Counter* cache_misses =
       obs::MetricsRegistry::Global().GetCounter("maintain.fetch_cache_misses");
   g = memo_->Find(g);
-  std::string cache_key = "N" + std::to_string(g) + "|" + Join(attrs, ",") +
-                          "|" + RowToString(key);
-  if (auto it = fetch_cache_.find(cache_key); it != fetch_cache_.end()) {
-    cache_hits->Add(1);
-    return it->second;
+  const std::string prefix =
+      "N" + std::to_string(g) + "|" + Join(attrs, ",") + "|";
+  // Distinct uncached keys, in first-appearance order. A repeated key counts
+  // as a hit — the per-key sequence would have cached it by its second
+  // occurrence — so the cache counters match that sequence exactly.
+  std::vector<std::string> cache_keys;
+  cache_keys.reserve(keys.size());
+  std::vector<Row> miss_keys;
+  std::vector<std::string> miss_cache_keys;
+  std::set<std::string> pending;
+  for (const Row& key : keys) {
+    std::string ck = prefix + RowToString(key);
+    if (fetch_cache_.count(ck) > 0 || pending.count(ck) > 0) {
+      cache_hits->Add(1);
+    } else {
+      cache_misses->Add(1);
+      AUXVIEW_FAILPOINT("maintain.fetch");
+      pending.insert(ck);
+      miss_keys.push_back(key);
+      miss_cache_keys.push_back(ck);
+    }
+    cache_keys.push_back(std::move(ck));
   }
-  cache_misses->Add(1);
-  AUXVIEW_FAILPOINT("maintain.fetch");
-  const MemoGroup& grp = memo_->group(g);
+  if (!miss_keys.empty()) {
+    AUXVIEW_ASSIGN_OR_RETURN(std::vector<Relation> fetched,
+                             FetchUncached(g, attrs, miss_keys, marked));
+    AUXVIEW_CHECK(fetched.size() == miss_keys.size());
+    for (size_t i = 0; i < fetched.size(); ++i) {
+      fetch_cache_[miss_cache_keys[i]] = std::move(fetched[i]);
+      FetchCacheGauge()->Set(static_cast<int64_t>(fetch_cache_.size()));
+    }
+  }
+  std::vector<Relation> results;
+  results.reserve(keys.size());
+  for (const std::string& ck : cache_keys) results.push_back(fetch_cache_.at(ck));
+  return results;
+}
 
-  // Base relation or materialized view: direct (charged) lookup.
+StatusOr<std::vector<Relation>> DeltaEngine::FetchUncached(
+    GroupId g, const std::vector<std::string>& attrs,
+    const std::vector<Row>& keys, const ViewSet& marked) {
+  const MemoGroup& grp = memo_->group(g);
+  std::vector<Relation> out;
+  out.reserve(keys.size());
+
+  // Base relation or materialized view: direct (charged) probes — the probe
+  // plan resolves once and every key goes through Table::LookupBatch.
   const Table* table = nullptr;
   if (grp.is_leaf) {
     table = db_->FindTable(grp.table);
@@ -507,22 +606,32 @@ StatusOr<Relation> DeltaEngine::FetchMatching(
     }
   }
   if (table != nullptr) {
-    Relation out(table->schema());
     if (attrs.empty()) {
-      for (const CountedRow& cr : table->ScanAll()) out.Add(cr.row, cr.count);
-    } else {
-      for (const CountedRow& cr : table->Lookup(attrs, key)) {
-        out.Add(cr.row, cr.count);
+      // Fetch-everything keys are all the empty row; distinct keys mean at
+      // most one scan.
+      for (size_t i = 0; i < keys.size(); ++i) {
+        Relation rel(table->schema());
+        for (const CountedRow& cr : table->ScanAll()) rel.Add(cr.row, cr.count);
+        AUXVIEW_ASSIGN_OR_RETURN(Relation aligned,
+                                 AlignRelation(rel, grp.schema));
+        out.push_back(std::move(aligned));
       }
+      return out;
     }
-    AUXVIEW_ASSIGN_OR_RETURN(Relation aligned,
-                             AlignRelation(out, grp.schema));
-    fetch_cache_[cache_key] = aligned;
-    FetchCacheGauge()->Set(static_cast<int64_t>(fetch_cache_.size()));
-    return aligned;
+    for (const std::vector<CountedRow>& found :
+         table->LookupBatch(attrs, keys)) {
+      Relation rel(table->schema());
+      for (const CountedRow& cr : found) rel.Add(cr.row, cr.count);
+      AUXVIEW_ASSIGN_OR_RETURN(Relation aligned,
+                               AlignRelation(rel, grp.schema));
+      out.push_back(std::move(aligned));
+    }
+    return out;
   }
 
   // Unmaterialized: follow the cheapest plan (same choice as the estimator).
+  // The plan cost depends on the probe attrs, never the key value, so one
+  // choice serves the whole batch.
   std::set<GroupId> marked_set(marked.begin(), marked.end());
   int best_eid = -1;
   double best_cost = std::numeric_limits<double>::infinity();
@@ -541,14 +650,22 @@ StatusOr<Relation> DeltaEngine::FetchMatching(
   }
   const MemoExpr& e = memo_->expr(best_eid);
 
-  StatusOr<Relation> natural = [&]() -> StatusOr<Relation> {
+  StatusOr<std::vector<Relation>> naturals =
+      [&]() -> StatusOr<std::vector<Relation>> {
+    std::vector<Relation> nat;
+    nat.reserve(keys.size());
     switch (e.kind()) {
       case OpKind::kScan:
         return Status::Internal("scan op in non-leaf group");
       case OpKind::kSelect: {
         AUXVIEW_ASSIGN_OR_RETURN(
-            Relation in, FetchMatching(e.inputs[0], attrs, key, marked));
-        return exec_detail::ApplySelect(*e.op, in);
+            std::vector<Relation> ins,
+            FetchMatchingBatch(e.inputs[0], attrs, keys, marked));
+        for (const Relation& in : ins) {
+          AUXVIEW_ASSIGN_OR_RETURN(Relation r, ApplyUnaryKernel(*e.op, in));
+          nat.push_back(std::move(r));
+        }
+        return nat;
       }
       case OpKind::kProject: {
         std::set<std::string> passthrough;
@@ -562,10 +679,16 @@ StatusOr<Relation> DeltaEngine::FetchMatching(
             attrs.begin(), attrs.end(),
             [&](const std::string& a) { return passthrough.count(a) > 0; });
         AUXVIEW_ASSIGN_OR_RETURN(
-            Relation in,
-            pushable ? FetchMatching(e.inputs[0], attrs, key, marked)
-                     : FetchMatching(e.inputs[0], {}, {}, marked));
-        return exec_detail::ApplyProject(*e.op, in);
+            std::vector<Relation> ins,
+            pushable ? FetchMatchingBatch(e.inputs[0], attrs, keys, marked)
+                     : FetchMatchingBatch(e.inputs[0], {},
+                                          std::vector<Row>(keys.size(), Row{}),
+                                          marked));
+        for (const Relation& in : ins) {
+          AUXVIEW_ASSIGN_OR_RETURN(Relation r, ApplyUnaryKernel(*e.op, in));
+          nat.push_back(std::move(r));
+        }
+        return nat;
       }
       case OpKind::kJoin: {
         const GroupId left = memo_->Find(e.inputs[0]);
@@ -585,28 +708,54 @@ StatusOr<Relation> DeltaEngine::FetchMatching(
           }
         }
         if (attrs.empty() || side < 0) {
-          AUXVIEW_ASSIGN_OR_RETURN(Relation full_l,
-                                   FetchMatching(left, {}, {}, marked));
-          AUXVIEW_ASSIGN_OR_RETURN(Relation full_r,
-                                   FetchMatching(right, {}, {}, marked));
-          return exec_detail::ApplyJoin(*e.op, full_l, full_r);
+          const std::vector<Row> empties(keys.size(), Row{});
+          AUXVIEW_ASSIGN_OR_RETURN(
+              std::vector<Relation> full_l,
+              FetchMatchingBatch(left, {}, empties, marked));
+          AUXVIEW_ASSIGN_OR_RETURN(
+              std::vector<Relation> full_r,
+              FetchMatchingBatch(right, {}, empties, marked));
+          for (size_t i = 0; i < keys.size(); ++i) {
+            AUXVIEW_ASSIGN_OR_RETURN(
+                Relation r, ApplyJoinKernel(*e.op, full_l[i], full_r[i]));
+            nat.push_back(std::move(r));
+          }
+          return nat;
         }
         const GroupId x = side == 0 ? left : right;
         const GroupId y = side == 0 ? right : left;
-        AUXVIEW_ASSIGN_OR_RETURN(Relation sub,
-                                 FetchMatching(x, attrs, key, marked));
-        Relation partners(memo_->group(y).schema);
-        std::set<std::string> seen;
-        for (const auto& [row, count] : sub.rows()) {
-          (void)count;
-          Row skey = ProjectRow(row, sub.schema(), s);
-          if (!seen.insert(RowToString(skey)).second) continue;
-          AUXVIEW_ASSIGN_OR_RETURN(Relation matches,
-                                   FetchMatching(y, s, skey, marked));
-          partners.AddAll(matches);
+        AUXVIEW_ASSIGN_OR_RETURN(std::vector<Relation> subs,
+                                 FetchMatchingBatch(x, attrs, keys, marked));
+        // Per parent key, dedup its semijoin keys (a single sub never
+        // re-fetches a partner key), then fetch every parent's partners in
+        // one batch — cross-parent repeats become cache hits.
+        std::vector<Row> all_skeys;
+        std::vector<size_t> begin_of(keys.size() + 1, 0);
+        for (size_t i = 0; i < subs.size(); ++i) {
+          begin_of[i] = all_skeys.size();
+          std::set<std::string> seen;
+          for (const auto& [row, count] : subs[i].rows()) {
+            (void)count;
+            Row skey = ProjectRow(row, subs[i].schema(), s);
+            if (!seen.insert(RowToString(skey)).second) continue;
+            all_skeys.push_back(std::move(skey));
+          }
         }
-        return side == 0 ? exec_detail::ApplyJoin(*e.op, sub, partners)
-                         : exec_detail::ApplyJoin(*e.op, partners, sub);
+        begin_of[subs.size()] = all_skeys.size();
+        AUXVIEW_ASSIGN_OR_RETURN(std::vector<Relation> partner_rels,
+                                 FetchMatchingBatch(y, s, all_skeys, marked));
+        for (size_t i = 0; i < subs.size(); ++i) {
+          Relation partners(memo_->group(y).schema);
+          for (size_t j = begin_of[i]; j < begin_of[i + 1]; ++j) {
+            partners.AddAll(partner_rels[j]);
+          }
+          AUXVIEW_ASSIGN_OR_RETURN(
+              Relation r,
+              side == 0 ? ApplyJoinKernel(*e.op, subs[i], partners)
+                        : ApplyJoinKernel(*e.op, partners, subs[i]));
+          nat.push_back(std::move(r));
+        }
+        return nat;
       }
       case OpKind::kAggregate: {
         const std::set<std::string> gb = ToSet(e.op->group_by());
@@ -615,26 +764,37 @@ StatusOr<Relation> DeltaEngine::FetchMatching(
             std::all_of(attrs.begin(), attrs.end(),
                         [&](const std::string& a) { return gb.count(a) > 0; });
         AUXVIEW_ASSIGN_OR_RETURN(
-            Relation in,
-            pushable ? FetchMatching(e.inputs[0], attrs, key, marked)
-                     : FetchMatching(e.inputs[0], {}, {}, marked));
-        return exec_detail::ApplyAggregate(*e.op, in);
+            std::vector<Relation> ins,
+            pushable ? FetchMatchingBatch(e.inputs[0], attrs, keys, marked)
+                     : FetchMatchingBatch(e.inputs[0], {},
+                                          std::vector<Row>(keys.size(), Row{}),
+                                          marked));
+        for (const Relation& in : ins) {
+          AUXVIEW_ASSIGN_OR_RETURN(Relation r, ApplyUnaryKernel(*e.op, in));
+          nat.push_back(std::move(r));
+        }
+        return nat;
       }
       case OpKind::kDupElim: {
         AUXVIEW_ASSIGN_OR_RETURN(
-            Relation in, FetchMatching(e.inputs[0], attrs, key, marked));
-        return exec_detail::ApplyDupElim(*e.op, in);
+            std::vector<Relation> ins,
+            FetchMatchingBatch(e.inputs[0], attrs, keys, marked));
+        for (const Relation& in : ins) {
+          AUXVIEW_ASSIGN_OR_RETURN(Relation r, ApplyUnaryKernel(*e.op, in));
+          nat.push_back(std::move(r));
+        }
+        return nat;
       }
     }
     return Status::Internal("unhandled op kind");
   }();
-  AUXVIEW_RETURN_IF_ERROR(natural.status());
-  AUXVIEW_ASSIGN_OR_RETURN(Relation aligned,
-                           AlignRelation(*natural, grp.schema));
-  Relation filtered = FilterByKey(aligned, attrs, key);
-  fetch_cache_[cache_key] = filtered;
-  FetchCacheGauge()->Set(static_cast<int64_t>(fetch_cache_.size()));
-  return filtered;
+  AUXVIEW_RETURN_IF_ERROR(naturals.status());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    AUXVIEW_ASSIGN_OR_RETURN(Relation aligned,
+                             AlignRelation((*naturals)[i], grp.schema));
+    out.push_back(FilterByKey(aligned, attrs, keys[i]));
+  }
+  return out;
 }
 
 Status ApplyDeltaToTable(Table* table, const Relation& delta,

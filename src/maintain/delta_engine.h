@@ -45,6 +45,17 @@ class DeltaEngine {
                                    const std::vector<std::string>& attrs,
                                    const Row& key, const ViewSet& marked);
 
+  /// Batched FetchMatching: one result per key, in key order. The whole
+  /// batch shares one push-down plan choice and one table probe-plan
+  /// resolution (Table::LookupBatch), so a delta's partner fetch is a single
+  /// build-once/probe-many pass instead of per-row lookups. Caching,
+  /// modeled page I/O and the maintain.fetch_cache_* counters behave exactly
+  /// as the equivalent sequence of single-key calls: a repeated key counts
+  /// as a cache hit and is fetched once.
+  StatusOr<std::vector<Relation>> FetchMatchingBatch(
+      GroupId g, const std::vector<std::string>& attrs,
+      const std::vector<Row>& keys, const ViewSet& marked);
+
   DeltaAnalysis& analysis() { return delta_; }
 
   /// Drops cached fetch results. Call after mutating the database outside
@@ -61,6 +72,13 @@ class DeltaEngine {
     std::map<GroupId, DeltaInfo> static_deltas;
     std::map<GroupId, Relation> deltas;
   };
+
+  /// Computes the distinct, uncached `keys` of FetchMatchingBatch: direct
+  /// batched table probes for stored groups, the cheapest push-down plan
+  /// (applied through the shared kernels) otherwise.
+  StatusOr<std::vector<Relation>> FetchUncached(
+      GroupId g, const std::vector<std::string>& attrs,
+      const std::vector<Row>& keys, const ViewSet& marked);
 
   StatusOr<Relation> DeltaOf(GroupId g, ApplyContext& ctx);
   StatusOr<Relation> LeafDeltaRelation(const MemoGroup& grp,

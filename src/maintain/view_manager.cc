@@ -214,9 +214,10 @@ Status ViewManager::CommitTransaction(
     for (const auto& [row, count] : update.deletes) {
       AUXVIEW_RETURN_IF_ERROR(table->Delete(row, count));
     }
-    for (const auto& [old_row, new_row] : update.modifies) {
-      AUXVIEW_RETURN_IF_ERROR(table->Modify(old_row, new_row));
-    }
+    // One batch, not per-pair calls: a pair's new row may equal another
+    // pair's old row (an UPDATE chain), which only the batch's two-phase
+    // application keeps order-independent.
+    AUXVIEW_RETURN_IF_ERROR(table->ModifyBatch(update.modifies));
   }
   return Status::Ok();
 }
@@ -298,9 +299,7 @@ Status ViewManager::ApplyTransactionByRecompute(const ConcreteTxn& txn,
           for (const auto& [row, count] : update.deletes) {
             AUXVIEW_RETURN_IF_ERROR(table->Delete(row, count));
           }
-          for (const auto& [old_row, new_row] : update.modifies) {
-            AUXVIEW_RETURN_IF_ERROR(table->Modify(old_row, new_row));
-          }
+          AUXVIEW_RETURN_IF_ERROR(table->ModifyBatch(update.modifies));
         }
       }
 

@@ -98,11 +98,12 @@ void ViewSelector::RefreshAnalyses() {
   analyses_epoch_ = epoch;
 }
 
-void ViewSelector::PrepareTrackCache() {
+void ViewSelector::PrepareTrackCache(size_t capacity) {
   if (track_cache_ == nullptr) {
     track_cache_ = std::make_unique<TrackCostCache>(catalog_);
   }
   track_cache_->Refresh();
+  track_cache_->SetCapacity(capacity);
   if (descendants_ == nullptr) {
     descendants_ = std::make_unique<DescendantsIndex>(memo_);
   }
@@ -119,7 +120,7 @@ StatusOr<TxnPlan> ViewSelector::BestTrack(const ViewSet& views,
   TrackCostCache* cache = nullptr;
   std::string key_prefix;
   if (options.use_track_cache) {
-    PrepareTrackCache();
+    PrepareTrackCache(options.track_cache_capacity);
     cache = track_cache_.get();
     key_prefix = TrackCostCache::KeyPrefix(
         options.cost, options.query, delta_.use_completeness(), txn);
@@ -194,7 +195,7 @@ StatusOr<OptimizeResult> ViewSelector::ExhaustiveOver(
 
   TrackCostCache* cache = nullptr;
   if (options.use_track_cache) {
-    PrepareTrackCache();
+    PrepareTrackCache(options.track_cache_capacity);
     cache = track_cache_.get();
   }
   // Per-transaction cache-key prefixes: fixed for the whole enumeration,

@@ -39,6 +39,12 @@ struct OptimizeOptions {
   /// share most update tracks, so exhaustive enumeration hits constantly.
   /// Disable to force recomputation (ablations, cache-correctness tests).
   bool use_track_cache = true;
+  /// Entry cap for the selector's TrackCostCache: inserts beyond it evict
+  /// the least-recently-used entry (cached values are deterministic, so
+  /// eviction changes hit rates, never results). 0 = unbounded. Applied at
+  /// every optimizer entry point; the live count is the
+  /// `optimizer.trackcache_size` gauge.
+  size_t track_cache_capacity = 1 << 18;
   /// Record the cost of every view set considered (benches).
   bool keep_all = false;
 };
@@ -151,9 +157,10 @@ class ViewSelector {
   void RefreshAnalyses();
 
   /// Builds (lazily) and epoch-refreshes the shared track-cost cache and
-  /// the descendants index. Called single-threaded at optimization entry
-  /// points before any worker may touch the cache.
-  void PrepareTrackCache();
+  /// the descendants index, and applies the entry cap. Called
+  /// single-threaded at optimization entry points before any worker may
+  /// touch the cache.
+  void PrepareTrackCache(size_t capacity);
 
   const Memo* memo_;
   const Catalog* catalog_;

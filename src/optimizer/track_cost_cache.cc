@@ -34,6 +34,14 @@ void AppendAttrs(const std::vector<std::string>& attrs, std::string* out) {
   }
 }
 
+/// Live entries across all TrackCostCache instances, maintained by deltas
+/// on insert/evict/clear so coexisting caches aggregate correctly.
+obs::Gauge* SizeGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("optimizer.trackcache_size");
+  return gauge;
+}
+
 }  // namespace
 
 DescendantsIndex::DescendantsIndex(const Memo* memo) : memo_(memo) {
@@ -94,6 +102,8 @@ std::vector<GroupId> DescendantsIndex::RelevantMarked(
 TrackCostCache::TrackCostCache(const Catalog* catalog)
     : catalog_(catalog), filled_at_epoch_(catalog->stats_epoch()) {}
 
+TrackCostCache::~TrackCostCache() { Clear(); }
+
 void TrackCostCache::Refresh() {
   const uint64_t epoch = catalog_->stats_epoch();
   if (epoch != filled_at_epoch_) {
@@ -102,8 +112,28 @@ void TrackCostCache::Refresh() {
   }
 }
 
+void TrackCostCache::SetCapacity(size_t capacity) {
+  shard_capacity_ =
+      capacity == 0 ? 0 : std::max<size_t>(1, (capacity + kShards - 1) / kShards);
+  if (shard_capacity_ == 0) return;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    EvictDownTo(shard, shard_capacity_);
+  }
+}
+
 TrackCostCache::Shard& TrackCostCache::ShardFor(const std::string& key) {
   return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+void TrackCostCache::EvictDownTo(Shard& shard, size_t cap) {
+  int64_t evicted = 0;
+  while (shard.entries.size() > cap) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+    ++evicted;
+  }
+  if (evicted > 0) SizeGauge()->Add(-evicted);
 }
 
 bool TrackCostCache::Lookup(const std::string& key, TrackCost* out) {
@@ -112,7 +142,9 @@ bool TrackCostCache::Lookup(const std::string& key, TrackCost* out) {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
-      *out = it->second;
+      *out = it->second.cost;
+      // Touch: move to the front of the recency list.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.pos);
       CacheMetrics::Get().hits->Add(1);
       return true;
     }
@@ -124,13 +156,22 @@ bool TrackCostCache::Lookup(const std::string& key, TrackCost* out) {
 void TrackCostCache::Insert(const std::string& key, const TrackCost& cost) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.entries.emplace(key, cost);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) return;  // first writer wins
+  if (shard_capacity_ > 0 && shard.entries.size() >= shard_capacity_) {
+    EvictDownTo(shard, shard_capacity_ - 1);
+  }
+  shard.lru.push_front(key);
+  shard.entries.emplace(key, Entry{cost, shard.lru.begin()});
+  SizeGauge()->Add(1);
 }
 
 void TrackCostCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
+    SizeGauge()->Add(-static_cast<int64_t>(shard.entries.size()));
     shard.entries.clear();
+    shard.lru.clear();
   }
 }
 

@@ -2,6 +2,7 @@
 #define AUXVIEW_OPTIMIZER_TRACK_COST_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <mutex>
 #include <set>
@@ -67,21 +68,43 @@ class DescendantsIndex {
 /// the epoch has advanced — i.e. after any `Catalog::SetStats` or
 /// `AddTable`. The memo is immutable for the life of the owning
 /// ViewSelector, so no memo-based invalidation is needed.
+///
+/// Bounding: the cache holds at most `capacity` entries (default unbounded
+/// until SetCapacity is called; OptimizeOptions::track_cache_capacity feeds
+/// it at every optimizer entry point). Beyond the cap, inserts evict the
+/// least-recently-used entry of their shard. Eviction is always safe:
+/// cached values are deterministic recomputations, so a future miss on an
+/// evicted key just pays the costing again — results are bit-identical at
+/// every capacity, only hit rates change. The live entry count is exported
+/// as the `optimizer.trackcache_size` gauge (delta-maintained, so several
+/// coexisting caches aggregate).
 class TrackCostCache {
  public:
   explicit TrackCostCache(const Catalog* catalog);
+  ~TrackCostCache();
+
+  TrackCostCache(const TrackCostCache&) = delete;
+  TrackCostCache& operator=(const TrackCostCache&) = delete;
 
   /// Drops every entry if the catalog's stats epoch moved since the cache
   /// was last filled. Call before each optimization run, never concurrently
   /// with Lookup/Insert.
   void Refresh();
 
-  /// Copies the cached cost into `*out` and returns true on a hit.
-  /// Maintains the `optimizer.trackcache_{hits,misses}` counters.
+  /// Sets the total entry cap (0 = unbounded) and evicts down to it, oldest
+  /// first. The cap is spread across shards, so the effective bound rounds
+  /// up to a multiple of the shard count. Never call concurrently with
+  /// Lookup/Insert.
+  void SetCapacity(size_t capacity);
+
+  /// Copies the cached cost into `*out` and returns true on a hit (which
+  /// refreshes the entry's recency). Maintains the
+  /// `optimizer.trackcache_{hits,misses}` counters.
   bool Lookup(const std::string& key, TrackCost* out);
 
   /// Stores `cost` for `key` (first writer wins; racing duplicates are
-  /// identical by construction).
+  /// identical by construction), evicting its shard's LRU entry when the
+  /// shard is at capacity.
   void Insert(const std::string& key, const TrackCost& cost);
 
   void Clear();
@@ -105,15 +128,27 @@ class TrackCostCache {
 
  private:
   static constexpr int kShards = 16;
+  struct Entry {
+    TrackCost cost;
+    /// Position in the shard's recency list (for O(1) touch/evict).
+    std::list<std::string>::iterator pos;
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::string, TrackCost> entries;
+    /// Most-recently-used first; holds the entry keys.
+    std::list<std::string> lru;
+    std::unordered_map<std::string, Entry> entries;
   };
 
   Shard& ShardFor(const std::string& key);
+  /// Evicts `shard`'s oldest entries until it holds at most `cap` (callers
+  /// hold shard.mu).
+  static void EvictDownTo(Shard& shard, size_t cap);
 
   const Catalog* catalog_;
   uint64_t filled_at_epoch_ = 0;
+  /// Per-shard entry cap; 0 = unbounded.
+  size_t shard_capacity_ = 0;
   Shard shards_[kShards];
 };
 

@@ -129,30 +129,49 @@ Status Table::ModifyBatch(const std::vector<std::pair<Row, Row>>& pairs) {
       }
     }
   }
-  for (const auto& [old_row, new_row] : pairs) {
-    // A mid-batch fault leaves the earlier pairs applied (and recorded in
+  // Two phases — detach every old row at its pre-batch multiplicity, then
+  // attach every new row — so the batch is order-independent. One pair's
+  // new row may equal another pair's old row (an UPDATE chain such as
+  // 27->28, 28->29); per-pair in-place application would merge the moved
+  // copy into the pre-existing row and then move both copies, leaving the
+  // table diverged from the delta the maintenance layer derived from
+  // pre-state counts.
+  std::vector<int64_t> counts(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    // A mid-batch fault leaves the earlier pairs detached (and recorded in
     // the undo log) and this pair untouched — the interleaving the
     // rollback sweep exercises.
     AUXVIEW_FAILPOINT("storage.table.modify_pair");
+    const Row& old_row = pairs[i].first;
     auto it = rows_.find(old_row);
     if (it == rows_.end()) {
       return Status::NotFound("modify of absent row in " + def_.name + ": " +
                               RowToString(old_row));
     }
-    const int64_t count = it->second;
-    ChargeTupleRead(count);
-    ChargeTupleWrite(count);
-    // Structural update without re-charging.
+    counts[i] = it->second;
+    ChargeTupleRead(counts[i]);
+    ChargeTupleWrite(counts[i]);
+    // Structural update without re-charging. total_count_ tracks each
+    // phase (not just the balanced whole) so that a mid-batch fault leaves
+    // it consistent with rows_ — the undo log restores both through
+    // Apply, which adjusts the count as it re-inserts.
     IndexErase(old_row);
     rows_.erase(it);
+    total_count_ -= counts[i];
+    if (undo_log_ != nullptr) {
+      undo_log_->RecordApply(this, old_row, -counts[i]);
+    }
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const Row& new_row = pairs[i].second;
     auto [new_it, inserted] = rows_.try_emplace(new_row, 0);
-    new_it->second += count;
+    new_it->second += counts[i];
+    total_count_ += counts[i];
     // A pre-existing row (inserted == false) is already indexed; zero-count
     // rows never persist in rows_, so this is exhaustive.
     if (inserted) IndexInsert(new_row);
     if (undo_log_ != nullptr) {
-      undo_log_->RecordApply(this, old_row, -count);
-      undo_log_->RecordApply(this, new_row, count);
+      undo_log_->RecordApply(this, new_row, counts[i]);
     }
   }
   return Status::Ok();
@@ -190,29 +209,50 @@ bool Table::HasIndexOn(const std::vector<std::string>& attrs) const {
   return FindIndex(attrs) != nullptr;
 }
 
-std::vector<CountedRow> Table::Lookup(const std::vector<std::string>& attrs,
-                                      const Row& key) const {
-  std::vector<CountedRow> out;
-  const IndexState* idx = FindIndex(attrs);
-  if (idx != nullptr) {
-    ChargeIndexRead(1);
-    // Reorder key to the index's attribute order (the index may cover only
-    // a subset of the probe attributes; the rest filter after the fetch).
-    Row ordered_key(idx->attrs.size());
-    for (size_t i = 0; i < idx->attrs.size(); ++i) {
-      auto pos = std::find(attrs.begin(), attrs.end(), idx->attrs[i]);
-      ordered_key[i] = key[static_cast<size_t>(pos - attrs.begin())];
+Table::ResolvedProbe Table::ResolveProbe(
+    const std::vector<std::string>& attrs) const {
+  ResolvedProbe probe;
+  probe.index = FindIndex(attrs);
+  if (probe.index != nullptr) {
+    const IndexState* idx = probe.index;
+    // Key reordering to the index's attribute order (the index may cover
+    // only a subset of the probe attributes; the rest filter after the
+    // fetch).
+    probe.key_positions.reserve(idx->attrs.size());
+    for (const std::string& a : idx->attrs) {
+      auto pos = std::find(attrs.begin(), attrs.end(), a);
+      probe.key_positions.push_back(static_cast<int>(pos - attrs.begin()));
     }
-    std::vector<int> residual_cols;
-    std::vector<const Value*> residual_vals;
     for (size_t i = 0; i < attrs.size(); ++i) {
       if (std::find(idx->attrs.begin(), idx->attrs.end(), attrs[i]) ==
           idx->attrs.end()) {
         const int col = def_.schema.IndexOf(attrs[i]);
         AUXVIEW_CHECK_MSG(col >= 0, ("lookup attr missing: " + attrs[i]).c_str());
-        residual_cols.push_back(col);
-        residual_vals.push_back(&key[i]);
+        probe.residual_cols.push_back(col);
+        probe.residual_key_pos.push_back(static_cast<int>(i));
       }
+    }
+    return probe;
+  }
+  // No index: full scan.
+  probe.scan_cols.reserve(attrs.size());
+  for (const std::string& a : attrs) {
+    const int col = def_.schema.IndexOf(a);
+    AUXVIEW_CHECK_MSG(col >= 0, ("lookup attr missing: " + a).c_str());
+    probe.scan_cols.push_back(col);
+  }
+  return probe;
+}
+
+std::vector<CountedRow> Table::ProbeOnce(const ResolvedProbe& probe,
+                                         const Row& key) const {
+  std::vector<CountedRow> out;
+  if (probe.index != nullptr) {
+    const IndexState* idx = probe.index;
+    ChargeIndexRead(1);
+    Row ordered_key(idx->attrs.size());
+    for (size_t i = 0; i < idx->attrs.size(); ++i) {
+      ordered_key[i] = key[static_cast<size_t>(probe.key_positions[i])];
     }
     auto it = idx->map.find(ordered_key);
     if (it != idx->map.end()) {
@@ -220,8 +260,9 @@ std::vector<CountedRow> Table::Lookup(const std::vector<std::string>& attrs,
         const int64_t count = CountOf(row);
         ChargeTupleRead(count);
         bool match = true;
-        for (size_t i = 0; i < residual_cols.size(); ++i) {
-          if (row[residual_cols[i]] != *residual_vals[i]) {
+        for (size_t i = 0; i < probe.residual_cols.size(); ++i) {
+          if (row[static_cast<size_t>(probe.residual_cols[i])] !=
+              key[static_cast<size_t>(probe.residual_key_pos[i])]) {
             match = false;
             break;
           }
@@ -231,24 +272,33 @@ std::vector<CountedRow> Table::Lookup(const std::vector<std::string>& attrs,
     }
     return out;
   }
-  // No index: full scan.
-  std::vector<int> cols;
-  for (const std::string& a : attrs) {
-    const int col = def_.schema.IndexOf(a);
-    AUXVIEW_CHECK_MSG(col >= 0, ("lookup attr missing: " + a).c_str());
-    cols.push_back(col);
-  }
   for (const auto& [row, count] : rows_) {
     ChargeTupleRead(count);
     bool match = true;
-    for (size_t i = 0; i < cols.size(); ++i) {
-      if (row[cols[i]] != key[i]) {
+    for (size_t i = 0; i < probe.scan_cols.size(); ++i) {
+      if (row[static_cast<size_t>(probe.scan_cols[i])] != key[i]) {
         match = false;
         break;
       }
     }
     if (match) out.push_back(CountedRow{row, count});
   }
+  return out;
+}
+
+std::vector<CountedRow> Table::Lookup(const std::vector<std::string>& attrs,
+                                      const Row& key) const {
+  return ProbeOnce(ResolveProbe(attrs), key);
+}
+
+std::vector<std::vector<CountedRow>> Table::LookupBatch(
+    const std::vector<std::string>& attrs,
+    const std::vector<Row>& keys) const {
+  std::vector<std::vector<CountedRow>> out;
+  out.reserve(keys.size());
+  if (keys.empty()) return out;
+  const ResolvedProbe probe = ResolveProbe(attrs);
+  for (const Row& key : keys) out.push_back(ProbeOnce(probe, key));
   return out;
 }
 

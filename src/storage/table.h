@@ -83,6 +83,17 @@ class Table {
   std::vector<CountedRow> Lookup(const std::vector<std::string>& attrs,
                                  const Row& key) const;
 
+  /// Batched Lookup: one result vector per key, in key order. Resolves the
+  /// probe plan (index choice, key reordering, residual filter) once for the
+  /// whole batch and then probes per key — the delta engine's semijoin-style
+  /// partner fetches land here. Charges exactly what the equivalent per-key
+  /// Lookup calls would: one index-page read per key plus one relation-page
+  /// read per tuple instance inspected (the paper's cost model is per
+  /// logical probe, so batching saves CPU, never modeled I/O).
+  std::vector<std::vector<CountedRow>> LookupBatch(
+      const std::vector<std::string>& attrs,
+      const std::vector<Row>& keys) const;
+
   /// True if a hash index exists on exactly `attrs`.
   bool HasIndexOn(const std::vector<std::string>& attrs) const;
 
@@ -140,6 +151,25 @@ class Table {
   void IndexInsert(const Row& row);
   void IndexErase(const Row& row);
   const IndexState* FindIndex(const std::vector<std::string>& attrs) const;
+
+  /// A probe plan resolved once per (attrs) set and reused across a batch of
+  /// keys: the chosen index (nullptr = full scan), how to reorder a probe
+  /// key into index order, and which residual columns to filter after the
+  /// fetch.
+  struct ResolvedProbe {
+    const IndexState* index = nullptr;
+    /// index attr i takes probe-key position key_positions[i].
+    std::vector<int> key_positions;
+    /// Post-fetch filter: row[residual_cols[i]] == key[residual_key_pos[i]].
+    std::vector<int> residual_cols;
+    std::vector<int> residual_key_pos;
+    /// Full-scan fallback: schema column per probe attr.
+    std::vector<int> scan_cols;
+  };
+  ResolvedProbe ResolveProbe(const std::vector<std::string>& attrs) const;
+  /// One charged probe through a resolved plan (the Lookup cost model).
+  std::vector<CountedRow> ProbeOnce(const ResolvedProbe& probe,
+                                    const Row& key) const;
 
   TableDef def_;
   PageCounter* counter_;

@@ -14,6 +14,16 @@ obs::Gauge* UndoBytesGauge() {
   return gauge;
 }
 
+/// Per-transaction peak log size, observed once per consumed log (Commit,
+/// RollBack or destruction) — the distribution answers "how much undo state
+/// does a transaction hold at worst", which the live gauge cannot.
+obs::Histogram* UndoHighwaterHist() {
+  static obs::Histogram* hist = obs::MetricsRegistry::Global().GetHistogram(
+      "storage.undo_log_highwater_bytes",
+      {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304});
+  return hist;
+}
+
 int64_t RowBytes(const Row& row) {
   int64_t bytes = static_cast<int64_t>(row.size() * sizeof(Value));
   for (const Value& v : row) {
@@ -34,6 +44,7 @@ UndoLog::~UndoLog() {
   if (bytes_ != 0) {
     UndoBytesGauge()->Add(-bytes_);
   }
+  ObserveHighwater();
 }
 
 void UndoLog::RecordApply(Table* table, const Row& row, int64_t count) {
@@ -41,7 +52,17 @@ void UndoLog::RecordApply(Table* table, const Row& row, int64_t count) {
   entries_.push_back(Entry{table, row, count});
   const int64_t delta = static_cast<int64_t>(sizeof(Entry)) + RowBytes(row);
   bytes_ += delta;
+  if (bytes_ > highwater_) highwater_ = bytes_;
   UndoBytesGauge()->Add(delta);
+}
+
+void UndoLog::ObserveHighwater() {
+  // Only logs that recorded something contribute: a read-only transaction
+  // holding an (empty) log is not an interesting zero observation.
+  if (highwater_ > 0) {
+    UndoHighwaterHist()->Observe(static_cast<double>(highwater_));
+    highwater_ = 0;
+  }
 }
 
 Status UndoLog::RollBack() {
@@ -71,6 +92,7 @@ void UndoLog::Commit() {
     UndoBytesGauge()->Add(-bytes_);
     bytes_ = 0;
   }
+  ObserveHighwater();
 }
 
 ScopedUndo::ScopedUndo(Database* db, UndoLog* log) : db_(db) {

@@ -22,7 +22,10 @@ class Table;
 /// abort costs whatever the forward work cost, not double) and failpoints
 /// suspended (rollback itself must be infallible).
 ///
-/// Live size is exported as the `storage.undo_log_bytes` gauge.
+/// Live size is exported as the `storage.undo_log_bytes` gauge; the
+/// per-transaction peak is observed into the
+/// `storage.undo_log_highwater_bytes` histogram each time a non-empty log
+/// is consumed (Commit, RollBack or destruction).
 class UndoLog {
  public:
   UndoLog();
@@ -48,6 +51,9 @@ class UndoLog {
   /// Approximate live heap footprint of the log.
   int64_t bytes() const { return bytes_; }
 
+  /// Peak bytes() since the log was last consumed.
+  int64_t highwater_bytes() const { return highwater_; }
+
  private:
   struct Entry {
     Table* table;
@@ -55,8 +61,13 @@ class UndoLog {
     int64_t count;  // the applied delta; undo applies -count
   };
 
+  /// Flushes the pending high-water reading into the histogram (no-op for
+  /// a log that recorded nothing since last consume).
+  void ObserveHighwater();
+
   std::vector<Entry> entries_;
   int64_t bytes_ = 0;
+  int64_t highwater_ = 0;
   bool rolling_back_ = false;
 };
 

@@ -1,0 +1,476 @@
+#include "exec/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "algebra/builder.h"
+#include "exec/kernels/row_batch.h"
+#include "obs/metrics.h"
+
+namespace auxview {
+namespace kernels {
+namespace {
+
+// Each kernel is exercised directly — no tables, no executor — over the four
+// shapes every kernel must handle: an empty batch, a single row, duplicate
+// keys (including uncoalesced repeated entries, which Relation can never
+// produce but delta batches can), and NULL-bearing values.
+
+Schema GvSchema() {
+  return Schema::Create({{"g", ValueType::kString}, {"v", ValueType::kInt64}})
+      .value();
+}
+
+Row GV(const char* g, int64_t v) {
+  return {Value::String(g), Value::Int64(v)};
+}
+
+Row GNull(const char* g) { return {Value::String(g), Value::Null()}; }
+
+Expr::Ptr GvScan() { return Expr::Scan("T", GvSchema()); }
+
+// --- RowBatch ---------------------------------------------------------------
+
+TEST(RowBatchTest, EmptyBatchBasics) {
+  RowBatch batch(GvSchema());
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.num_rows(), 0);
+  EXPECT_EQ(batch.total_count(), 0);
+  EXPECT_EQ(batch.width(), 2);
+  EXPECT_TRUE(batch.ToRelation().empty());
+}
+
+TEST(RowBatchTest, AppendDropsZeroCountsKeepsSignedOnes) {
+  RowBatch batch(GvSchema());
+  batch.Append(GV("a", 1), 0);  // dropped, mirroring Relation::Add
+  EXPECT_TRUE(batch.empty());
+  batch.Append(GV("a", 1), 2);
+  batch.Append(GV("a", 1), -2);  // same row, separate entry: batches are flat
+  EXPECT_EQ(batch.num_rows(), 2);
+  EXPECT_EQ(batch.total_count(), 0);
+  EXPECT_EQ(batch.RowAt(0), GV("a", 1));
+  EXPECT_EQ(batch.count(1), -2);
+  // Coalescing is ToRelation's job: the +2/-2 pair cancels there.
+  EXPECT_TRUE(batch.ToRelation().empty());
+}
+
+TEST(RowBatchTest, RelationRoundTrip) {
+  Relation rel(GvSchema());
+  rel.Add(GV("a", 1), 2);
+  rel.Add(GV("b", 2), -1);
+  RowBatch batch = RowBatch::FromRelation(rel);
+  EXPECT_EQ(batch.num_rows(), 2);
+  EXPECT_TRUE(batch.ToRelation().BagEquals(rel));
+}
+
+TEST(RowBatchTest, AppendConcatBuildsJoinShape) {
+  RowBatch batch(Schema::Create({{"g", ValueType::kString},
+                                 {"v", ValueType::kInt64},
+                                 {"w", ValueType::kInt64}})
+                     .value());
+  RowBatch left(GvSchema());
+  left.Append(GV("a", 1), 1);
+  RowBatch right(GvSchema());
+  right.Append(GV("a", 7), 1);
+  batch.AppendConcat(left.row(0), right.row(0), {1}, 6);
+  ASSERT_EQ(batch.num_rows(), 1);
+  EXPECT_EQ(batch.RowAt(0),
+            Row({Value::String("a"), Value::Int64(1), Value::Int64(7)}));
+  EXPECT_EQ(batch.count(0), 6);
+}
+
+// --- HashIndex --------------------------------------------------------------
+
+TEST(HashIndexTest, EmptyBatch) {
+  RowBatch batch(GvSchema());
+  HashIndex index(&batch, {0});
+  EXPECT_EQ(index.distinct_keys(), 0);
+  EXPECT_EQ(index.Probe({Value::String("a")}), nullptr);
+}
+
+TEST(HashIndexTest, DuplicateKeysKeepBatchOrder) {
+  RowBatch batch(GvSchema());
+  batch.Append(GV("a", 1), 1);
+  batch.Append(GV("b", 2), 1);
+  batch.Append(GV("a", 3), 1);
+  HashIndex index(&batch, {0});
+  EXPECT_EQ(index.distinct_keys(), 2);
+  const std::vector<int64_t>* a = index.Probe({Value::String("a")});
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*a, (std::vector<int64_t>{0, 2}));
+  EXPECT_EQ(index.Probe({Value::String("missing")}), nullptr);
+}
+
+// --- Filter -----------------------------------------------------------------
+
+Expr::Ptr FilterVPositive() {
+  return Expr::Select(GvScan(), Scalar::Gt(Col("v"), Lit(int64_t{0}))).value();
+}
+
+TEST(FilterTest, EmptyInput) {
+  RowBatch in(GvSchema());
+  auto out = Filter(*FilterVPositive(), in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(FilterTest, SingleRowPassAndFail) {
+  RowBatch in(GvSchema());
+  in.Append(GV("a", 5), 1);
+  auto pass = Filter(*FilterVPositive(), in);
+  ASSERT_TRUE(pass.ok());
+  EXPECT_EQ(pass->num_rows(), 1);
+
+  RowBatch neg(GvSchema());
+  neg.Append(GV("a", -5), 1);
+  auto fail = Filter(*FilterVPositive(), neg);
+  ASSERT_TRUE(fail.ok());
+  EXPECT_TRUE(fail->empty());
+}
+
+TEST(FilterTest, NullPredicateExcludesRow) {
+  // v IS NULL makes v > 0 evaluate to NULL, which is not true.
+  RowBatch in(GvSchema());
+  in.Append(GNull("a"), 1);
+  in.Append(GV("b", 1), 1);
+  auto out = Filter(*FilterVPositive(), in);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1);
+  EXPECT_EQ(out->RowAt(0), GV("b", 1));
+}
+
+TEST(FilterTest, PreservesSignedCountsAndDuplicateEntries) {
+  RowBatch in(GvSchema());
+  in.Append(GV("a", 5), 2);
+  in.Append(GV("a", 5), -3);  // a delta batch retracting the same row
+  auto out = Filter(*FilterVPositive(), in);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 2);
+  EXPECT_EQ(out->count(0), 2);
+  EXPECT_EQ(out->count(1), -3);
+}
+
+// --- Project ----------------------------------------------------------------
+
+Expr::Ptr ProjectDoubleV() {
+  return Expr::Project(GvScan(),
+                       {{Scalar::Mul(Col("v"), Lit(int64_t{2})), "v2"},
+                        {Col("g"), "g"}})
+      .value();
+}
+
+TEST(ProjectTest, EmptyInput) {
+  RowBatch in(GvSchema());
+  auto out = Project(*ProjectDoubleV(), in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+  EXPECT_EQ(out->schema().num_columns(), 2);
+}
+
+TEST(ProjectTest, SingleRowEvaluatesItems) {
+  RowBatch in(GvSchema());
+  in.Append(GV("a", 21), 3);
+  auto out = Project(*ProjectDoubleV(), in);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1);
+  EXPECT_EQ(out->RowAt(0), Row({Value::Int64(42), Value::String("a")}));
+  EXPECT_EQ(out->count(0), 3);
+}
+
+TEST(ProjectTest, NullPropagatesThroughArithmetic) {
+  RowBatch in(GvSchema());
+  in.Append(GNull("a"), 1);
+  auto out = Project(*ProjectDoubleV(), in);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1);
+  EXPECT_TRUE(out->RowAt(0)[0].is_null());
+}
+
+TEST(ProjectTest, DoesNotCoalesceDuplicateOutputs) {
+  // Projecting away v collapses distinct inputs onto one output row; the
+  // kernel must keep them as separate entries — coalescing is the consumer's
+  // choice (ToRelation), not the kernel's.
+  RowBatch in(GvSchema());
+  in.Append(GV("a", 1), 1);
+  in.Append(GV("a", 2), 1);
+  auto project = Expr::Project(GvScan(), {{Col("g"), "g"}}).value();
+  auto out = Project(*project, in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2);
+  EXPECT_EQ(out->ToRelation().CountOf({Value::String("a")}), 2);
+}
+
+// --- HashJoin ---------------------------------------------------------------
+
+struct JoinFixture {
+  Schema left_schema = Schema::Create({{"k", ValueType::kString},
+                                       {"a", ValueType::kInt64}})
+                           .value();
+  Schema right_schema = Schema::Create({{"k", ValueType::kString},
+                                        {"b", ValueType::kInt64}})
+                            .value();
+  Expr::Ptr expr = Expr::Join(Expr::Scan("L", left_schema),
+                              Expr::Scan("R", right_schema), {"k"})
+                       .value();
+
+  static Row KA(const char* k, int64_t a) {
+    return {Value::String(k), Value::Int64(a)};
+  }
+};
+
+TEST(HashJoinTest, EmptySideYieldsEmpty) {
+  JoinFixture f;
+  RowBatch left(f.left_schema);
+  RowBatch right(f.right_schema);
+  right.Append(JoinFixture::KA("x", 1), 1);
+  auto out = HashJoin(*f.expr, left, right);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+  auto out2 = HashJoin(*f.expr, right, RowBatch(f.right_schema));
+  ASSERT_TRUE(out2.ok());
+  EXPECT_TRUE(out2->empty());
+}
+
+TEST(HashJoinTest, SingleMatchConcatenatesNonJoinColumns) {
+  JoinFixture f;
+  RowBatch left(f.left_schema);
+  left.Append(JoinFixture::KA("x", 1), 1);
+  RowBatch right(f.right_schema);
+  right.Append(JoinFixture::KA("x", 9), 1);
+  right.Append(JoinFixture::KA("y", 8), 1);
+  auto out = HashJoin(*f.expr, left, right);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1);
+  EXPECT_EQ(out->RowAt(0),
+            Row({Value::String("x"), Value::Int64(1), Value::Int64(9)}));
+}
+
+TEST(HashJoinTest, DuplicateKeysMultiplyMultiplicities) {
+  JoinFixture f;
+  RowBatch left(f.left_schema);
+  left.Append(JoinFixture::KA("x", 1), 2);
+  left.Append(JoinFixture::KA("x", 2), 3);
+  RowBatch right(f.right_schema);
+  right.Append(JoinFixture::KA("x", 9), 5);
+  right.Append(JoinFixture::KA("x", 8), 7);
+  auto out = HashJoin(*f.expr, left, right);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 4);  // every left entry pairs every right entry
+  EXPECT_EQ(out->total_count(), (2 + 3) * (5 + 7));
+}
+
+TEST(HashJoinTest, NegativeDeltaCountsMultiplyThrough) {
+  JoinFixture f;
+  RowBatch left(f.left_schema);
+  left.Append(JoinFixture::KA("x", 1), -1);
+  RowBatch right(f.right_schema);
+  right.Append(JoinFixture::KA("x", 9), 2);
+  auto out = HashJoin(*f.expr, left, right);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1);
+  EXPECT_EQ(out->count(0), -2);
+}
+
+TEST(HashJoinTest, NullKeysMatchEachOther) {
+  // Join keys compare with Value::Compare, where NULL equals NULL — the
+  // binder never produces nullable join keys, but delta batches flow through
+  // the same kernel, so the storage-level semantics is pinned here.
+  JoinFixture f;
+  RowBatch left(f.left_schema);
+  left.Append({Value::Null(), Value::Int64(1)}, 1);
+  RowBatch right(f.right_schema);
+  right.Append({Value::Null(), Value::Int64(9)}, 1);
+  right.Append(JoinFixture::KA("x", 8), 1);
+  auto out = HashJoin(*f.expr, left, right);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1);
+  EXPECT_TRUE(out->RowAt(0)[0].is_null());
+  EXPECT_EQ(out->RowAt(0)[2].int64(), 9);
+}
+
+// --- GroupedAggregate -------------------------------------------------------
+
+Expr::Ptr AggAll() {
+  return Expr::Aggregate(GvScan(), {"g"},
+                         {{AggFunc::kSum, Col("v"), "S"},
+                          {AggFunc::kCount, nullptr, "N"},
+                          {AggFunc::kCount, Col("v"), "Nv"},
+                          {AggFunc::kMin, Col("v"), "Lo"},
+                          {AggFunc::kMax, Col("v"), "Hi"},
+                          {AggFunc::kAvg, Col("v"), "Mean"}})
+      .value();
+}
+
+Row FindGroup(const RowBatch& batch, const char* g) {
+  for (int64_t i = 0; i < batch.num_rows(); ++i) {
+    if (batch.RowAt(i)[0] == Value::String(g)) return batch.RowAt(i);
+  }
+  ADD_FAILURE() << "group " << g << " missing";
+  return {};
+}
+
+TEST(GroupedAggregateTest, EmptyInputHasNoGroups) {
+  RowBatch in(GvSchema());
+  auto out = GroupedAggregate(*AggAll(), in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(GroupedAggregateTest, SingleRowSingleGroup) {
+  RowBatch in(GvSchema());
+  in.Append(GV("a", 10), 1);
+  auto out = GroupedAggregate(*AggAll(), in);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1);
+  const Row row = out->RowAt(0);
+  EXPECT_EQ(row[1].int64(), 10);  // SUM
+  EXPECT_EQ(row[2].int64(), 1);   // COUNT(*)
+  EXPECT_EQ(row[3].int64(), 1);   // COUNT(v)
+  EXPECT_EQ(row[4].int64(), 10);  // MIN
+  EXPECT_EQ(row[5].int64(), 10);  // MAX
+  EXPECT_DOUBLE_EQ(row[6].dbl(), 10.0);  // AVG
+}
+
+TEST(GroupedAggregateTest, DuplicateKeysAccumulateWeightedByCount) {
+  RowBatch in(GvSchema());
+  in.Append(GV("a", 10), 2);  // multiplicity 2: contributes twice
+  in.Append(GV("a", 4), 1);
+  in.Append(GV("b", 7), 1);
+  auto out = GroupedAggregate(*AggAll(), in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2);
+  const Row a = FindGroup(*out, "a");
+  EXPECT_EQ(a[1].int64(), 24);  // 10*2 + 4
+  EXPECT_EQ(a[2].int64(), 3);
+  EXPECT_EQ(a[4].int64(), 4);
+  EXPECT_EQ(a[5].int64(), 10);
+  EXPECT_DOUBLE_EQ(a[6].dbl(), 8.0);
+}
+
+TEST(GroupedAggregateTest, NullArgumentsAreSkipped) {
+  RowBatch in(GvSchema());
+  in.Append(GNull("a"), 1);
+  in.Append(GV("a", 6), 1);
+  in.Append(GNull("b"), 2);  // a group whose every argument is NULL
+  auto out = GroupedAggregate(*AggAll(), in);
+  ASSERT_TRUE(out.ok());
+  const Row a = FindGroup(*out, "a");
+  EXPECT_EQ(a[1].int64(), 6);  // SUM skips the NULL
+  EXPECT_EQ(a[2].int64(), 2);  // COUNT(*) still counts the row
+  EXPECT_EQ(a[3].int64(), 1);  // COUNT(v) does not
+  EXPECT_EQ(a[4].int64(), 6);
+  EXPECT_DOUBLE_EQ(a[6].dbl(), 6.0);
+  const Row b = FindGroup(*out, "b");
+  EXPECT_TRUE(b[1].is_null());  // SUM of nothing
+  EXPECT_EQ(b[2].int64(), 2);
+  EXPECT_EQ(b[3].int64(), 0);
+  EXPECT_TRUE(b[4].is_null());
+  EXPECT_TRUE(b[5].is_null());
+  EXPECT_TRUE(b[6].is_null());
+}
+
+TEST(GroupedAggregateTest, RejectsNegativeMultiplicities) {
+  RowBatch in(GvSchema());
+  in.Append(GV("a", 1), -1);
+  auto out = GroupedAggregate(*AggAll(), in);
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GroupedAggregateTest, IntegralSumStaysInt64) {
+  RowBatch in(GvSchema());
+  in.Append(GV("a", 3), 1);
+  in.Append(GV("a", 4), 1);
+  auto out = GroupedAggregate(*AggAll(), in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(FindGroup(*out, "a")[1].type(), ValueType::kInt64);
+
+  in.Append({Value::String("a"), Value::Double(0.5)}, 1);
+  auto mixed = GroupedAggregate(*AggAll(), in);
+  ASSERT_TRUE(mixed.ok());
+  const Row a = FindGroup(*mixed, "a");
+  EXPECT_EQ(a[1].type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(a[1].dbl(), 7.5);
+}
+
+// --- DupElim ----------------------------------------------------------------
+
+Expr::Ptr DupElimExpr() { return Expr::DupElim(GvScan()).value(); }
+
+TEST(DupElimTest, EmptyInput) {
+  RowBatch in(GvSchema());
+  auto out = DupElim(*DupElimExpr(), in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(DupElimTest, CoalescesDuplicateEntriesToOne) {
+  RowBatch in(GvSchema());
+  in.Append(GV("a", 1), 2);
+  in.Append(GV("a", 1), 3);  // same row, separate entry
+  in.Append(GV("b", 2), 1);
+  auto out = DupElim(*DupElimExpr(), in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2);
+  EXPECT_EQ(out->total_count(), 2);
+}
+
+TEST(DupElimTest, CancellingPairVanishes) {
+  RowBatch in(GvSchema());
+  in.Append(GV("a", 1), 2);
+  in.Append(GV("a", 1), -2);
+  in.Append(GV("b", 2), 1);
+  auto out = DupElim(*DupElimExpr(), in);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1);
+  EXPECT_EQ(out->RowAt(0), GV("b", 2));
+}
+
+TEST(DupElimTest, RejectsNegativeTotals) {
+  RowBatch in(GvSchema());
+  in.Append(GV("a", 1), 1);
+  in.Append(GV("a", 1), -2);
+  auto out = DupElim(*DupElimExpr(), in);
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DupElimTest, NullValuesAreDistinctRows) {
+  RowBatch in(GvSchema());
+  in.Append(GNull("a"), 2);
+  in.Append(GV("a", 1), 2);
+  auto out = DupElim(*DupElimExpr(), in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2);
+}
+
+// --- ApplyUnary dispatch and metrics ----------------------------------------
+
+TEST(ApplyUnaryTest, DispatchesAndRejectsNonUnary) {
+  RowBatch in(GvSchema());
+  in.Append(GV("a", 1), 1);
+  auto filtered = ApplyUnary(*FilterVPositive(), in);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->num_rows(), 1);
+
+  JoinFixture f;
+  EXPECT_EQ(ApplyUnary(*f.expr, in).status().code(), StatusCode::kInternal);
+}
+
+TEST(KernelMetricsTest, FilterCountsBatchesAndRows) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter* batches = reg.GetCounter("exec.kernel.filter.batches");
+  obs::Counter* rows = reg.GetCounter("exec.kernel.filter.rows");
+  const int64_t batches_before = batches->value();
+  const int64_t rows_before = rows->value();
+  RowBatch in(GvSchema());
+  in.Append(GV("a", 1), 1);
+  in.Append(GV("b", 2), 1);
+  ASSERT_TRUE(Filter(*FilterVPositive(), in).ok());
+  EXPECT_EQ(batches->value(), batches_before + 1);
+  EXPECT_EQ(rows->value(), rows_before + 2);
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace auxview

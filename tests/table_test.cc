@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "storage/database.h"
+#include "storage/undo_log.h"
 
 namespace auxview {
 namespace {
@@ -134,6 +136,102 @@ TEST(TableTest, ComputeStats) {
   EXPECT_DOUBLE_EQ(stats.distinct["k"], 3);
   EXPECT_DOUBLE_EQ(stats.distinct["g"], 2);
   EXPECT_DOUBLE_EQ(stats.distinct["v"], 2);
+}
+
+TEST(TableTest, ModifyBatchHandlesUpdateChains) {
+  // Regression: a batch where one pair's new row IS another pair's old row
+  // (X→Y, Y→Z with Y already present). The old in-place per-pair application
+  // merged the moved copy of Y into the resident Y and then moved both to Z;
+  // the two-phase batch must move each copy exactly once.
+  PageCounter counter;
+  Table t(MakeDef(), &counter);
+  const Row x = R(1, "a", 10);
+  const Row y = R(2, "a", 20);
+  const Row z = R(3, "a", 30);
+  ASSERT_TRUE(t.Insert(x, 2).ok());
+  ASSERT_TRUE(t.Insert(y, 3).ok());
+  ASSERT_TRUE(t.ModifyBatch({{x, y}, {y, z}}).ok());
+  EXPECT_EQ(t.CountOf(x), 0);
+  EXPECT_EQ(t.CountOf(y), 2);  // the moved copies of x, not x+y merged
+  EXPECT_EQ(t.CountOf(z), 3);
+  EXPECT_EQ(t.row_count(), 5);
+  // Index buckets must agree with the rows.
+  EXPECT_EQ(t.Lookup({"g"}, {Value::String("a")}).size(), 2u);
+}
+
+TEST(TableTest, ModifyBatchHandlesSwaps) {
+  // X→Y and Y→X in one batch exchange the multiplicities.
+  PageCounter counter;
+  Table t(MakeDef(), &counter);
+  const Row x = R(1, "a", 10);
+  const Row y = R(2, "b", 20);
+  ASSERT_TRUE(t.Insert(x, 1).ok());
+  ASSERT_TRUE(t.Insert(y, 4).ok());
+  ASSERT_TRUE(t.ModifyBatch({{x, y}, {y, x}}).ok());
+  EXPECT_EQ(t.CountOf(x), 4);
+  EXPECT_EQ(t.CountOf(y), 1);
+  EXPECT_EQ(t.Lookup({"g"}, {Value::String("a")}).size(), 1u);
+  EXPECT_EQ(t.Lookup({"g"}, {Value::String("b")}).size(), 1u);
+}
+
+TEST(TableTest, ModifyBatchMidBatchFaultRollsBackExactly) {
+  // A fault between the detach and attach phases leaves rows_ and
+  // total_count_ mid-flight; the undo log must restore the exact
+  // pre-batch fingerprint, indexes included.
+  PageCounter counter;
+  Table t(MakeDef(), &counter);
+  const Row x = R(1, "a", 10);
+  const Row y = R(2, "a", 20);
+  ASSERT_TRUE(t.Insert(x, 2).ok());
+  ASSERT_TRUE(t.Insert(y, 3).ok());
+  const std::string before = t.Fingerprint();
+
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  for (int nth = 1; nth <= 2; ++nth) {
+    UndoLog undo;
+    t.set_undo_log(&undo);
+    reg.ArmAfter("storage.table.modify_pair", nth);
+    Status status = t.ModifyBatch({{x, y}, {y, x}});
+    reg.Disarm("storage.table.modify_pair");
+    EXPECT_EQ(status.code(), StatusCode::kAborted) << "nth=" << nth;
+    ASSERT_TRUE(undo.RollBack().ok());
+    t.set_undo_log(nullptr);
+    EXPECT_EQ(t.Fingerprint(), before) << "nth=" << nth;
+  }
+}
+
+TEST(TableTest, LookupBatchMatchesPerKeyLookup) {
+  PageCounter counter;
+  Table t(MakeDef(), &counter);
+  ASSERT_TRUE(t.Insert(R(1, "a", 10)).ok());
+  ASSERT_TRUE(t.Insert(R(2, "a", 20)).ok());
+  ASSERT_TRUE(t.Insert(R(3, "b", 30)).ok());
+  // Indexed attr, repeated key, and a miss; then the unindexed fallback.
+  for (const std::vector<std::string>& attrs :
+       {std::vector<std::string>{"g"}, std::vector<std::string>{"v"}}) {
+    const std::vector<Row> keys = {{Value::String("a")},
+                                   {Value::String("zzz")},
+                                   {Value::String("a")}};
+    const std::vector<Row> int_keys = {{Value::Int64(20)},
+                                       {Value::Int64(99)},
+                                       {Value::Int64(20)}};
+    const std::vector<Row>& probe = (attrs[0] == "g") ? keys : int_keys;
+    counter.Reset();
+    auto batched = t.LookupBatch(attrs, probe);
+    const int64_t batched_cost = counter.total();
+    ASSERT_EQ(batched.size(), probe.size());
+    counter.Reset();
+    for (size_t i = 0; i < probe.size(); ++i) {
+      auto single = t.Lookup(attrs, probe[i]);
+      ASSERT_EQ(batched[i].size(), single.size()) << "key " << i;
+      for (size_t j = 0; j < single.size(); ++j) {
+        EXPECT_EQ(batched[i][j].row, single[j].row);
+        EXPECT_EQ(batched[i][j].count, single[j].count);
+      }
+    }
+    // Batching saves CPU, never modeled I/O: identical charges.
+    EXPECT_EQ(batched_cost, counter.total());
+  }
 }
 
 TEST(DatabaseTest, CreateDropFind) {

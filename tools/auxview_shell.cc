@@ -16,6 +16,10 @@
 // Dot-commands: .prepare [strategy], .workload <modify|insert|delete>
 // <relation> [attr] [weight], .plan, .check, .io, .consistency, .help,
 // .quit. Statements may span lines; they run at ';'.
+//
+// Interactive sessions get an in-process line-history buffer (Up/Down
+// recall, backspace editing) with no readline dependency; piped input
+// falls back to plain std::getline so scripts behave byte-identically.
 
 #include <cstdio>
 #include <iostream>
@@ -23,12 +27,151 @@
 #include <string>
 #include <vector>
 
+#include <termios.h>
+#include <unistd.h>
+
 #include "auxview.h"
 #include "optimizer/explain.h"
 
 namespace {
 
 using namespace auxview;
+
+/// Minimal interactive line reader: raw-mode keystroke loop with an
+/// in-process history ring (Up/Down recall the previous/next line,
+/// backspace edits, Ctrl-U clears, Ctrl-C abandons the line, Ctrl-D on an
+/// empty line is EOF). Only the current line is editable and only at its
+/// end — deliberately tiny, not a readline. When stdin is not a terminal
+/// (scripts, CI, `shell < file.sql`), every call degrades to std::getline
+/// so piped sessions are byte-identical with or without a TTY.
+class LineReader {
+ public:
+  /// Reads one line (without the trailing newline) after printing `prompt`.
+  /// Returns false on EOF.
+  bool ReadLine(const std::string& prompt, std::string* out) {
+    if (!isatty(STDIN_FILENO)) {
+      std::printf("%s", prompt.c_str());
+      std::fflush(stdout);
+      return static_cast<bool>(std::getline(std::cin, *out));
+    }
+    RawMode raw;
+    if (!raw.ok()) {  // exotic terminal: keep working, lose history
+      std::printf("%s", prompt.c_str());
+      std::fflush(stdout);
+      return static_cast<bool>(std::getline(std::cin, *out));
+    }
+    std::string line;
+    // One-past-the-end of history_ = "the fresh line being typed"; Up moves
+    // toward 0. The line under edit is stashed so Down returns to it.
+    size_t cursor = history_.size();
+    std::string stash;
+    Redraw(prompt, line);
+    while (true) {
+      unsigned char c;
+      const ssize_t n = read(STDIN_FILENO, &c, 1);
+      if (n <= 0) {  // EOF/error mid-line: hand back what we have
+        std::printf("\n");
+        *out = line;
+        return !line.empty();
+      }
+      if (c == '\r' || c == '\n') {
+        std::printf("\n");
+        if (!line.empty() &&
+            (history_.empty() || history_.back() != line)) {
+          history_.push_back(line);
+          if (history_.size() > kMaxHistory) {
+            history_.erase(history_.begin());
+          }
+        }
+        *out = line;
+        return true;
+      }
+      if (c == 0x04) {  // Ctrl-D: EOF on an empty line, else ignored
+        if (line.empty()) {
+          std::printf("\n");
+          return false;
+        }
+        continue;
+      }
+      if (c == 0x03) {  // Ctrl-C: abandon the line
+        std::printf("^C\n");
+        line.clear();
+        cursor = history_.size();
+        Redraw(prompt, line);
+        continue;
+      }
+      if (c == 0x15) {  // Ctrl-U: clear the line
+        line.clear();
+        Redraw(prompt, line);
+        continue;
+      }
+      if (c == 0x7f || c == 0x08) {  // backspace
+        if (!line.empty()) line.pop_back();
+        Redraw(prompt, line);
+        continue;
+      }
+      if (c == 0x1b) {  // ESC [ A/B — arrow keys; other sequences ignored
+        unsigned char seq[2];
+        if (read(STDIN_FILENO, &seq[0], 1) != 1 ||
+            read(STDIN_FILENO, &seq[1], 1) != 1 || seq[0] != '[') {
+          continue;
+        }
+        if (seq[1] == 'A' && cursor > 0) {  // Up: older
+          if (cursor == history_.size()) stash = line;
+          line = history_[--cursor];
+          Redraw(prompt, line);
+        } else if (seq[1] == 'B' && cursor < history_.size()) {  // Down
+          ++cursor;
+          line = cursor == history_.size() ? stash : history_[cursor];
+          Redraw(prompt, line);
+        }
+        continue;
+      }
+      if (c >= 0x20) {  // printable (UTF-8 continuation bytes included)
+        line.push_back(static_cast<char>(c));
+        std::fputc(c, stdout);
+        std::fflush(stdout);
+      }
+    }
+  }
+
+ private:
+  static constexpr size_t kMaxHistory = 500;
+
+  /// Enters raw input (no echo, no line buffering, no signal keys) for one
+  /// line's scope and restores the saved settings on destruction. Ctrl-C is
+  /// read as a byte and means "abandon the line", like readline's default.
+  class RawMode {
+   public:
+    RawMode() {
+      ok_ = tcgetattr(STDIN_FILENO, &saved_) == 0;
+      if (!ok_) return;
+      termios raw = saved_;
+      raw.c_lflag &= ~static_cast<tcflag_t>(ECHO | ICANON | ISIG);
+      raw.c_iflag &= ~static_cast<tcflag_t>(IXON | ICRNL);
+      raw.c_cc[VMIN] = 1;
+      raw.c_cc[VTIME] = 0;
+      ok_ = tcsetattr(STDIN_FILENO, TCSAFLUSH, &raw) == 0;
+    }
+    ~RawMode() {
+      if (ok_) tcsetattr(STDIN_FILENO, TCSAFLUSH, &saved_);
+    }
+    bool ok() const { return ok_; }
+
+   private:
+    termios saved_;
+    bool ok_ = false;
+  };
+
+  static void Redraw(const std::string& prompt, const std::string& line) {
+    // \r + clear-to-end repaint; fine for lines shorter than the terminal
+    // width, which is all this shell needs.
+    std::printf("\r\x1b[K%s%s", prompt.c_str(), line.c_str());
+    std::fflush(stdout);
+  }
+
+  std::vector<std::string> history_;
+};
 
 void PrintHelp() {
   std::printf(
@@ -67,9 +210,10 @@ class Shell {
     std::string buffer;
     std::string line;
     while (true) {
-      std::printf(buffer.empty() ? "auxview> " : "    ...> ");
-      std::fflush(stdout);
-      if (!std::getline(std::cin, line)) break;
+      if (!reader_.ReadLine(buffer.empty() ? "auxview> " : "    ...> ",
+                            &line)) {
+        break;
+      }
       if (buffer.empty() && !line.empty() &&
           (line[0] == '.' || line[0] == '\\')) {
         if (!DotCommand(line)) break;
@@ -233,6 +377,7 @@ class Shell {
     return true;
   }
 
+  LineReader reader_;
   Session session_;
   std::vector<TransactionType> workload_;
 };

@@ -1,0 +1,300 @@
+// Bounded-time randomized fault-injection soak.
+//
+// Where tests/failpoint_test.cc proves atomicity deterministically (every
+// point, every hit depth), this binary hammers the same invariants
+// statistically: EVERY registered failpoint armed in probability mode at
+// once, a random transaction stream, and a wall-clock budget. Each faulted
+// transaction must abort with a clean kAborted naming a failpoint and leave
+// every table (rows, counts, indexes) bit-identical to its pre-transaction
+// fingerprint; the recompute oracle runs periodically to catch residue that
+// only diverges later. Randomized arming reaches interleavings the
+// fixed-depth sweep cannot — several points firing within one stream, and
+// fault-after-fault sequences.
+//
+// Usage:
+//   failpoint_soak [--seconds N] [--probability P] [--seed S] [--max-steps N]
+//
+// An AUXVIEW_FAILPOINTS environment spec, when set, takes precedence over
+// --probability (the registry loads it at startup; the soak then leaves the
+// arming alone), so CI can pin e.g. AUXVIEW_FAILPOINTS="...=p0.01" exactly.
+// Exit status 0 = every invariant held for the whole budget.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auxview.h"
+#include "common/failpoint.h"
+#include "common/rng.h"
+
+namespace auxview {
+namespace {
+
+struct SoakOptions {
+  double seconds = 30;
+  double probability = 0.01;
+  uint64_t seed = 42;
+  int64_t max_steps = 0;  // 0 = wall clock only
+  bool trace = false;     // print every statement (repro shrinking)
+};
+
+constexpr char kDdl[] = R"sql(
+CREATE TABLE Emp (EName STRING PRIMARY KEY, DName STRING, Salary INT,
+                  INDEX (DName));
+CREATE TABLE Dept (DName STRING PRIMARY KEY, MName STRING, Budget INT);
+CREATE VIEW SumOfSals (DName, SalSum) AS
+  SELECT DName, SUM(Salary) FROM Emp GROUPBY DName;
+CREATE ASSERTION DeptConstraint CHECK
+  (NOT EXISTS (SELECT Dept.DName FROM Emp, Dept
+               WHERE Dept.DName = Emp.DName
+               GROUPBY Dept.DName, Budget
+               HAVING SUM(Salary) > Budget));
+)sql";
+
+#define SOAK_CHECK(cond, ...)                      \
+  do {                                             \
+    if (!(cond)) {                                 \
+      std::fprintf(stderr, "FAIL: " __VA_ARGS__);  \
+      std::fprintf(stderr, "\n");                  \
+      return false;                                \
+    }                                              \
+  } while (false)
+
+std::unique_ptr<Session> MakeLoadedSession() {
+  auto session = std::make_unique<Session>();
+  if (!session->Execute(kDdl).ok()) return nullptr;
+  for (int d = 0; d < 4; ++d) {
+    const std::string dname = "d" + std::to_string(d);
+    for (int k = 0; k < 3; ++k) {
+      if (!session
+               ->Execute("INSERT INTO Emp VALUES ('" + dname + "e" +
+                         std::to_string(k) + "', '" + dname + "', " +
+                         std::to_string(1000 + 10 * k) + ");")
+               .ok()) {
+        return nullptr;
+      }
+    }
+    if (!session
+             ->Execute("INSERT INTO Dept VALUES ('" + dname + "', 'm" +
+                       std::to_string(d) + "', 5000);")
+             .ok()) {
+      return nullptr;
+    }
+  }
+  session->DeclareWorkload({SingleModifyTxn(">Emp", "Emp", {"Salary"}, 2),
+                            SingleModifyTxn(">Dept", "Dept", {"Budget"}, 1)});
+  if (!session->Prepare().ok()) return nullptr;
+  return session;
+}
+
+/// Byte-exact physical state of every table, rows plus index buckets.
+std::map<std::string, std::string> FingerprintAll(Session& session) {
+  std::map<std::string, std::string> out;
+  for (const std::string& name : session.db().TableNames()) {
+    out[name] = session.db().FindTable(name)->Fingerprint();
+  }
+  return out;
+}
+
+/// One random transaction from a pool that keeps the database bounded:
+/// in-place updates, an insert/delete pair on a rotating probe key, and a
+/// deliberate assertion violation.
+std::string RandomStatement(Rng& rng, int64_t step, bool* expect_reject) {
+  *expect_reject = false;
+  const std::string dept = "d" + std::to_string(rng.Uniform(0, 3));
+  switch (rng.Uniform(0, 5)) {
+    case 0:
+      return "UPDATE Emp SET Salary = Salary + 1 WHERE DName = '" + dept +
+             "';";
+    case 1:
+      return "UPDATE Emp SET Salary = Salary - 1 WHERE EName = '" + dept +
+             "e" + std::to_string(rng.Uniform(0, 2)) + "';";
+    case 2: {
+      const int64_t delta = rng.Uniform(-3, 3);
+      return "UPDATE Dept SET Budget = Budget " + std::string(delta < 0 ? "-" : "+") +
+             " " + std::to_string(delta < 0 ? -delta : delta) +
+             " WHERE DName = '" + dept + "';";
+    }
+    case 3:
+      return "INSERT INTO Emp VALUES ('probe" + std::to_string(step % 8) +
+             "', '" + dept + "', " + std::to_string(rng.Uniform(1, 50)) + ");";
+    case 4:
+      return "DELETE FROM Emp WHERE EName = 'probe" +
+             std::to_string(rng.Uniform(0, 7)) + "';";
+    default:
+      // Blows the department budget; must be rejected with zero effect.
+      *expect_reject = true;
+      return "UPDATE Emp SET Salary = 99999 WHERE EName = '" + dept + "e0';";
+  }
+}
+
+bool RunSoak(const SoakOptions& options) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+
+  // Session setup (DDL, loads, Prepare) runs fault-free even when the
+  // environment armed points at process start.
+  std::unique_ptr<Session> session;
+  {
+    FailpointSuspension no_faults;
+    session = MakeLoadedSession();
+  }
+  SOAK_CHECK(session != nullptr, "session setup failed");
+
+  // Arm every registered point in probability mode unless an environment
+  // spec already did.
+  const std::vector<std::string> names = reg.Names();
+  bool env_armed = false;
+  for (const std::string& name : names) env_armed |= reg.armed(name);
+  if (!env_armed) {
+    std::string spec;
+    char prob[32];
+    std::snprintf(prob, sizeof(prob), "=p%g", options.probability);
+    for (const std::string& name : names) {
+      if (!spec.empty()) spec += ',';
+      spec += name;
+      spec += prob;
+    }
+    Status loaded = reg.LoadSpec(spec);
+    SOAK_CHECK(loaded.ok(), "LoadSpec: %s", loaded.ToString().c_str());
+  }
+  std::printf("failpoint_soak: %zu points armed (%s), budget %.0fs, seed %llu\n",
+              names.size(), env_armed ? "AUXVIEW_FAILPOINTS" : "all at p",
+              options.seconds, static_cast<unsigned long long>(options.seed));
+
+  Rng rng(options.seed);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options.seconds));
+  int64_t steps = 0;
+  int64_t committed = 0;
+  int64_t fault_aborts = 0;
+  int64_t assertion_rejects = 0;
+  while (std::chrono::steady_clock::now() < deadline &&
+         (options.max_steps == 0 || steps < options.max_steps)) {
+    ++steps;
+    bool expect_reject = false;
+    const std::string sql = RandomStatement(rng, steps, &expect_reject);
+    if (options.trace) std::printf("%s\n", sql.c_str());
+
+    std::map<std::string, std::string> before;
+    {
+      FailpointSuspension no_faults;
+      before = FingerprintAll(*session);
+    }
+    auto result = session->Execute(sql);
+    if (!result.ok()) {
+      // A fault fired mid-transaction: the abort must be clean and the
+      // rollback bit-exact.
+      ++fault_aborts;
+      SOAK_CHECK(result.status().code() == StatusCode::kAborted,
+                 "step %lld (%s): non-abort failure: %s",
+                 static_cast<long long>(steps), sql.c_str(),
+                 result.status().ToString().c_str());
+      FailpointSuspension no_faults;
+      const auto after = FingerprintAll(*session);
+      if (after != before) {
+        for (const auto& [name, fp] : after) {
+          auto it = before.find(name);
+          if (it == before.end() || it->second != fp) {
+            std::fprintf(stderr, "  residue in table %s\n", name.c_str());
+          }
+        }
+      }
+      SOAK_CHECK(after == before,
+                 "step %lld (%s): aborted transaction left residue (%s)",
+                 static_cast<long long>(steps), sql.c_str(),
+                 result.status().ToString().c_str());
+      continue;
+    }
+    if (result->rejected()) {
+      // Assertion rejection is a rollback too, so the same invariant holds.
+      ++assertion_rejects;
+      FailpointSuspension no_faults;
+      SOAK_CHECK(FingerprintAll(*session) == before,
+                 "step %lld (%s): rejected transaction left residue",
+                 static_cast<long long>(steps), sql.c_str());
+      continue;
+    }
+    SOAK_CHECK(!expect_reject, "step %lld (%s): violating update committed",
+               static_cast<long long>(steps), sql.c_str());
+    ++committed;
+
+    if (steps % 50 == 0) {
+      FailpointSuspension no_faults;
+      Status consistent = session->CheckConsistency();
+      SOAK_CHECK(consistent.ok(), "step %lld: recompute oracle diverged: %s",
+                 static_cast<long long>(steps), consistent.ToString().c_str());
+    }
+  }
+
+  int64_t triggers = 0;
+  {
+    FailpointSuspension no_faults;
+    for (const std::string& name : names) triggers += reg.triggers(name);
+    Status consistent = session->CheckConsistency();
+    SOAK_CHECK(consistent.ok(), "final recompute oracle diverged: %s",
+               consistent.ToString().c_str());
+    auto checks = session->CheckAssertions();
+    SOAK_CHECK(checks.ok(), "final CheckAssertions failed: %s",
+               checks.status().ToString().c_str());
+    for (const auto& check : *checks) {
+      SOAK_CHECK(check.holds, "assertion %s violated after soak",
+                 check.name.c_str());
+    }
+  }
+  reg.DisarmAll();
+  std::printf(
+      "failpoint_soak: OK — %lld steps: %lld committed, %lld fault aborts, "
+      "%lld assertion rejects, %lld failpoint triggers\n",
+      static_cast<long long>(steps), static_cast<long long>(committed),
+      static_cast<long long>(fault_aborts),
+      static_cast<long long>(assertion_rejects),
+      static_cast<long long>(triggers));
+  if (fault_aborts == 0) {
+    std::printf(
+        "failpoint_soak: note: no fault ever fired — raise --probability or "
+        "--seconds for coverage\n");
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace auxview
+
+int main(int argc, char** argv) {
+  auxview::SoakOptions options;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = value("--seconds")) {
+      options.seconds = std::atof(v);
+    } else if (const char* v = value("--probability")) {
+      options.probability = std::atof(v);
+    } else if (const char* v = value("--seed")) {
+      options.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--max-steps")) {
+      options.max_steps = std::atoll(v);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      options.trace = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: failpoint_soak [--seconds N] [--probability P] "
+                   "[--seed S] [--max-steps N]\n");
+      return 2;
+    }
+  }
+  return auxview::RunSoak(options) ? 0 : 1;
+}
