@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "delta/transaction.h"
 #include "exec/executor.h"
 #include "maintain/assertion.h"
+#include "obs/metrics.h"
 #include "parser/parser.h"
 #include "storage/undo_log.h"
 
@@ -89,6 +91,19 @@ Session::Session(SessionOptions options)
   // the paper's worked example, which excludes the assertion view).
   options_.optimize.cost.include_root_update_cost = true;
   options_.maintain.charge_root_update = true;
+  if (!options_.durability.wal_dir.empty()) {
+    // Constructors can't fail; the first Execute/Prepare/Recover surfaces
+    // an open error instead of silently running without durability.
+    wal_status_ = db_.OpenWal(options_.durability);
+  }
+}
+
+Status Session::OpenWal(const DatabaseOptions& options) {
+  AUXVIEW_RETURN_IF_ERROR(wal_status_);
+  if (prepared()) {
+    return Status::FailedPrecondition("attach the WAL before Prepare");
+  }
+  return db_.OpenWal(options);
 }
 
 void Session::DeclareWorkload(std::vector<TransactionType> txns) {
@@ -96,6 +111,7 @@ void Session::DeclareWorkload(std::vector<TransactionType> txns) {
 }
 
 StatusOr<ExecResult> Session::Execute(const std::string& sql) {
+  AUXVIEW_RETURN_IF_ERROR(wal_status_);
   AUXVIEW_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseSql(sql));
   if (stmts.empty()) return Status::InvalidArgument("empty statement");
   ExecResult last;
@@ -272,32 +288,24 @@ StatusOr<ConcreteTxn> Session::BuildConcreteTxn(const Statement& stmt,
 }
 
 Status Session::ApplyDirect(const ConcreteTxn& txn) {
+  // Write-ahead, as in the maintained path: a load statement is durable
+  // before it touches memory.
+  WriteAheadLog* wal = db_.wal();
+  uint64_t lsn = 0;
+  if (wal != nullptr && !wal->replaying()) {
+    AUXVIEW_ASSIGN_OR_RETURN(lsn, wal->AppendTxn(txn));
+  }
   // Pre-Prepare loads are transactions too: a mid-statement failure
   // (e.g. deleting below multiplicity zero) must not leave half the rows in.
   UndoLog undo;
   Status applied;
   {
-    ScopedUndo undo_scope(&db_, &undo);
-    applied = [&]() -> Status {
-      for (const TableUpdate& u : txn.updates) {
-        Table* t = db_.FindTable(u.relation);
-        if (t == nullptr) {
-          return Status::NotFound("no such table: " + u.relation);
-        }
-        ScopedCountingDisabled guard(&db_.counter());
-        for (const auto& [row, count] : u.inserts) {
-          AUXVIEW_RETURN_IF_ERROR(t->Insert(row, count));
-        }
-        for (const auto& [row, count] : u.deletes) {
-          AUXVIEW_RETURN_IF_ERROR(t->Delete(row, count));
-        }
-        AUXVIEW_RETURN_IF_ERROR(t->ModifyBatch(u.modifies));
-      }
-      return Status::Ok();
-    }();
+    ScopedUndo undo_scope(&db_, &undo, &catalog_);
+    applied = db_.ApplyTxnDirect(txn);
   }
   if (!applied.ok()) {
     AUXVIEW_RETURN_IF_ERROR(undo.RollBack());
+    if (lsn != 0) (void)wal->AppendAbort(lsn);  // best-effort compensation
     return applied;
   }
   undo.Commit();
@@ -351,19 +359,132 @@ StatusOr<ExecResult> Session::ApplyDml(const Statement& stmt) {
     }
     return applied;  // injected fault or genuine error — rolled back
   }
+  MaybeAutoCheckpoint();
   return result;
 }
 
+void Session::MaybeAutoCheckpoint() {
+  WriteAheadLog* wal = db_.wal();
+  if (wal == nullptr || wal->replaying() || recovering_ || !prepared() ||
+      !wal->ShouldAutoCheckpoint()) {
+    return;
+  }
+  const Status st = Checkpoint();
+  if (!st.ok()) {
+    // Advisory: the statement already committed and the log alone still
+    // recovers it — a failed compaction is a metric, not a statement error.
+    obs::MetricsRegistry::Global()
+        .GetCounter("wal.checkpoint_failures")
+        ->Add(1);
+  }
+}
+
+Status Session::Checkpoint() {
+  AUXVIEW_RETURN_IF_ERROR(wal_status_);
+  WriteAheadLog* wal = db_.wal();
+  if (wal == nullptr) {
+    return Status::FailedPrecondition("no write-ahead log attached");
+  }
+  if (!prepared()) {
+    return Status::FailedPrecondition(
+        "Checkpoint requires Prepare: a pre-Prepare image would freeze "
+        "unrefreshed statistics and recovery could choose different views");
+  }
+  return wal->WriteCheckpoint(BuildCheckpointImage(db_, &catalog_));
+}
+
+Status Session::Recover() {
+  AUXVIEW_RETURN_IF_ERROR(wal_status_);
+  WriteAheadLog* wal = db_.wal();
+  if (wal == nullptr) {
+    return Status::FailedPrecondition("no write-ahead log attached");
+  }
+  if (prepared()) {
+    return Status::FailedPrecondition("Recover must run before Prepare");
+  }
+  WalRecovery rec;
+  AUXVIEW_RETURN_IF_ERROR(db_.Recover(&rec));
+  recovery_info_ = RecoveryInfo{};
+  recovery_info_.recovered = !rec.empty();
+  recovery_info_.had_checkpoint = rec.has_checkpoint;
+  recovery_info_.last_lsn = rec.last_lsn;
+  recovery_info_.truncated_tail_bytes = rec.truncated_tail_bytes;
+  if (rec.empty()) return Status::Ok();
+
+  WalReplayGuard replay(wal);
+  recovering_ = true;
+  Status replayed = [&]() -> Status {
+    if (rec.has_checkpoint) {
+      // The checkpoint froze the catalog statistics the original Prepare
+      // optimized with; restoring them (and skipping the refresh) makes the
+      // re-run Prepare see identical inputs, hence identical views.
+      for (const TableImage& t : rec.checkpoint.tables) {
+        if (t.has_catalog_stats) {
+          AUXVIEW_RETURN_IF_ERROR(
+              catalog_.SetStats(t.def.name, t.catalog_stats));
+        }
+      }
+      skip_stats_refresh_ = true;
+      AUXVIEW_RETURN_IF_ERROR(Prepare());
+      for (const WalRecord& r : rec.txns) {
+        const TransactionType type =
+            DeriveTransactionType(r.txn, workload_, catalog_);
+        StatusOr<UpdateTrack> track = TrackFor(type);
+        if (!track.ok()) {
+          return Status::Internal("wal replay failed at lsn " +
+                                  std::to_string(r.lsn) + ": " +
+                                  track.status().ToString());
+        }
+        const Status applied = manager_->ApplyTransaction(r.txn, type, *track);
+        if (!applied.ok()) {
+          return Status::Internal("wal replay failed at lsn " +
+                                  std::to_string(r.lsn) + ": " +
+                                  applied.ToString());
+        }
+        ++recovery_info_.replayed;
+      }
+    } else {
+      // No checkpoint: everything in the log predates Prepare, i.e. load
+      // statements — apply them directly, as the original run did.
+      for (const WalRecord& r : rec.txns) {
+        const Status applied = ApplyDirect(r.txn);
+        if (!applied.ok()) {
+          return Status::Internal("wal replay failed at lsn " +
+                                  std::to_string(r.lsn) + ": " +
+                                  applied.ToString());
+        }
+        ++recovery_info_.replayed;
+      }
+    }
+    return Status::Ok();
+  }();
+  recovering_ = false;
+  AUXVIEW_RETURN_IF_ERROR(replayed);
+  obs::MetricsRegistry::Global()
+      .GetCounter("wal.recovered_txns")
+      ->Add(recovery_info_.replayed);
+  if (rec.has_checkpoint) {
+    // Fold the replayed suffix into a fresh checkpoint so the next recovery
+    // starts from here.
+    AUXVIEW_RETURN_IF_ERROR(Checkpoint());
+  }
+  return Status::Ok();
+}
+
 Status Session::Prepare() {
+  AUXVIEW_RETURN_IF_ERROR(wal_status_);
   if (prepared()) return Status::FailedPrecondition("already prepared");
   if (binder_.views().empty() && binder_.assertions().empty()) {
     return Status::FailedPrecondition(
         "declare at least one view or assertion before Prepare");
   }
-  // Refresh statistics from the loaded data.
-  for (const std::string& name : db_.TableNames()) {
-    AUXVIEW_ASSIGN_OR_RETURN(RelationStats stats, db_.RefreshStats(name));
-    AUXVIEW_RETURN_IF_ERROR(catalog_.SetStats(name, stats));
+  // Refresh statistics from the loaded data — unless recovery restored the
+  // checkpoint-time statistics, which must be optimized with as-is.
+  if (!skip_stats_refresh_) {
+    for (const std::string& name : db_.TableNames()) {
+      AUXVIEW_ASSIGN_OR_RETURN(RelationStats stats, db_.RefreshStats(name));
+      AUXVIEW_RETURN_IF_ERROR(catalog_.SetStats(name, stats));
+    }
   }
 
   // One expression DAG, multiple roots (Section 6).
@@ -423,11 +544,22 @@ Status Session::Prepare() {
 
   manager_ = std::make_unique<ViewManager>(memo_.get(), &catalog_, &db_,
                                            options_.maintain);
+  // Group-level rollback of optimizer state: aborted transactions restore
+  // any statistics refreshed while they ran.
+  manager_->set_mutable_catalog(&catalog_);
   for (const BoundAssertion& assertion : binder_.assertions()) {
     AUXVIEW_ASSIGN_OR_RETURN(GroupId g, GroupOf(assertion.name));
     manager_->DeclareAssertion(assertion.name, g);
   }
-  return manager_->Materialize(plan_.views);
+  AUXVIEW_RETURN_IF_ERROR(manager_->Materialize(plan_.views));
+  // The initial checkpoint: freezes the loaded base tables and refreshed
+  // statistics, making the bulk-load log prefix redundant. Skipped during
+  // recovery's internal Prepare (Recover writes its own at the end).
+  WriteAheadLog* wal = db_.wal();
+  if (wal != nullptr && !wal->replaying() && !recovering_) {
+    AUXVIEW_RETURN_IF_ERROR(Checkpoint());
+  }
+  return Status::Ok();
 }
 
 StatusOr<GroupId> Session::GroupOf(const std::string& name) const {

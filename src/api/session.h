@@ -14,6 +14,7 @@
 #include "optimizer/select_views.h"
 #include "parser/binder.h"
 #include "storage/database.h"
+#include "storage/wal/wal.h"
 
 namespace auxview {
 
@@ -39,6 +40,23 @@ struct SessionOptions {
   OptimizeOptions optimize;
   ExpandOptions expand;
   MaintainOptions maintain;
+  /// Durability: a non-empty wal_dir attaches a write-ahead log at
+  /// construction (see docs/DURABILITY.md).
+  DatabaseOptions durability;
+};
+
+/// What Session::Recover found and did (for harnesses and the shell).
+struct RecoveryInfo {
+  /// True when the log held durable state (checkpoint and/or transactions).
+  bool recovered = false;
+  bool had_checkpoint = false;
+  /// Highest LSN the recovered state covers.
+  uint64_t last_lsn = 0;
+  /// Transactions replayed (checkpoint-covered ones are loaded, not
+  /// replayed).
+  int64_t replayed = 0;
+  /// Bytes of torn final record discarded by the opening scan.
+  int64_t truncated_tail_bytes = 0;
 };
 
 /// The end-to-end facade: a tiny "database" whose views and assertions are
@@ -72,10 +90,38 @@ class Session {
   void DeclareWorkload(std::vector<TransactionType> txns);
 
   /// Builds the multi-root expression DAG over every view and assertion,
-  /// runs view selection, and materializes the chosen views.
+  /// runs view selection, and materializes the chosen views. With a
+  /// write-ahead log attached, also takes the initial checkpoint (the loaded
+  /// base tables plus the freshly refreshed statistics), so the log prefix
+  /// of bulk loads becomes redundant.
   Status Prepare();
 
   bool prepared() const { return manager_ != nullptr; }
+
+  /// Attaches a write-ahead log to the database. A convenience over
+  /// SessionOptions::durability for an already-constructed session; must
+  /// run before Prepare.
+  Status OpenWal(const DatabaseOptions& options);
+
+  /// Replays the log's durable state: loads the latest checkpoint (base
+  /// tables + catalog statistics), re-prepares with the identical optimizer
+  /// inputs — re-deriving every materialized view bit-identically through
+  /// the DeltaEngine — and replays the post-checkpoint transactions through
+  /// the normal maintenance path. Without a checkpoint, the logged
+  /// transactions are pre-Prepare loads and are applied directly. The
+  /// caller must first re-create the schema (DDL script) and re-declare the
+  /// workload, then call Recover *instead of* loading data. No-op on a
+  /// fresh log.
+  Status Recover();
+
+  /// What the last Recover call found (zero-initialized before any call).
+  const RecoveryInfo& last_recovery() const { return recovery_info_; }
+
+  /// Writes a checkpoint covering the current state and truncates the log
+  /// prefix. Requires Prepare (a pre-Prepare checkpoint would freeze
+  /// unrefreshed statistics, and a recovered Prepare could then choose
+  /// different views than the original run).
+  Status Checkpoint();
 
   /// Chosen view set and its expected cost (valid after Prepare).
   const OptimizeResult& plan() const { return plan_; }
@@ -101,6 +147,10 @@ class Session {
                                          TransactionType* type);
   StatusOr<ExecResult> ApplyDml(const Statement& stmt);
   Status ApplyDirect(const ConcreteTxn& txn);
+  /// Advisory auto-checkpoint after a committed DML (wal_checkpoint_every);
+  /// a failure counts in `wal.checkpoint_failures` but does not fail the
+  /// already-committed statement.
+  void MaybeAutoCheckpoint();
   /// Best track for a transaction type, cached by signature.
   StatusOr<UpdateTrack> TrackFor(const TransactionType& type);
   /// Group id of a view/assertion name.
@@ -114,6 +164,15 @@ class Session {
   Database db_;
   Binder binder_;
   std::vector<TransactionType> workload_;
+  /// Deferred construction-time OpenWal failure, surfaced by the first
+  /// Execute/Prepare/Recover.
+  Status wal_status_;
+  RecoveryInfo recovery_info_;
+  /// Recovery restored checkpoint-time statistics; Prepare must not refresh
+  /// them from the tables, or the optimizer could see different inputs than
+  /// the original run and pick different views.
+  bool skip_stats_refresh_ = false;
+  bool recovering_ = false;
 
   // Populated by Prepare.
   std::unique_ptr<Memo> memo_;

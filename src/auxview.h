@@ -58,6 +58,7 @@
 #include "storage/database.h"
 #include "storage/table.h"
 #include "storage/undo_log.h"
+#include "storage/wal/wal.h"
 #include "workload/chain.h"
 #include "workload/emp_dept.h"
 #include "workload/fig5.h"

@@ -61,6 +61,21 @@ std::vector<std::string> Catalog::TableNames() const {
   return names;
 }
 
+Catalog::StatsSnapshot Catalog::SnapshotStats() const {
+  StatsSnapshot snapshot;
+  snapshot.epoch = stats_epoch_;
+  for (const auto& [name, def] : tables_) snapshot.stats[name] = def.stats;
+  return snapshot;
+}
+
+void Catalog::RestoreStats(const StatsSnapshot& snapshot) {
+  for (const auto& [name, stats] : snapshot.stats) {
+    auto it = tables_.find(name);
+    if (it != tables_.end()) it->second.stats = stats;
+  }
+  stats_epoch_ = snapshot.epoch;
+}
+
 Status Catalog::SetStats(const std::string& name, RelationStats stats) {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);

@@ -62,6 +62,21 @@ class Catalog {
   /// docs/OPTIMIZER.md) compare epochs to decide when to invalidate.
   uint64_t stats_epoch() const { return stats_epoch_; }
 
+  /// A point-in-time copy of every table's statistics plus the epoch, taken
+  /// at transaction start so an aborted transaction's stat refreshes can be
+  /// rolled back along with its data (see UndoLog::SnapshotCatalog).
+  struct StatsSnapshot {
+    uint64_t epoch = 0;
+    std::map<std::string, RelationStats> stats;
+  };
+
+  StatsSnapshot SnapshotStats() const;
+
+  /// Restores statistics (and the epoch) captured by SnapshotStats. Tables
+  /// added since the snapshot keep their current stats — AddTable is not a
+  /// transactional operation.
+  void RestoreStats(const StatsSnapshot& snapshot);
+
  private:
   std::map<std::string, TableDef> tables_;
   uint64_t stats_epoch_ = 0;

@@ -20,6 +20,9 @@ constexpr const char* kCatalog[] = {
     "maintain.fetch",              // DeltaEngine::FetchMatching cache miss
     "maintain.apply_view_delta",   // ViewManager commit, per view delta
     "maintain.apply_base",         // ViewManager commit, per base update
+    "wal.append.partial",          // WAL append: torn half-written frame
+    "wal.fsync.fail",              // WAL append: fsync failure after write
+    "wal.checkpoint.mid",          // WAL checkpoint: between tmp and rename
 };
 
 /// splitmix64 step (matches common/rng.h; kept local so the registry does

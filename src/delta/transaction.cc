@@ -1,6 +1,10 @@
 #include "delta/transaction.h"
 
+#include <algorithm>
+
+#include "catalog/catalog.h"
 #include "common/string_util.h"
+#include "maintain/concrete.h"
 
 namespace auxview {
 
@@ -48,6 +52,49 @@ TransactionType SingleModifyTxn(std::string name, std::string relation,
   spec.modified_attrs = std::move(modified_attrs);
   txn.updates.push_back(std::move(spec));
   return txn;
+}
+
+TransactionType DeriveTransactionType(
+    const ConcreteTxn& txn, const std::vector<TransactionType>& declared,
+    const Catalog& catalog) {
+  for (const TransactionType& type : declared) {
+    if (type.name == txn.type_name) return type;
+  }
+  TransactionType derived;
+  derived.name = txn.type_name;
+  for (const TableUpdate& update : txn.updates) {
+    if (update.empty()) continue;
+    UpdateSpec spec;
+    spec.relation = update.relation;
+    if (!update.modifies.empty()) {
+      spec.kind = UpdateKind::kModify;
+      spec.count = static_cast<double>(update.modifies.size());
+      // The changed attributes are whatever differs across any pair.
+      const TableDef* def = catalog.FindTable(update.relation);
+      if (def != nullptr) {
+        const auto& columns = def->schema.columns();
+        std::vector<bool> changed(columns.size(), false);
+        for (const auto& [old_row, new_row] : update.modifies) {
+          for (size_t i = 0;
+               i < columns.size() && i < old_row.size() && i < new_row.size();
+               ++i) {
+            if (!(old_row[i] == new_row[i])) changed[i] = true;
+          }
+        }
+        for (size_t i = 0; i < columns.size(); ++i) {
+          if (changed[i]) spec.modified_attrs.push_back(columns[i].name);
+        }
+      }
+    } else if (!update.inserts.empty()) {
+      spec.kind = UpdateKind::kInsert;
+      spec.count = static_cast<double>(update.inserts.size());
+    } else {
+      spec.kind = UpdateKind::kDelete;
+      spec.count = static_cast<double>(update.deletes.size());
+    }
+    derived.updates.push_back(std::move(spec));
+  }
+  return derived;
 }
 
 }  // namespace auxview

@@ -44,6 +44,20 @@ TransactionType SingleModifyTxn(std::string name, std::string relation,
                                 std::vector<std::string> modified_attrs,
                                 double weight = 1, double count = 1);
 
+class Catalog;
+struct ConcreteTxn;
+
+/// Maps a concrete transaction back to a declared type by name, or — for
+/// transactions whose type is not in `declared` (e.g. WAL replay of ad-hoc
+/// DML) — derives a one-off spec from its content: one UpdateSpec per
+/// touched relation, kind by dominant delta (modify > insert > delete),
+/// modified_attrs by diffing the modify pairs against the schema. Recovery
+/// uses this so a replayed transaction takes the same maintenance path the
+/// original commit took.
+TransactionType DeriveTransactionType(
+    const ConcreteTxn& txn, const std::vector<TransactionType>& declared,
+    const Catalog& catalog);
+
 }  // namespace auxview
 
 #endif  // AUXVIEW_DELTA_TRANSACTION_H_

@@ -6,6 +6,7 @@
 #include "exec/executor.h"
 #include "obs/metrics.h"
 #include "storage/undo_log.h"
+#include "storage/wal/wal.h"
 
 namespace auxview {
 
@@ -243,6 +244,15 @@ Status ViewManager::ApplyTransaction(const ConcreteTxn& txn,
                            engine_.ComputeDeltas(txn, type, track, views_));
   AUXVIEW_RETURN_IF_ERROR(CheckAssertionVerdict(deltas));
 
+  // Write-ahead: the transaction's deltas reach the durable log before any
+  // in-memory attach, so a crash after this point replays it. Skipped while
+  // recovery itself is replaying (the record already exists).
+  WriteAheadLog* wal = db_->wal();
+  uint64_t lsn = 0;
+  if (wal != nullptr && !wal->replaying()) {
+    AUXVIEW_ASSIGN_OR_RETURN(lsn, wal->AppendTxn(txn));
+  }
+
   // Phase 2 (commit): all-or-nothing. Every table mutation records its net
   // effect in the undo log; a mid-commit failure (injected fault, missing
   // table, negative multiplicity) rolls everything back, leaving tables
@@ -250,12 +260,17 @@ Status ViewManager::ApplyTransaction(const ConcreteTxn& txn,
   UndoLog undo;
   Status committed;
   {
-    ScopedUndo undo_scope(db_, &undo);
+    ScopedUndo undo_scope(db_, &undo, mutable_catalog_);
     committed = CommitTransaction(txn, deltas);
   }
   if (!committed.ok()) {
     rollbacks->Add(1);
     AUXVIEW_RETURN_IF_ERROR(undo.RollBack());
+    // Compensate the already-durable record. Best-effort: if even the abort
+    // append fails, recovery would replay a transaction whose effects
+    // memory lost — the same state a crash-before-rollback leaves, and one
+    // recovery is defined to reconstruct.
+    if (lsn != 0) (void)wal->AppendAbort(lsn);
     return committed;
   }
   undo.Commit();
@@ -274,13 +289,19 @@ Status ViewManager::ApplyTransactionByRecompute(const ConcreteTxn& txn,
   obs::ScopedTimer timer(timing);
   ScopedIoDelta io_delta(db_->counter(), io_hist);
   aborted_assertion_.clear();
+  // Write-ahead, as in ApplyTransaction.
+  WriteAheadLog* wal = db_->wal();
+  uint64_t lsn = 0;
+  if (wal != nullptr && !wal->replaying()) {
+    AUXVIEW_ASSIGN_OR_RETURN(lsn, wal->AppendTxn(txn));
+  }
   // Unlike the staged path, the baseline mutates before it knows the
   // assertion verdict, so the whole mutating body runs under the undo log
   // and an assertion violation (or injected fault) rolls everything back.
   UndoLog undo;
   Status committed;
   {
-    ScopedUndo undo_scope(db_, &undo);
+    ScopedUndo undo_scope(db_, &undo, mutable_catalog_);
     committed = [&]() -> Status {
       // 1. Apply the base updates (uncharged, as in ApplyTransaction).
       {
@@ -350,6 +371,7 @@ Status ViewManager::ApplyTransactionByRecompute(const ConcreteTxn& txn,
     // Rolled-back views are current again, but cached fetches taken between
     // the base update and the rollback are not.
     engine_.ClearFetchCache();
+    if (lsn != 0) (void)wal->AppendAbort(lsn);  // best-effort compensation
     return committed;
   }
   undo.Commit();

@@ -86,6 +86,12 @@ class ViewManager {
   DeltaEngine& engine() { return engine_; }
   Database& db() { return *db_; }
 
+  /// Opts in to group-level rollback of optimizer state: with a mutable
+  /// catalog attached, an aborted transaction also restores any statistics
+  /// (and the stats epoch) refreshed while it ran. The construction-time
+  /// catalog stays const for all read paths.
+  void set_mutable_catalog(Catalog* catalog) { mutable_catalog_ = catalog; }
+
  private:
   /// Phase-1 helper: Aborted if any declared assertion view would become
   /// non-empty once `deltas` apply. Reads only pre-update state.
@@ -99,6 +105,7 @@ class ViewManager {
 
   const Memo* memo_;
   const Catalog* catalog_;
+  Catalog* mutable_catalog_ = nullptr;
   Database* db_;
   MaintainOptions options_;
   DeltaEngine engine_;

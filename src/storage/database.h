@@ -13,12 +13,19 @@
 
 namespace auxview {
 
+struct ConcreteTxn;
+struct DatabaseOptions;
+struct WalRecovery;
+class WriteAheadLog;
+
 /// A collection of stored relations sharing one page-I/O counter. Holds both
 /// base relations and materialized views (views are stored tables whose
-/// definitions live in the view manager).
+/// definitions live in the view manager). Optionally backed by a durable
+/// write-ahead log (see storage/wal/wal.h).
 class Database {
  public:
-  Database() = default;
+  Database();
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -44,9 +51,30 @@ class Database {
   /// Refreshes catalog-style statistics for table `name` from its contents.
   StatusOr<RelationStats> RefreshStats(const std::string& name) const;
 
+  /// Attaches a write-ahead log rooted at `options.wal_dir`, scanning any
+  /// existing durable state. At most one log per database; fails if one is
+  /// already attached.
+  Status OpenWal(const DatabaseOptions& options);
+
+  /// nullptr when no log is attached.
+  WriteAheadLog* wal() { return wal_.get(); }
+  const WriteAheadLog* wal() const { return wal_.get(); }
+
+  /// Loads the log's latest checkpoint into this database's tables (creating
+  /// them, or filling tables that already exist empty with a matching
+  /// schema) and hands back the staged post-checkpoint transactions for the
+  /// caller to replay. Unblocks appends.
+  Status Recover(WalRecovery* out);
+
+  /// Applies a concrete transaction's updates straight to the stored tables
+  /// without charging page I/O — the load/recovery path, not the maintained
+  /// commit path.
+  Status ApplyTxnDirect(const ConcreteTxn& txn);
+
  private:
   PageCounter counter_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::unique_ptr<WriteAheadLog> wal_;
 };
 
 }  // namespace auxview

@@ -65,6 +65,12 @@ void UndoLog::ObserveHighwater() {
   }
 }
 
+void UndoLog::SnapshotCatalog(Catalog* catalog) {
+  if (catalog == nullptr || catalog_ != nullptr) return;
+  catalog_ = catalog;
+  stats_snapshot_ = catalog->SnapshotStats();
+}
+
 Status UndoLog::RollBack() {
   // Rollback must be unconditional: no fault injection, no I/O charging
   // (the paper's counters account the forward work; an abort does not pay
@@ -82,12 +88,21 @@ Status UndoLog::RollBack() {
     }
   }
   rolling_back_ = false;
+  // Group-level rollback of optimizer state: stat refreshes made inside the
+  // transaction must not survive its abort (a cheap epoch check keeps the
+  // common no-refresh abort free of map copies).
+  if (stats_snapshot_.has_value() &&
+      catalog_->stats_epoch() != stats_snapshot_->epoch) {
+    catalog_->RestoreStats(*stats_snapshot_);
+  }
   Commit();  // the entries are consumed either way
   return first_error;
 }
 
 void UndoLog::Commit() {
   entries_.clear();
+  catalog_ = nullptr;
+  stats_snapshot_.reset();
   if (bytes_ != 0) {
     UndoBytesGauge()->Add(-bytes_);
     bytes_ = 0;
@@ -95,10 +110,12 @@ void UndoLog::Commit() {
   ObserveHighwater();
 }
 
-ScopedUndo::ScopedUndo(Database* db, UndoLog* log) : db_(db) {
+ScopedUndo::ScopedUndo(Database* db, UndoLog* log, Catalog* catalog)
+    : db_(db) {
   for (const std::string& name : db_->TableNames()) {
     db_->FindTable(name)->set_undo_log(log);
   }
+  if (log != nullptr) log->SnapshotCatalog(catalog);
 }
 
 ScopedUndo::~ScopedUndo() {

@@ -2,8 +2,10 @@
 #define AUXVIEW_STORAGE_UNDO_LOG_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "common/status.h"
 #include "common/value.h"
 
@@ -38,6 +40,11 @@ class UndoLog {
   /// no-op while a rollback is replaying.
   void RecordApply(Table* table, const Row& row, int64_t count);
 
+  /// Snapshots the catalog's statistics so RollBack can restore optimizer
+  /// state (stats + epoch) refreshed mid-transaction, not just table data.
+  /// Called by ScopedUndo when given a mutable catalog.
+  void SnapshotCatalog(Catalog* catalog);
+
   /// Undoes every recorded entry (newest first) and clears the log. Returns
   /// Internal if an undo application fails — which means the log no longer
   /// matches the table state, i.e. a bug, not a recoverable condition.
@@ -66,6 +73,8 @@ class UndoLog {
   void ObserveHighwater();
 
   std::vector<Entry> entries_;
+  Catalog* catalog_ = nullptr;
+  std::optional<Catalog::StatsSnapshot> stats_snapshot_;
   int64_t bytes_ = 0;
   int64_t highwater_ = 0;
   bool rolling_back_ = false;
@@ -73,10 +82,12 @@ class UndoLog {
 
 /// RAII guard attaching an undo log to every table of a database for one
 /// transaction's scope. Detaches on destruction; the log's contents survive
-/// so the caller decides between Commit() and RollBack().
+/// so the caller decides between Commit() and RollBack(). When a catalog is
+/// supplied, its statistics are snapshotted too, making RollBack restore
+/// optimizer state alongside table data.
 class ScopedUndo {
  public:
-  ScopedUndo(Database* db, UndoLog* log);
+  ScopedUndo(Database* db, UndoLog* log, Catalog* catalog = nullptr);
   ~ScopedUndo();
 
   ScopedUndo(const ScopedUndo&) = delete;

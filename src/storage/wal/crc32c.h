@@ -1,0 +1,25 @@
+#ifndef AUXVIEW_STORAGE_WAL_CRC32C_H_
+#define AUXVIEW_STORAGE_WAL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace auxview {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum the WAL frames every record and checkpoint with. Table-driven
+/// software implementation: portable, deterministic across platforms, and
+/// fast enough for the record sizes this engine produces (the log serializes
+/// logical deltas, not pages).
+///
+/// `Extend` continues a running CRC so a frame can be checksummed in pieces;
+/// `Crc32c` is the one-shot convenience over a whole buffer.
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return ExtendCrc32c(0, data, n);
+}
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_STORAGE_WAL_CRC32C_H_

@@ -1,0 +1,90 @@
+#ifndef AUXVIEW_STORAGE_WAL_SERDE_H_
+#define AUXVIEW_STORAGE_WAL_SERDE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "maintain/concrete.h"
+
+namespace auxview {
+namespace wal {
+
+/// Little-endian binary serialization for WAL record payloads and checkpoint
+/// images. Fixed-width integers (no varints: the log stores logical deltas,
+/// so compactness is not worth platform-dependent decode paths) and
+/// length-prefixed strings.
+
+/// Appends primitive values to a byte buffer.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  /// IEEE-754 bit pattern; bitwise round-trip (recovery must be
+  /// bit-identical, so no decimal detour).
+  void F64(double v);
+  /// u32 length + bytes.
+  void Str(const std::string& s);
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Reads primitives back with a sticky failure flag: every accessor returns
+/// a value (zero/default once failed) and the caller checks ok() once at the
+/// end — decode code stays linear instead of a Status per field.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : p_(data), end_(data + size) {}
+  explicit ByteReader(const std::string& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64();
+  std::string Str();
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return p_ == end_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+ private:
+  bool Need(size_t n);
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+void EncodeValue(ByteWriter* w, const Value& v);
+Value DecodeValue(ByteReader* r);
+
+void EncodeRow(ByteWriter* w, const Row& row);
+Row DecodeRow(ByteReader* r);
+
+/// A concrete transaction's full delta content — the WAL txn-record payload.
+void EncodeTxn(ByteWriter* w, const ConcreteTxn& txn);
+StatusOr<ConcreteTxn> DecodeTxn(ByteReader* r);
+
+/// Table definition (name, schema, primary key, indexes) for checkpoints.
+/// TableDef::stats is included so a recovered Table carries the same def the
+/// original was created with.
+void EncodeTableDef(ByteWriter* w, const TableDef& def);
+StatusOr<TableDef> DecodeTableDef(ByteReader* r);
+
+void EncodeStats(ByteWriter* w, const RelationStats& stats);
+RelationStats DecodeStats(ByteReader* r);
+
+}  // namespace wal
+}  // namespace auxview
+
+#endif  // AUXVIEW_STORAGE_WAL_SERDE_H_

@@ -1,0 +1,215 @@
+#ifndef AUXVIEW_STORAGE_WAL_WAL_H_
+#define AUXVIEW_STORAGE_WAL_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "maintain/concrete.h"
+
+namespace auxview {
+
+class Database;
+
+/// When the write-ahead log calls fsync.
+enum class WalFsync {
+  /// After every appended record (default): a committed transaction is
+  /// durable the moment ApplyTransaction returns.
+  kCommit,
+  /// Only at checkpoints: appends reach the OS page cache immediately but a
+  /// crash may lose the post-checkpoint suffix. Trades durability of the
+  /// tail for commit latency.
+  kCheckpoint,
+  /// Never (tests and benchmarks on throwaway directories).
+  kNever,
+};
+
+/// Durability knobs for a Database (see docs/DURABILITY.md).
+struct DatabaseOptions {
+  /// Directory holding the log segments and checkpoint; empty = no
+  /// durability (the pre-existing in-memory behavior).
+  std::string wal_dir;
+  WalFsync wal_fsync = WalFsync::kCommit;
+  /// Auto-checkpoint after this many appended transactions (0 = only
+  /// explicit checkpoints and the one Session::Prepare takes).
+  int64_t wal_checkpoint_every = 0;
+};
+
+/// One base table frozen into a checkpoint: its definition, the catalog's
+/// statistics for it (so a recovered optimizer sees the same inputs and
+/// re-derives the same plan), and every row with its multiplicity.
+struct TableImage {
+  TableDef def;
+  bool has_catalog_stats = false;
+  RelationStats catalog_stats;
+  std::vector<std::pair<Row, int64_t>> rows;
+};
+
+/// A consistent snapshot of every base relation plus the catalog epoch,
+/// covering all log records with lsn <= last_lsn.
+struct CheckpointImage {
+  uint64_t last_lsn = 0;
+  uint64_t stats_epoch = 0;
+  std::vector<TableImage> tables;
+};
+
+/// One surviving committed transaction staged for replay.
+struct WalRecord {
+  uint64_t lsn = 0;
+  ConcreteTxn txn;
+};
+
+/// Everything a crashed process left durable: the latest checkpoint (if
+/// any) and the committed transactions after it, in LSN order. Transactions
+/// cancelled by an abort record are already filtered out.
+struct WalRecovery {
+  bool has_checkpoint = false;
+  CheckpointImage checkpoint;
+  std::vector<WalRecord> txns;
+  /// Highest LSN recovered (checkpoint coverage or last surviving record).
+  uint64_t last_lsn = 0;
+  /// Bytes of torn final record discarded during the opening scan.
+  int64_t truncated_tail_bytes = 0;
+
+  bool empty() const { return !has_checkpoint && txns.empty(); }
+};
+
+/// Append-only durable delta log with checksummed, LSN-stamped records.
+///
+/// Commit ordering (the write-ahead rule): ViewManager/Session serialize a
+/// transaction's base-table deltas and append them — fsynced per
+/// `WalFsync` — *before* the in-memory attach phase. A mid-commit failure
+/// rolls memory back and appends a compensating abort record, so recovery
+/// replays exactly the committed transactions. On startup the opening scan
+/// validates every frame: a torn or short final record is truncated with a
+/// warning (counted in `wal.truncated_tail`); a CRC mismatch or LSN gap in
+/// the middle of the log fails with an error anchored to the offending LSN.
+///
+/// The log is segmented (`wal-<first-lsn>.log`); WriteCheckpoint atomically
+/// publishes a base-table snapshot (`checkpoint.tmp` + rename) and then
+/// deletes the segment prefix it covers. Not thread-safe, matching the rest
+/// of the storage layer.
+class WriteAheadLog {
+ public:
+  /// Opens (creating the directory if needed) and scans the log. Fails on
+  /// mid-log corruption; truncates a torn tail. If the scan finds durable
+  /// state, appends are refused until the caller consumes it via
+  /// Database::Recover / TakeRecovery.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Open(
+      const DatabaseOptions& options);
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends a committed transaction's deltas; returns the assigned LSN.
+  /// Failure (injected torn write, failed fsync) leaves the durable tail
+  /// either clean or self-healing-torn; the transaction must then abort.
+  StatusOr<uint64_t> AppendTxn(const ConcreteTxn& txn);
+
+  /// Appends a compensation record: the transaction logged as `aborted_lsn`
+  /// was rolled back and must not be replayed.
+  Status AppendAbort(uint64_t aborted_lsn);
+
+  /// True while the opening scan's result has not been consumed; appends
+  /// and checkpoints are refused in this state.
+  bool recovery_pending() const { return recovery_pending_; }
+
+  /// Hands over the opening scan's result (checkpoint + staged txns) and
+  /// unblocks appends. Callers normally go through Database::Recover.
+  WalRecovery TakeRecovery();
+
+  /// Atomically publishes `image` (stamped with the current last LSN) and
+  /// truncates the covered log prefix. See docs/DURABILITY.md for the
+  /// crash-safe protocol.
+  Status WriteCheckpoint(CheckpointImage image);
+
+  /// True while a WalReplayGuard is active: recovery replays transactions
+  /// through the normal commit path, which must not re-append them.
+  bool replaying() const { return replaying_ > 0; }
+
+  /// LSN of the last appended (or recovered) record; 0 when empty.
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+
+  /// True when `wal_checkpoint_every` transactions accumulated since the
+  /// last checkpoint.
+  bool ShouldAutoCheckpoint() const {
+    return options_.wal_checkpoint_every > 0 &&
+           appends_since_checkpoint_ >= options_.wal_checkpoint_every;
+  }
+
+  const DatabaseOptions& options() const { return options_; }
+  const std::string& dir() const { return options_.wal_dir; }
+
+ private:
+  friend class WalReplayGuard;
+
+  explicit WriteAheadLog(DatabaseOptions options);
+
+  /// Reads the checkpoint and every segment, validating frames and the LSN
+  /// chain; truncates a torn tail; stages surviving records.
+  Status ScanOnOpen();
+  Status LoadCheckpointFile(const std::string& path);
+  Status ScanSegment(const std::string& path, bool last_segment,
+                     uint64_t* prev_lsn,
+                     std::vector<std::pair<uint64_t, ConcreteTxn>>* staged);
+
+  Status CheckWritable() const;
+  /// Truncates a half-written frame left by an injected torn append, so the
+  /// next record starts at a clean boundary.
+  Status HealTear();
+  StatusOr<uint64_t> AppendRecord(uint8_t type, const std::string& payload,
+                                  bool inject_faults);
+  Status WriteAt(int64_t offset, const char* data, size_t n);
+  Status Fsync();
+  Status FsyncDir();
+  Status OpenSegment(const std::string& path, bool truncate);
+  std::string SegmentPath(uint64_t first_lsn) const;
+
+  DatabaseOptions options_;
+  int fd_ = -1;
+  std::string segment_path_;
+  int64_t offset_ = 0;
+  uint64_t next_lsn_ = 1;
+  /// Offset of a torn record awaiting truncation; -1 = clean tail.
+  int64_t pending_tear_offset_ = -1;
+  int64_t appends_since_checkpoint_ = 0;
+  int replaying_ = 0;
+  bool recovery_pending_ = false;
+  WalRecovery recovery_;
+};
+
+/// RAII guard marking a recovery replay: while active, the commit path
+/// skips re-appending transactions that are already in the log. Null-safe.
+class WalReplayGuard {
+ public:
+  explicit WalReplayGuard(WriteAheadLog* wal) : wal_(wal) {
+    if (wal_ != nullptr) ++wal_->replaying_;
+  }
+  ~WalReplayGuard() {
+    if (wal_ != nullptr) --wal_->replaying_;
+  }
+
+  WalReplayGuard(const WalReplayGuard&) = delete;
+  WalReplayGuard& operator=(const WalReplayGuard&) = delete;
+
+ private:
+  WriteAheadLog* wal_;
+};
+
+/// Freezes every base relation of `db` — materialized-view tables (the
+/// "__mv_" prefix) are excluded and re-derived through the DeltaEngine at
+/// recovery — plus the catalog's statistics into a checkpoint image. The
+/// image's last_lsn is stamped by WriteCheckpoint.
+CheckpointImage BuildCheckpointImage(const Database& db,
+                                     const Catalog* catalog);
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_STORAGE_WAL_WAL_H_

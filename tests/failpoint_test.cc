@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,9 +15,36 @@
 
 #include "api/session.h"
 #include "common/failpoint.h"
+#include "storage/undo_log.h"
 
 namespace auxview {
 namespace {
+
+/// Root for the per-session WAL directories, removed after the test run.
+const std::string& WalTestRoot() {
+  static const std::string root = [] {
+    char tmpl[] = "/tmp/auxview_failpoint_wal_XXXXXX";
+    const char* dir = ::mkdtemp(tmpl);
+    return std::string(dir != nullptr ? dir : "/tmp");
+  }();
+  return root;
+}
+
+class WalDirCleanup : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(WalTestRoot(), ec);
+  }
+};
+
+const auto* const kWalDirCleanup =
+    ::testing::AddGlobalTestEnvironment(new WalDirCleanup);
+
+std::string FreshWalDir() {
+  static int n = 0;
+  return WalTestRoot() + "/s" + std::to_string(n++);
+}
 
 // ---------------------------------------------------------------------------
 // Registry unit tests.
@@ -23,12 +52,13 @@ namespace {
 TEST(FailpointRegistryTest, CatalogIsPreRegistered) {
   FailpointRegistry& reg = FailpointRegistry::Global();
   const std::vector<std::string> names = reg.Names();
-  ASSERT_GE(names.size(), 8u);
+  ASSERT_GE(names.size(), 11u);
   for (const char* expected :
        {"storage.table.apply", "storage.table.index_update",
         "storage.table.modify_batch", "storage.table.modify_pair",
         "maintain.compute_deltas", "maintain.fetch",
-        "maintain.apply_view_delta", "maintain.apply_base"}) {
+        "maintain.apply_view_delta", "maintain.apply_base",
+        "wal.append.partial", "wal.fsync.fail", "wal.checkpoint.mid"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -140,7 +170,12 @@ CREATE ASSERTION DeptConstraint CHECK
 )sql";
 
 std::unique_ptr<Session> MakeLoadedSession() {
-  auto session = std::make_unique<Session>();
+  // Sessions run with a live WAL (per-commit fsync) so the sweep exercises
+  // the wal.* failpoints alongside the in-memory commit path.
+  SessionOptions options;
+  options.durability.wal_dir = FreshWalDir();
+  options.durability.wal_fsync = WalFsync::kCommit;
+  auto session = std::make_unique<Session>(options);
   EXPECT_TRUE(session->Execute(kDdl).ok());
   for (int d = 0; d < 4; ++d) {
     const std::string dname = "d" + std::to_string(d);
@@ -195,6 +230,9 @@ TEST(FailpointSweepTest, EveryFailpointAbortsAtomicallyAtEveryDepth) {
   };
   int aborted_runs = 0;
   for (const std::string& point : reg.Names()) {
+    // Checkpointing does not run inside a DML statement; its crash window
+    // has a dedicated test (WalFailpointTest.CheckpointMidFailure...).
+    if (point.rfind("wal.checkpoint.", 0) == 0) continue;
     SCOPED_TRACE("failpoint: " + point);
     auto session = MakeLoadedSession();
     for (const StatementShape& shape : shapes) {
@@ -365,6 +403,81 @@ TEST(FailpointSoakTest, AlternatingCommitAssertionAndFaultAborts) {
   EXPECT_GT(fault_aborts, 0);
   Status consistent = session->CheckConsistency();
   EXPECT_TRUE(consistent.ok()) << consistent.ToString();
+}
+
+// The checkpoint protocol's crash window: a failure between writing
+// checkpoint.tmp and the publishing rename must leave the previous
+// checkpoint authoritative and the session fully usable.
+TEST(WalFailpointTest, CheckpointMidFailureIsInvisibleAndRetryable) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.DisarmAll();
+  auto session = MakeLoadedSession();
+  auto r = session->Execute(
+      "UPDATE Emp SET Salary = Salary + 5 WHERE EName = 'd0e0';");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto before = FingerprintAll(*session);
+  const int64_t triggers_before = reg.triggers("wal.checkpoint.mid");
+  reg.ArmAfter("wal.checkpoint.mid", 1);
+  Status ckpt = session->Checkpoint();
+  reg.DisarmAll();
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt.code(), StatusCode::kAborted);
+  EXPECT_GT(reg.triggers("wal.checkpoint.mid"), triggers_before);
+  // The failed checkpoint is invisible: no state change, and a retry lands.
+  EXPECT_EQ(FingerprintAll(*session), before);
+  EXPECT_TRUE(session->CheckConsistency().ok());
+  Status retry = session->Checkpoint();
+  EXPECT_TRUE(retry.ok()) << retry.ToString();
+}
+
+// Satellite of the durable-log work: group-level rollback of optimizer
+// state. Statistics refreshed *before* an armed transaction are part of the
+// rollback baseline and survive its abort...
+TEST(OptimizerStateRollbackTest, PreTransactionRefreshSurvivesAbort) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.DisarmAll();
+  auto session = MakeLoadedSession();
+  // Refresh stats between Prepare and the armed commit failpoint.
+  RelationStats fresh;
+  fresh.row_count = 123;
+  ASSERT_TRUE(session->catalog().SetStats("Emp", fresh).ok());
+  const uint64_t epoch = session->catalog().stats_epoch();
+  reg.ArmAfter("maintain.apply_base", 1);
+  auto r = session->Execute(
+      "UPDATE Emp SET Salary = Salary + 1 WHERE EName = 'd0e0';");
+  reg.DisarmAll();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(session->catalog().FindTable("Emp")->stats.row_count, 123);
+  EXPECT_EQ(session->catalog().stats_epoch(), epoch);
+}
+
+// ...while statistics refreshed *inside* the transaction roll back with it,
+// epoch included, so cached track costs cannot survive on poisoned inputs.
+TEST(OptimizerStateRollbackTest, MidTransactionRefreshRollsBack) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.DisarmAll();
+  auto session = MakeLoadedSession();
+  Catalog& catalog = session->catalog();
+  const uint64_t epoch_before = catalog.stats_epoch();
+  const double rows_before = catalog.FindTable("Emp")->stats.row_count;
+  UndoLog undo;
+  Status faulted;
+  {
+    ScopedUndo scope(&session->db(), &undo, &catalog);
+    RelationStats refreshed;
+    refreshed.row_count = 9999;
+    ASSERT_TRUE(catalog.SetStats("Emp", refreshed).ok());
+    EXPECT_NE(catalog.stats_epoch(), epoch_before);
+    reg.ArmAfter("storage.table.apply", 1);
+    faulted = session->db().FindTable("Emp")->Insert(
+        {Value::String("probe"), Value::String("d0"), Value::Int64(1)});
+    reg.DisarmAll();
+  }
+  ASSERT_FALSE(faulted.ok());
+  ASSERT_TRUE(undo.RollBack().ok());
+  EXPECT_EQ(catalog.stats_epoch(), epoch_before);
+  EXPECT_EQ(catalog.FindTable("Emp")->stats.row_count, rows_before);
 }
 
 // Pre-Prepare bulk loads are atomic too: a multi-row INSERT faulted after

@@ -14,8 +14,9 @@
 //   auxview> SELECT * FROM SumOfSals;
 //
 // Dot-commands: .prepare [strategy], .workload <modify|insert|delete>
-// <relation> [attr] [weight], .plan, .check, .io, .consistency, .help,
-// .quit. Statements may span lines; they run at ';'.
+// <relation> [attr] [weight], .plan, .check, .io, .consistency, .wal,
+// .checkpoint, .recover, .help, .quit. Statements may span lines; they run
+// at ';'.
 //
 // Interactive sessions get an in-process line-history buffer (Up/Down
 // recall, backspace editing) with no readline dependency; piped input
@@ -190,6 +191,12 @@ void PrintHelp() {
       "  .fail          list failpoints (armed state, hits, triggers)\n"
       "  .fail <name> <N|pP>   arm: abort at the Nth hit / with probability P\n"
       "  .fail off [name]      disarm one failpoint, or all\n"
+      "  .wal <dir> [commit|checkpoint|never] [every-N]\n"
+      "      attach a write-ahead log (before .prepare); fsync policy and\n"
+      "      auto-checkpoint cadence are optional\n"
+      "  .checkpoint    write a checkpoint and truncate the log prefix\n"
+      "  .recover       replay the attached log's durable state (run the\n"
+      "      same DDL and .workload lines first, instead of reloading data)\n"
       "  .help .quit\n"
       "(docs/SHELL.md documents every command in detail)\n");
 }
@@ -367,6 +374,61 @@ class Shell {
         std::printf("%s\n", st.ok() ? "armed" : st.ToString().c_str());
       } else {
         std::printf("usage: .fail | .fail <name> <N|pP> | .fail off [name]\n");
+      }
+    } else if (cmd == ".wal") {
+      if (words.size() < 2) {
+        std::printf("usage: .wal <dir> [commit|checkpoint|never] [every-N]\n");
+        return true;
+      }
+      DatabaseOptions options;
+      options.wal_dir = words[1];
+      size_t next = 2;
+      if (words.size() > next) {
+        const std::string& policy = words[next];
+        if (policy == "commit") {
+          options.wal_fsync = WalFsync::kCommit;
+          ++next;
+        } else if (policy == "checkpoint") {
+          options.wal_fsync = WalFsync::kCheckpoint;
+          ++next;
+        } else if (policy == "never") {
+          options.wal_fsync = WalFsync::kNever;
+          ++next;
+        }
+      }
+      if (words.size() > next) {
+        options.wal_checkpoint_every = std::atoll(words[next].c_str());
+      }
+      Status st = session_.OpenWal(options);
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        return true;
+      }
+      std::printf("wal attached at %s\n", options.wal_dir.c_str());
+      if (session_.db().wal()->recovery_pending()) {
+        std::printf("durable state found — run your DDL/.workload, then "
+                    ".recover\n");
+      }
+    } else if (cmd == ".checkpoint") {
+      Status st = session_.Checkpoint();
+      std::printf("%s\n", st.ok() ? "checkpointed" : st.ToString().c_str());
+    } else if (cmd == ".recover") {
+      Status st = session_.Recover();
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        return true;
+      }
+      const RecoveryInfo& info = session_.last_recovery();
+      if (!info.recovered) {
+        std::printf("log is empty; nothing to recover\n");
+      } else {
+        std::printf("recovered to lsn %llu: checkpoint=%s, %lld txn(s) "
+                    "replayed%s\n",
+                    static_cast<unsigned long long>(info.last_lsn),
+                    info.had_checkpoint ? "yes" : "no",
+                    static_cast<long long>(info.replayed),
+                    info.truncated_tail_bytes > 0 ? " (torn tail truncated)"
+                                                  : "");
       }
     } else if (cmd == ".reset-io") {
       session_.db().counter().Reset();

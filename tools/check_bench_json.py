@@ -26,6 +26,21 @@ REQUIRED_TOP_LEVEL = {
 
 REQUIRED_COUNTERS = ["storage.page_reads", "storage.page_writes"]
 
+# The durable-log metric family (docs/DURABILITY.md). WAL counters are
+# optional — benches without a log attached legitimately omit them — but any
+# counter in the wal.* namespace must be one of these, so a typo'd or
+# renamed counter fails the gate instead of silently forking the family.
+KNOWN_WAL_COUNTERS = {
+    "wal.appends",
+    "wal.aborts",
+    "wal.bytes",
+    "wal.fsyncs",
+    "wal.checkpoints",
+    "wal.checkpoint_failures",
+    "wal.recovered_txns",
+    "wal.truncated_tail",
+}
+
 
 def check(path):
     errors = []
@@ -75,6 +90,11 @@ def check(path):
         for name in REQUIRED_COUNTERS:
             if name not in counters:
                 errors.append(f"{path}: metrics.counters missing '{name}'")
+        for name in counters:
+            if name.startswith("wal.") and name not in KNOWN_WAL_COUNTERS:
+                errors.append(
+                    f"{path}: unknown wal.* counter '{name}' (update "
+                    f"KNOWN_WAL_COUNTERS and docs/DURABILITY.md together)")
 
     for key in ("gauges", "histograms"):
         if not isinstance(doc["metrics"].get(key), dict):

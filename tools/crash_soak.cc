@@ -1,0 +1,434 @@
+// Crash-recovery soak: real process deaths against the durable delta log.
+//
+// Each iteration forks a child that runs a deterministic DML stream against
+// a WAL-backed session and dies — either by SIGKILL at a random moment
+// (covering kills mid-append, mid-fsync, mid-checkpoint-rename and
+// mid-attach) or by _exit the instant an armed commit-path failpoint fires
+// (pinning the crash to an exact point, torn half-frame still on disk).
+// The parent then recovers from the directory the corpse left behind and
+// checks the crash-consistency contract:
+//
+//   1. the recovered base tables are bit-identical to SOME prefix of the
+//      deterministic statement stream (no partial transactions), and
+//   2. that prefix covers at least every statement the child durably
+//      acknowledged (a progress file fsynced after each commit — no lost
+//      committed transactions under WalFsync::kCommit), and
+//   3. the re-derived views pass the recompute oracle and every assertion
+//      still holds.
+//
+// Usage:
+//   crash_soak [--seconds N] [--iterations N] [--seed S] [--keep-dirs]
+//
+// Exit status 0 = every iteration recovered to a valid prefix.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "auxview.h"
+
+namespace auxview {
+namespace {
+
+struct CrashSoakOptions {
+  double seconds = 20;
+  int64_t iterations = 0;  // 0 = wall clock only
+  uint64_t seed = 42;
+  bool keep_dirs = false;
+};
+
+constexpr char kDdl[] = R"sql(
+CREATE TABLE Emp (EName STRING PRIMARY KEY, DName STRING, Salary INT,
+                  INDEX (DName));
+CREATE TABLE Dept (DName STRING PRIMARY KEY, MName STRING, Budget INT);
+CREATE VIEW SumOfSals (DName, SalSum) AS
+  SELECT DName, SUM(Salary) FROM Emp GROUPBY DName;
+CREATE ASSERTION DeptConstraint CHECK
+  (NOT EXISTS (SELECT Dept.DName FROM Emp, Dept
+               WHERE Dept.DName = Emp.DName
+               GROUPBY Dept.DName, Budget
+               HAVING SUM(Salary) > Budget));
+)sql";
+
+/// Commit-path points the exit-mode child crashes at, in rotation.
+constexpr const char* kCrashPoints[] = {
+    "wal.append.partial",   "wal.fsync.fail",
+    "wal.checkpoint.mid",   "maintain.apply_base",
+    "storage.table.apply",  "maintain.apply_view_delta",
+};
+
+constexpr int kMaxStreamSteps = 400;
+
+/// The bulk-load statements, in order (part of the replayable prefix: a
+/// child can die mid-load too).
+std::vector<std::string> LoadStatements() {
+  std::vector<std::string> out;
+  for (int d = 0; d < 4; ++d) {
+    const std::string dname = "d" + std::to_string(d);
+    for (int k = 0; k < 3; ++k) {
+      out.push_back("INSERT INTO Emp VALUES ('" + dname + "e" +
+                    std::to_string(k) + "', '" + dname + "', " +
+                    std::to_string(1000 + 10 * k) + ");");
+    }
+    out.push_back("INSERT INTO Dept VALUES ('" + dname + "', 'm" +
+                  std::to_string(d) + "', 5000);");
+  }
+  return out;
+}
+
+std::vector<TransactionType> Workload() {
+  return {SingleModifyTxn(">Emp", "Emp", {"Salary"}, 2),
+          SingleModifyTxn(">Dept", "Dept", {"Budget"}, 1)};
+}
+
+/// The deterministic post-Prepare stream (same generator as the child ran).
+std::string StreamStatement(Rng& rng, int64_t step) {
+  const std::string dept = "d" + std::to_string(rng.Uniform(0, 3));
+  switch (rng.Uniform(0, 5)) {
+    case 0:
+      return "UPDATE Emp SET Salary = Salary + 1 WHERE DName = '" + dept +
+             "';";
+    case 1:
+      return "UPDATE Emp SET Salary = Salary - 1 WHERE EName = '" + dept +
+             "e" + std::to_string(rng.Uniform(0, 2)) + "';";
+    case 2: {
+      const int64_t delta = rng.Uniform(-3, 3);
+      return "UPDATE Dept SET Budget = Budget " +
+             std::string(delta < 0 ? "-" : "+") + " " +
+             std::to_string(delta < 0 ? -delta : delta) + " WHERE DName = '" +
+             dept + "';";
+    }
+    case 3:
+      return "INSERT INTO Emp VALUES ('probe" + std::to_string(step % 8) +
+             "', '" + dept + "', " + std::to_string(rng.Uniform(1, 50)) + ");";
+    case 4:
+      return "DELETE FROM Emp WHERE EName = 'probe" +
+             std::to_string(rng.Uniform(0, 7)) + "';";
+    default:
+      // Rejected by DeptConstraint: zero effect, consumes no progress.
+      return "UPDATE Emp SET Salary = 99999 WHERE EName = '" + dept + "e0';";
+  }
+}
+
+/// Base-table state only: views are judged by the recompute oracle instead
+/// (a recovered-but-unprepared session has no view tables yet).
+std::map<std::string, std::string> BaseFingerprints(Session& session) {
+  std::map<std::string, std::string> out;
+  for (const std::string& name : session.db().TableNames()) {
+    if (name.rfind("__mv_", 0) == 0) continue;
+    out[name] = session.db().FindTable(name)->Fingerprint();
+  }
+  return out;
+}
+
+/// Durable progress acknowledgment: the child fsyncs the count of
+/// successfully committed statements after each one, so the parent has a
+/// lower bound on what recovery must preserve.
+class ProgressFile {
+ public:
+  static constexpr const char* kName = "progress";
+
+  explicit ProgressFile(const std::string& dir)
+      : fd_(::open((dir + "/" + kName).c_str(), O_CREAT | O_WRONLY, 0644)) {}
+  ~ProgressFile() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Ack(uint64_t statements) {
+    if (fd_ < 0) return;
+    char buf[32];
+    const int n = std::snprintf(buf, sizeof(buf), "%llu\n",
+                                static_cast<unsigned long long>(statements));
+    (void)::pwrite(fd_, buf, static_cast<size_t>(n), 0);
+    (void)::fsync(fd_);
+  }
+
+  static uint64_t Read(const std::string& dir) {
+    std::FILE* f = std::fopen((dir + "/" + kName).c_str(), "r");
+    if (f == nullptr) return 0;
+    unsigned long long v = 0;
+    if (std::fscanf(f, "%llu", &v) != 1) v = 0;
+    std::fclose(f);
+    return v;
+  }
+
+ private:
+  int fd_;
+};
+
+// ---------------------------------------------------------------------------
+// Child.
+
+/// Runs the deterministic workload until killed, crashed-by-failpoint, or
+/// the stream cap. Never returns.
+[[noreturn]] void RunChild(const std::string& dir, uint64_t seed,
+                           const char* crash_point) {
+  ProgressFile progress(dir);
+  uint64_t acked = 0;
+
+  SessionOptions options;
+  options.durability.wal_dir = dir;
+  options.durability.wal_fsync = WalFsync::kCommit;
+  options.durability.wal_checkpoint_every = 7;  // exercise compaction too
+  Session session(options);
+  if (!session.Execute(kDdl).ok()) ::_exit(3);
+  for (const std::string& sql : LoadStatements()) {
+    if (!session.Execute(sql).ok()) ::_exit(3);
+    progress.Ack(++acked);
+  }
+  session.DeclareWorkload(Workload());
+  if (!session.Prepare().ok()) ::_exit(3);
+
+  obs::Counter* checkpoint_failures =
+      obs::MetricsRegistry::Global().GetCounter("wal.checkpoint_failures");
+  if (crash_point != nullptr) {
+    Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+    FailpointRegistry::Global().ArmAfter(
+        crash_point, static_cast<int64_t>(rng.Uniform(1, 3)));
+  }
+
+  Rng rng(seed);
+  for (int64_t step = 1; step <= kMaxStreamSteps; ++step) {
+    const int64_t failures_before = checkpoint_failures->value();
+    auto result = session.Execute(StreamStatement(rng, step));
+    if (!result.ok()) {
+      // The armed point fired mid-commit: die on the spot, leaving whatever
+      // the log's failure path left durable (torn frame, abort record).
+      ::_exit(42);
+    }
+    if (checkpoint_failures->value() != failures_before) {
+      // The armed point fired inside an advisory auto-checkpoint (the
+      // statement itself committed): die with checkpoint.tmp still on disk.
+      progress.Ack(++acked);
+      ::_exit(42);
+    }
+    if (!result->rejected()) progress.Ack(++acked);
+  }
+  ::_exit(0);  // stream exhausted; the parent still recovers and verifies
+}
+
+// ---------------------------------------------------------------------------
+// Parent.
+
+#define CRASH_CHECK(cond, ...)                     \
+  do {                                             \
+    if (!(cond)) {                                 \
+      std::fprintf(stderr, "FAIL: " __VA_ARGS__);  \
+      std::fprintf(stderr, "\n");                  \
+      return false;                                \
+    }                                              \
+  } while (false)
+
+std::unique_ptr<Session> MakeSchemaSession(const std::string& wal_dir) {
+  SessionOptions options;
+  options.durability.wal_dir = wal_dir;
+  options.durability.wal_fsync = WalFsync::kCommit;
+  auto session = std::make_unique<Session>(options);
+  if (!session->Execute(kDdl).ok()) return nullptr;
+  session->DeclareWorkload(Workload());
+  return session;
+}
+
+/// Recovers the child's directory and verifies the three-part contract.
+bool VerifyIteration(const std::string& dir, uint64_t seed) {
+  const uint64_t acked = ProgressFile::Read(dir);
+
+  auto revived = MakeSchemaSession(dir);
+  CRASH_CHECK(revived != nullptr, "schema replay failed");
+  Status recovered = revived->Recover();
+  CRASH_CHECK(recovered.ok(), "Recover: %s", recovered.ToString().c_str());
+  if (!revived->prepared()) {
+    // Died before the first checkpoint: loads were replayed directly.
+    Status prepared = revived->Prepare();
+    CRASH_CHECK(prepared.ok(), "post-recovery Prepare: %s",
+                prepared.ToString().c_str());
+  }
+  const auto recovered_state = BaseFingerprints(*revived);
+
+  // Replay the deterministic stream on a WAL-less oracle, looking for a
+  // prefix whose base tables match the recovered state.
+  Session oracle;
+  CRASH_CHECK(oracle.Execute(kDdl).ok(), "oracle DDL failed");
+  bool matched = false;
+  uint64_t committed = 0;
+  auto consider = [&] {
+    if (!matched && BaseFingerprints(oracle) == recovered_state) {
+      matched = committed >= acked;
+    }
+  };
+  consider();  // the empty prefix (death before the first load)
+  for (const std::string& sql : LoadStatements()) {
+    CRASH_CHECK(oracle.Execute(sql).ok(), "oracle load failed");
+    ++committed;
+    consider();
+  }
+  oracle.DeclareWorkload(Workload());
+  CRASH_CHECK(oracle.Prepare().ok(), "oracle Prepare failed");
+  Rng rng(seed);
+  for (int64_t step = 1; step <= kMaxStreamSteps && !matched; ++step) {
+    auto result = oracle.Execute(StreamStatement(rng, step));
+    CRASH_CHECK(result.ok(), "oracle step %lld failed: %s",
+                static_cast<long long>(step),
+                result.status().ToString().c_str());
+    if (!result->rejected()) ++committed;
+    consider();
+  }
+  CRASH_CHECK(matched,
+              "recovered state matches no stream prefix with >= %llu acked "
+              "commits",
+              static_cast<unsigned long long>(acked));
+
+  // The re-derived views and assertions are sound.
+  Status consistent = revived->CheckConsistency();
+  CRASH_CHECK(consistent.ok(), "recompute oracle diverged: %s",
+              consistent.ToString().c_str());
+  auto checks = revived->CheckAssertions();
+  CRASH_CHECK(checks.ok(), "CheckAssertions: %s",
+              checks.status().ToString().c_str());
+  for (const auto& check : *checks) {
+    CRASH_CHECK(check.holds, "assertion %s violated after recovery",
+                check.name.c_str());
+  }
+  return true;
+}
+
+bool RunIteration(const std::string& dir, uint64_t seed, bool kill_mode,
+                  const char* crash_point, Rng& delay_rng) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "FAIL: fork: %s\n", std::strerror(errno));
+    return false;
+  }
+  if (pid == 0) RunChild(dir, seed, kill_mode ? nullptr : crash_point);
+
+  if (kill_mode) {
+    // Land the kill anywhere from mid-load to deep into the stream.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(delay_rng.Uniform(2, 90)));
+    (void)::kill(pid, SIGKILL);
+  }
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) < 0) {
+    std::fprintf(stderr, "FAIL: waitpid: %s\n", std::strerror(errno));
+    return false;
+  }
+  if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 3) {
+    std::fprintf(stderr, "FAIL: child setup failed (exit 3)\n");
+    return false;
+  }
+  return VerifyIteration(dir, seed);
+}
+
+bool RunSoak(const CrashSoakOptions& options) {
+  char tmpl[] = "/tmp/auxview_crash_soak_XXXXXX";
+  const char* root = ::mkdtemp(tmpl);
+  if (root == nullptr) {
+    std::fprintf(stderr, "FAIL: mkdtemp: %s\n", std::strerror(errno));
+    return false;
+  }
+  std::printf("crash_soak: root %s, budget %.0fs, seed %llu\n", root,
+              options.seconds,
+              static_cast<unsigned long long>(options.seed));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options.seconds));
+  Rng delay_rng(options.seed ^ 0xD1B54A32D192ED03ull);
+  constexpr size_t kNumPoints = sizeof(kCrashPoints) / sizeof(kCrashPoints[0]);
+  int64_t iteration = 0;
+  int64_t kills = 0;
+  int64_t failpoint_crashes = 0;
+  bool ok = true;
+  while (std::chrono::steady_clock::now() < deadline &&
+         (options.iterations == 0 || iteration < options.iterations)) {
+    const uint64_t seed = options.seed + static_cast<uint64_t>(iteration);
+    const bool kill_mode = (iteration % 2) == 0;
+    const char* crash_point =
+        kCrashPoints[static_cast<size_t>(iteration / 2) % kNumPoints];
+    const std::string dir =
+        std::string(root) + "/iter" + std::to_string(iteration);
+    if (!RunIteration(dir, seed, kill_mode, crash_point, delay_rng)) {
+      std::fprintf(stderr,
+                   "crash_soak: FAILED at iteration %lld "
+                   "(mode=%s crash_point=%s seed=%llu dir=%s)\n",
+                   static_cast<long long>(iteration),
+                   kill_mode ? "sigkill" : "failpoint",
+                   kill_mode ? "-" : crash_point,
+                   static_cast<unsigned long long>(seed), dir.c_str());
+      std::fprintf(stderr,
+                   "crash_soak: repro: crash_soak --seed %llu --iterations "
+                   "%lld\n",
+                   static_cast<unsigned long long>(options.seed),
+                   static_cast<long long>(iteration + 1));
+      ok = false;
+      break;
+    }
+    (kill_mode ? kills : failpoint_crashes)++;
+    if (!options.keep_dirs) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+    ++iteration;
+  }
+
+  if (ok && !options.keep_dirs) {
+    std::error_code ec;
+    std::filesystem::remove_all(root, ec);
+  }
+  if (ok) {
+    std::printf(
+        "crash_soak: OK — %lld iterations (%lld sigkill, %lld failpoint "
+        "crashes), every recovery landed on a valid prefix\n",
+        static_cast<long long>(iteration), static_cast<long long>(kills),
+        static_cast<long long>(failpoint_crashes));
+  }
+  return ok;
+}
+
+}  // namespace
+}  // namespace auxview
+
+int main(int argc, char** argv) {
+  auxview::CrashSoakOptions options;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = value("--seconds")) {
+      options.seconds = std::atof(v);
+    } else if (const char* v = value("--iterations")) {
+      options.iterations = std::atoll(v);
+    } else if (const char* v = value("--seed")) {
+      options.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--keep-dirs") == 0) {
+      options.keep_dirs = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: crash_soak [--seconds N] [--iterations N] "
+                   "[--seed S] [--keep-dirs]\n");
+      return 2;
+    }
+  }
+  return auxview::RunSoak(options) ? 0 : 1;
+}

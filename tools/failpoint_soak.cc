@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -44,6 +45,28 @@ struct SoakOptions {
   bool trace = false;     // print every statement (repro shrinking)
 };
 
+/// Everything a failed run must print to be reproducible: the RNG seed, the
+/// step reached, and the exact armed-failpoint schedule. Filled in by
+/// RunSoak; dumped by SOAK_CHECK on the first violated invariant.
+struct ReproState {
+  uint64_t seed = 0;
+  int64_t steps = 0;
+  std::string armed_spec;  // name=pP / name=N, comma-separated
+};
+
+ReproState g_repro;
+
+void PrintRepro() {
+  std::fprintf(stderr,
+               "repro: failpoint_soak --seed %llu --max-steps %lld "
+               "(deterministic replay of the statement stream)\n",
+               static_cast<unsigned long long>(g_repro.seed),
+               static_cast<long long>(g_repro.steps));
+  std::fprintf(stderr, "armed schedule: AUXVIEW_FAILPOINTS=\"%s\"\n",
+               g_repro.armed_spec.empty() ? "<none>"
+                                          : g_repro.armed_spec.c_str());
+}
+
 constexpr char kDdl[] = R"sql(
 CREATE TABLE Emp (EName STRING PRIMARY KEY, DName STRING, Salary INT,
                   INDEX (DName));
@@ -62,12 +85,20 @@ CREATE ASSERTION DeptConstraint CHECK
     if (!(cond)) {                                 \
       std::fprintf(stderr, "FAIL: " __VA_ARGS__);  \
       std::fprintf(stderr, "\n");                  \
+      PrintRepro();                                \
       return false;                                \
     }                                              \
   } while (false)
 
-std::unique_ptr<Session> MakeLoadedSession() {
-  auto session = std::make_unique<Session>();
+std::unique_ptr<Session> MakeLoadedSession(const std::string& wal_dir) {
+  // The soak runs WAL-backed so the wal.* points (torn append, failed
+  // fsync, mid-checkpoint crash via the auto-checkpoint cadence) are
+  // hammered alongside the in-memory commit path.
+  SessionOptions session_options;
+  session_options.durability.wal_dir = wal_dir;
+  session_options.durability.wal_fsync = WalFsync::kCommit;
+  session_options.durability.wal_checkpoint_every = 25;
+  auto session = std::make_unique<Session>(session_options);
   if (!session->Execute(kDdl).ok()) return nullptr;
   for (int d = 0; d < 4; ++d) {
     const std::string dname = "d" + std::to_string(d);
@@ -136,13 +167,18 @@ std::string RandomStatement(Rng& rng, int64_t step, bool* expect_reject) {
 
 bool RunSoak(const SoakOptions& options) {
   FailpointRegistry& reg = FailpointRegistry::Global();
+  g_repro.seed = options.seed;
+
+  char wal_tmpl[] = "/tmp/auxview_failpoint_soak_XXXXXX";
+  const char* wal_root = ::mkdtemp(wal_tmpl);
+  SOAK_CHECK(wal_root != nullptr, "mkdtemp failed");
 
   // Session setup (DDL, loads, Prepare) runs fault-free even when the
   // environment armed points at process start.
   std::unique_ptr<Session> session;
   {
     FailpointSuspension no_faults;
-    session = MakeLoadedSession();
+    session = MakeLoadedSession(wal_root);
   }
   SOAK_CHECK(session != nullptr, "session setup failed");
 
@@ -151,7 +187,10 @@ bool RunSoak(const SoakOptions& options) {
   const std::vector<std::string> names = reg.Names();
   bool env_armed = false;
   for (const std::string& name : names) env_armed |= reg.armed(name);
-  if (!env_armed) {
+  if (env_armed) {
+    const char* env = std::getenv("AUXVIEW_FAILPOINTS");
+    g_repro.armed_spec = env != nullptr ? env : "<pre-armed>";
+  } else {
     std::string spec;
     char prob[32];
     std::snprintf(prob, sizeof(prob), "=p%g", options.probability);
@@ -162,6 +201,7 @@ bool RunSoak(const SoakOptions& options) {
     }
     Status loaded = reg.LoadSpec(spec);
     SOAK_CHECK(loaded.ok(), "LoadSpec: %s", loaded.ToString().c_str());
+    g_repro.armed_spec = spec;
   }
   std::printf("failpoint_soak: %zu points armed (%s), budget %.0fs, seed %llu\n",
               names.size(), env_armed ? "AUXVIEW_FAILPOINTS" : "all at p",
@@ -179,6 +219,7 @@ bool RunSoak(const SoakOptions& options) {
   while (std::chrono::steady_clock::now() < deadline &&
          (options.max_steps == 0 || steps < options.max_steps)) {
     ++steps;
+    g_repro.steps = steps;
     bool expect_reject = false;
     const std::string sql = RandomStatement(rng, steps, &expect_reject);
     if (options.trace) std::printf("%s\n", sql.c_str());
@@ -250,6 +291,11 @@ bool RunSoak(const SoakOptions& options) {
     }
   }
   reg.DisarmAll();
+  session.reset();  // close the WAL before removing its directory
+  {
+    std::error_code ec;
+    std::filesystem::remove_all(wal_root, ec);
+  }
   std::printf(
       "failpoint_soak: OK — %lld steps: %lld committed, %lld fault aborts, "
       "%lld assertion rejects, %lld failpoint triggers\n",
