@@ -2,87 +2,18 @@
 
 #include <algorithm>
 
+#include "api/dml_util.h"
+#include "api/txn_session.h"
 #include "common/string_util.h"
 #include "delta/transaction.h"
 #include "exec/executor.h"
 #include "maintain/assertion.h"
+#include "maintain/delta_engine.h"
 #include "obs/metrics.h"
 #include "parser/parser.h"
 #include "storage/undo_log.h"
 
 namespace auxview {
-
-namespace {
-
-/// Converts a SQL expression over one table's columns to a Scalar
-/// (qualifiers must match the table name when present).
-StatusOr<Scalar::Ptr> ToTableScalar(const SqlExpr::Ptr& e,
-                                    const std::string& table,
-                                    const Schema& schema) {
-  switch (e->kind) {
-    case SqlExpr::Kind::kColumn:
-      if (!e->qualifier.empty() && e->qualifier != table) {
-        return Status::InvalidArgument("unknown qualifier: " + e->qualifier);
-      }
-      if (!schema.Contains(e->name)) {
-        return Status::InvalidArgument("unknown column: " + e->name);
-      }
-      return Scalar::Column(e->name);
-    case SqlExpr::Kind::kLiteral:
-      return Scalar::Literal(e->literal);
-    case SqlExpr::Kind::kUnaryNot: {
-      AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr inner,
-                               ToTableScalar(e->args[0], table, schema));
-      return Scalar::Not(inner);
-    }
-    case SqlExpr::Kind::kBinary: {
-      AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr l,
-                               ToTableScalar(e->args[0], table, schema));
-      AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr r,
-                               ToTableScalar(e->args[1], table, schema));
-      static const std::map<std::string, ScalarOp> kOps = {
-          {"+", ScalarOp::kAdd}, {"-", ScalarOp::kSub},
-          {"*", ScalarOp::kMul}, {"/", ScalarOp::kDiv},
-          {"=", ScalarOp::kEq},  {"<>", ScalarOp::kNe},
-          {"<", ScalarOp::kLt},  {"<=", ScalarOp::kLe},
-          {">", ScalarOp::kGt},  {">=", ScalarOp::kGe},
-          {"AND", ScalarOp::kAnd}, {"OR", ScalarOp::kOr}};
-      auto it = kOps.find(e->op);
-      if (it == kOps.end()) {
-        return Status::InvalidArgument("unsupported operator: " + e->op);
-      }
-      return Scalar::Binary(it->second, l, r);
-    }
-    case SqlExpr::Kind::kFuncCall:
-      return Status::InvalidArgument("aggregates not allowed in DML");
-  }
-  return Status::Internal("unhandled SqlExpr");
-}
-
-/// Evaluates a column-free expression (literal / arithmetic).
-StatusOr<Value> EvalConstant(const SqlExpr::Ptr& e) {
-  static const Schema kEmpty;
-  AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr scalar, ToTableScalar(e, "", kEmpty));
-  static const Row kNoRow;
-  return scalar->Eval(kNoRow, kEmpty);
-}
-
-/// Coerces a value to a column type where lossless (int -> double).
-StatusOr<Value> Coerce(const Value& v, ValueType type,
-                       const std::string& col) {
-  if (v.is_null() || v.type() == type) return v;
-  if (type == ValueType::kDouble && v.type() == ValueType::kInt64) {
-    return Value::Double(static_cast<double>(v.int64()));
-  }
-  if (type == ValueType::kInt64 && v.type() == ValueType::kDouble &&
-      v.dbl() == static_cast<double>(static_cast<int64_t>(v.dbl()))) {
-    return Value::Int64(static_cast<int64_t>(v.dbl()));
-  }
-  return Status::InvalidArgument("type mismatch for column " + col + ": " +
-                                 v.ToString());
-}
-
-}  // namespace
 
 Session::Session(SessionOptions options)
     : options_(std::move(options)), binder_(&catalog_) {
@@ -157,18 +88,41 @@ StatusOr<ExecResult> Session::ExecuteOne(const Statement& stmt) {
 StatusOr<ExecResult> Session::ExecuteSelect(const SelectQuery& query) {
   ExecResult result;
   result.kind = ExecResult::Kind::kRows;
-  // SELECT * FROM <maintained view>: serve straight from the materialized
-  // table — the whole point of maintaining it.
-  if (prepared() && query.from.size() == 1 && query.items.size() == 1 &&
+  const bool mv_shortcut =
+      prepared() && query.from.size() == 1 && query.items.size() == 1 &&
       query.items[0].star && query.where == nullptr &&
-      query.group_by.empty() && !query.distinct) {
-    auto it = roots_.find(query.from[0]);
-    if (it != roots_.end()) {
-      AUXVIEW_ASSIGN_OR_RETURN(Relation rows,
-                               manager_->ViewContents(it->second));
+      query.group_by.empty() && !query.distinct &&
+      roots_.find(query.from[0]) != roots_.end();
+  // With concurrency enabled, reads run against the latest published
+  // snapshot so they never race a commit mutating the live tables.
+  if (controller_ != nullptr) {
+    SnapshotRef snap = controller_->Pin();
+    if (mv_shortcut) {
+      const Table* table =
+          snap->ResolveTable(MaterializedViewName(roots_.at(query.from[0])));
+      if (table == nullptr) {
+        return Status::Internal("materialized view missing from snapshot");
+      }
+      Relation rows(table->schema());
+      for (const CountedRow& cr : table->SnapshotUncharged()) {
+        rows.Add(cr.row, cr.count);
+      }
       result.rows = std::move(rows);
       return result;
     }
+    AUXVIEW_ASSIGN_OR_RETURN(Expr::Ptr tree, binder_.BindSelect(query));
+    Executor executor(snap.get());
+    AUXVIEW_ASSIGN_OR_RETURN(Relation rows, executor.Execute(*tree));
+    result.rows = std::move(rows);
+    return result;
+  }
+  // SELECT * FROM <maintained view>: serve straight from the materialized
+  // table — the whole point of maintaining it.
+  if (mv_shortcut) {
+    AUXVIEW_ASSIGN_OR_RETURN(Relation rows,
+                             manager_->ViewContents(roots_.at(query.from[0])));
+    result.rows = std::move(rows);
+    return result;
   }
   AUXVIEW_ASSIGN_OR_RETURN(Expr::Ptr tree, binder_.BindSelect(query));
   Executor executor(&db_);
@@ -181,19 +135,7 @@ StatusOr<std::vector<Row>> Session::MatchingRows(const std::string& table,
                                                  const SqlExpr::Ptr& where) {
   const Table* t = db_.FindTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
-  Scalar::Ptr pred;
-  if (where != nullptr) {
-    AUXVIEW_ASSIGN_OR_RETURN(pred, ToTableScalar(where, table, t->schema()));
-  }
-  std::vector<Row> out;
-  for (const CountedRow& cr : t->SnapshotUncharged()) {
-    if (pred != nullptr) {
-      AUXVIEW_ASSIGN_OR_RETURN(Value v, pred->Eval(cr.row, t->schema()));
-      if (v.is_null() || !v.boolean()) continue;
-    }
-    out.push_back(cr.row);
-  }
-  return out;
+  return dml::MatchingRows(*t, where);
 }
 
 StatusOr<ConcreteTxn> Session::BuildConcreteTxn(const Statement& stmt,
@@ -214,9 +156,9 @@ StatusOr<ConcreteTxn> Session::BuildConcreteTxn(const Statement& stmt,
         }
         Row row;
         for (size_t i = 0; i < exprs.size(); ++i) {
-          AUXVIEW_ASSIGN_OR_RETURN(Value v, EvalConstant(exprs[i]));
+          AUXVIEW_ASSIGN_OR_RETURN(Value v, dml::EvalConstant(exprs[i]));
           AUXVIEW_ASSIGN_OR_RETURN(
-              v, Coerce(v, t->schema().column(static_cast<int>(i)).type,
+              v, dml::Coerce(v, t->schema().column(static_cast<int>(i)).type,
                         t->schema().column(static_cast<int>(i)).name));
           row.push_back(std::move(v));
         }
@@ -254,8 +196,9 @@ StatusOr<ConcreteTxn> Session::BuildConcreteTxn(const Statement& stmt,
       for (const auto& [col, expr] : upd.sets) {
         const int idx = t->schema().IndexOf(col);
         if (idx < 0) return Status::InvalidArgument("unknown column: " + col);
-        AUXVIEW_ASSIGN_OR_RETURN(Scalar::Ptr scalar,
-                                 ToTableScalar(expr, upd.table, t->schema()));
+        AUXVIEW_ASSIGN_OR_RETURN(
+            Scalar::Ptr scalar,
+            dml::ToTableScalar(expr, upd.table, t->schema()));
         sets.emplace_back(idx, std::move(scalar));
         spec.modified_attrs.push_back(col);
       }
@@ -263,8 +206,9 @@ StatusOr<ConcreteTxn> Session::BuildConcreteTxn(const Statement& stmt,
         Row new_row = old_row;
         for (const auto& [idx, scalar] : sets) {
           AUXVIEW_ASSIGN_OR_RETURN(Value v, scalar->Eval(old_row, t->schema()));
-          AUXVIEW_ASSIGN_OR_RETURN(v, Coerce(v, t->schema().column(idx).type,
-                                             t->schema().column(idx).name));
+          AUXVIEW_ASSIGN_OR_RETURN(
+              v, dml::Coerce(v, t->schema().column(idx).type,
+                             t->schema().column(idx).name));
           new_row[static_cast<size_t>(idx)] = std::move(v);
         }
         if (!RowEq()(old_row, new_row)) {
@@ -329,6 +273,14 @@ StatusOr<UpdateTrack> Session::TrackFor(const TransactionType& type) {
 }
 
 StatusOr<ExecResult> Session::ApplyDml(const Statement& stmt) {
+  // With concurrency enabled, the whole statement — victim selection
+  // against the live tables, track choice, commit — runs under the commit
+  // mutex so it serializes with optimistic TxnSession commits (and the
+  // selector's costing entry points stay single-threaded).
+  std::unique_lock<std::mutex> funnel;
+  if (controller_ != nullptr) {
+    funnel = std::unique_lock<std::mutex>(controller_->commit_mutex());
+  }
   TransactionType type;
   AUXVIEW_ASSIGN_OR_RETURN(ConcreteTxn txn, BuildConcreteTxn(stmt, &type));
   ExecResult result;
@@ -346,6 +298,18 @@ StatusOr<ExecResult> Session::ApplyDml(const Statement& stmt) {
   }
 
   AUXVIEW_ASSIGN_OR_RETURN(UpdateTrack track, TrackFor(type));
+  if (controller_ != nullptr) {
+    AUXVIEW_ASSIGN_OR_RETURN(CommitOutcome outcome,
+                             controller_->CommitSerialLocked(txn, type, track));
+    if (outcome.kind == CommitOutcome::Kind::kRejected) {
+      result.violated_assertion = outcome.detail;
+      result.affected = 0;
+      return result;
+    }
+    funnel.unlock();  // Checkpoint retakes the commit lock
+    MaybeAutoCheckpoint();
+    return result;
+  }
   // Assertion enforcement happens inside the staged apply: the verdict is
   // computed against the pre-update state and a violating transaction is
   // rejected before a single row moves (Section 4's "abort before commit").
@@ -390,7 +354,35 @@ Status Session::Checkpoint() {
         "Checkpoint requires Prepare: a pre-Prepare image would freeze "
         "unrefreshed statistics and recovery could choose different views");
   }
+  // Under concurrency the image must be a committed state — hold the funnel
+  // while reading the tables.
+  std::unique_lock<std::mutex> funnel;
+  if (controller_ != nullptr) {
+    funnel = std::unique_lock<std::mutex>(controller_->commit_mutex());
+  }
   return wal->WriteCheckpoint(BuildCheckpointImage(db_, &catalog_));
+}
+
+Status Session::EnableConcurrency() {
+  if (!prepared()) {
+    return Status::FailedPrecondition(
+        "EnableConcurrency requires Prepare: snapshots cover the "
+        "materialized views too");
+  }
+  if (controller_ != nullptr) return Status::Ok();
+  controller_ = std::make_unique<ConcurrencyController>(
+      &catalog_, &db_, manager_.get(), workload_,
+      [this](const TransactionType& type) { return TrackFor(type); });
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<TxnSession>> Session::OpenSession() {
+  if (controller_ == nullptr) {
+    return Status::FailedPrecondition(
+        "call EnableConcurrency before OpenSession");
+  }
+  return std::unique_ptr<TxnSession>(
+      new TxnSession(this, controller_.get()));
 }
 
 Status Session::Recover() {

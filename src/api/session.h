@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrency/controller.h"
 #include "exec/relation.h"
 #include "maintain/assertion.h"
 #include "maintain/view_manager.h"
@@ -17,6 +18,8 @@
 #include "storage/wal/wal.h"
 
 namespace auxview {
+
+class TxnSession;
 
 /// Result of Session::Execute for one statement.
 struct ExecResult {
@@ -120,8 +123,25 @@ class Session {
   /// Writes a checkpoint covering the current state and truncates the log
   /// prefix. Requires Prepare (a pre-Prepare checkpoint would freeze
   /// unrefreshed statistics, and a recovered Prepare could then choose
-  /// different views than the original run).
+  /// different views than the original run). With concurrency enabled, runs
+  /// under the commit lock so the image is a committed state.
   Status Checkpoint();
+
+  /// Turns on concurrent serving (docs/CONCURRENCY.md): publishes the
+  /// initial snapshot and opens the optimistic commit funnel. Requires
+  /// Prepare; idempotent. Afterwards this Session's own DML serializes
+  /// through the same funnel, and OpenSession hands out concurrent
+  /// sessions.
+  Status EnableConcurrency();
+
+  bool concurrent() const { return controller_ != nullptr; }
+
+  /// A new concurrent SQL session over this database (its own snapshot pin
+  /// and private delta-set; one thread each). Requires EnableConcurrency.
+  /// The returned session must not outlive this Session.
+  StatusOr<std::unique_ptr<TxnSession>> OpenSession();
+
+  ConcurrencyController* controller() { return controller_.get(); }
 
   /// Chosen view set and its expected cost (valid after Prepare).
   const OptimizeResult& plan() const { return plan_; }
@@ -181,6 +201,10 @@ class Session {
   OptimizeResult plan_;
   std::map<std::string, GroupId> roots_;  // view/assertion name -> group
   std::map<std::string, UpdateTrack> track_cache_;
+  /// Non-null after EnableConcurrency.
+  std::unique_ptr<ConcurrencyController> controller_;
+
+  friend class TxnSession;
 };
 
 }  // namespace auxview

@@ -18,8 +18,14 @@
 
 #include "algebra/builder.h"
 #include "api/session.h"
+#include "api/txn_session.h"
 #include "algebra/expr.h"
 #include "algebra/scalar.h"
+#include "concurrency/conflict.h"
+#include "concurrency/controller.h"
+#include "concurrency/delta_set.h"
+#include "concurrency/snapshot.h"
+#include "concurrency/writer.h"
 #include "catalog/catalog.h"
 #include "catalog/fd.h"
 #include "catalog/schema.h"

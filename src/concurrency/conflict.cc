@@ -1,0 +1,86 @@
+#include "concurrency/conflict.h"
+
+namespace auxview {
+
+void ConflictTracker::RecordCommit(
+    uint64_t epoch, const std::map<std::string, TxnFootprint::RowSet>& writes,
+    const std::vector<std::string>& touched) {
+  CommitRecord record;
+  record.epoch = epoch;
+  record.writes = writes;
+  // Row-level info wins; only tables without it (materialized views) are
+  // kept at coarse granularity.
+  for (const std::string& name : touched) {
+    if (writes.find(name) == writes.end()) record.touched.insert(name);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  history_.push_back(std::move(record));
+}
+
+std::optional<std::string> ConflictTracker::Validate(
+    const TxnFootprint& footprint, uint64_t snapshot_epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snapshot_epoch < pruned_through_) {
+    return "snapshot epoch " + std::to_string(snapshot_epoch) +
+           " predates retained commit history (pruned through " +
+           std::to_string(pruned_through_) + "); retry on a fresh snapshot";
+  }
+  for (const CommitRecord& commit : history_) {
+    if (commit.epoch <= snapshot_epoch) continue;
+    // Write-write on the same key: first committer wins.
+    for (const auto& [relation, rows] : footprint.writes) {
+      auto it = commit.writes.find(relation);
+      if (it == commit.writes.end()) continue;
+      const TxnFootprint::RowSet& committed = it->second;
+      // Probe the smaller set against the larger.
+      const bool ours_smaller = rows.size() <= committed.size();
+      const TxnFootprint::RowSet& probe = ours_smaller ? rows : committed;
+      const TxnFootprint::RowSet& build = ours_smaller ? committed : rows;
+      for (const Row& row : probe) {
+        if (build.count(row) > 0) {
+          return "write-write conflict on " + relation + " row " +
+                 RowToString(row) + " (committed at epoch " +
+                 std::to_string(commit.epoch) + ")";
+        }
+      }
+    }
+    // Read-write: a newer commit wrote a row this writer's reads selected on.
+    for (const ReadPredicate& read : footprint.reads) {
+      auto it = commit.writes.find(read.relation);
+      if (it == commit.writes.end()) {
+        // No row-level info: coarse conflict if the commit rewrote the table
+        // at all (reads through materialized views land here).
+        if (commit.touched.count(read.relation) > 0) {
+          return "read-write conflict on " + read.relation +
+                 " (rewritten at epoch " + std::to_string(commit.epoch) + ")";
+        }
+        continue;
+      }
+      for (const Row& row : it->second) {
+        if (read.Matches(row)) {
+          return "read-write conflict on " + read.relation +
+                 (read.equalities.empty() ? " (whole-relation read)"
+                                          : " key read") +
+                 " vs row " + RowToString(row) + " committed at epoch " +
+                 std::to_string(commit.epoch);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void ConflictTracker::PruneThrough(uint64_t min_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!history_.empty() && history_.front().epoch <= min_epoch) {
+    pruned_through_ = history_.front().epoch;
+    history_.pop_front();
+  }
+}
+
+size_t ConflictTracker::history_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_.size();
+}
+
+}  // namespace auxview

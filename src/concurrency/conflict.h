@@ -1,0 +1,76 @@
+#ifndef AUXVIEW_CONCURRENCY_CONFLICT_H_
+#define AUXVIEW_CONCURRENCY_CONFLICT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "concurrency/delta_set.h"
+
+namespace auxview {
+
+/// First-committer-wins validation (the optimistic half of the concurrency
+/// layer; see docs/CONCURRENCY.md and map_api's DeltaView commit/merge
+/// protocol, SNIPPETS.md 2).
+///
+/// Every commit records its write footprint tagged with the epoch it
+/// published. A writer validating at commit compares its own read/write
+/// footprint against every commit newer than its snapshot epoch:
+///
+///   - write-write: any row this writer stages that a newer commit also
+///     wrote (insert, delete, or either half of a modify) conflicts — the
+///     first committer won, this writer's view of that key is stale.
+///   - read-write: any newer committed write matching one of this writer's
+///     read predicates conflicts — the rows its statements selected from
+///     would have been different.
+///
+/// The history is pruned below the oldest pinned snapshot epoch; a writer
+/// whose snapshot predates the retained history conservatively conflicts
+/// (it cannot prove isolation, so it must retry on a fresh snapshot).
+class ConflictTracker {
+ public:
+  /// Records the write footprint a commit published at `epoch`. `writes`
+  /// carries row-level footprints for the base relations the commit staged;
+  /// `touched` lists every stored table the commit rewrote (base relations
+  /// plus materialized views, ViewManager::last_commit_tables) — reads of a
+  /// touched table without row-level write info conflict coarsely, which is
+  /// how a SELECT through a materialized view stays isolated.
+  void RecordCommit(uint64_t epoch,
+                    const std::map<std::string, TxnFootprint::RowSet>& writes,
+                    const std::vector<std::string>& touched);
+
+  /// Validates `footprint` for a writer whose snapshot is `snapshot_epoch`.
+  /// Returns nullopt when the commit may proceed, else a human-readable
+  /// description of the first conflict found.
+  std::optional<std::string> Validate(const TxnFootprint& footprint,
+                                      uint64_t snapshot_epoch) const;
+
+  /// Drops commit records at or below `min_epoch` — safe once no live
+  /// snapshot is older (SnapshotManager::MinPinnedEpoch).
+  void PruneThrough(uint64_t min_epoch);
+
+  /// Number of retained commit records.
+  size_t history_size() const;
+
+ private:
+  struct CommitRecord {
+    uint64_t epoch = 0;
+    std::map<std::string, TxnFootprint::RowSet> writes;
+    /// Tables rewritten without row-level detail (materialized views).
+    std::set<std::string> touched;
+  };
+
+  mutable std::mutex mu_;
+  std::deque<CommitRecord> history_;  // ascending epoch
+  /// Highest epoch ever pruned: snapshots at or below it fail validation.
+  uint64_t pruned_through_ = 0;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_CONCURRENCY_CONFLICT_H_

@@ -1,0 +1,123 @@
+#ifndef AUXVIEW_CONCURRENCY_CONTROLLER_H_
+#define AUXVIEW_CONCURRENCY_CONTROLLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "concurrency/conflict.h"
+#include "concurrency/delta_set.h"
+#include "concurrency/snapshot.h"
+#include "delta/transaction.h"
+#include "maintain/view_manager.h"
+#include "optimizer/track.h"
+
+namespace auxview {
+
+/// What one optimistic commit attempt produced.
+struct CommitOutcome {
+  enum class Kind {
+    kCommitted,  ///< Validated and applied; `epoch` is the published epoch.
+    kConflict,   ///< First-committer-wins validation failed; retry on a
+                 ///< fresh snapshot. `detail` names the conflicting row.
+    kRejected,   ///< An assertion verdict aborted the transaction (the
+                 ///< integrity-constraint NO, not a concurrency artifact);
+                 ///< `detail` names the assertion. Retrying won't help.
+  };
+  Kind kind = Kind::kCommitted;
+  uint64_t epoch = 0;
+  std::string detail;
+
+  bool committed() const { return kind == Kind::kCommitted; }
+};
+
+/// The commit funnel: serializes every state change to one maintained
+/// Database behind a single commit mutex, so that maintenance deltas and
+/// assertion verdicts are always computed against the latest committed
+/// state — which is what makes committed transactions trivially
+/// serializable (docs/CONCURRENCY.md).
+///
+/// Optimistic writers (WriterTxn / TxnSession) build their staged DeltaSet
+/// against a pinned snapshot and call Commit(): under the mutex their
+/// read/write footprint is validated first-committer-wins against every
+/// commit newer than their snapshot; a validated delta then flows through
+/// the unchanged verdict -> WAL -> undo pipeline (ViewManager), and the
+/// touched tables' new versions are published as the next snapshot epoch.
+///
+/// The owning Session's serial DML path shares the same funnel via
+/// CommitSerialLocked so ad-hoc statements, checkpoints and optimistic
+/// commits never interleave.
+class ConcurrencyController {
+ public:
+  /// Resolves the update track for a transaction type. Supplied by the
+  /// Session so the optimizer's track cache is shared between the serial
+  /// and optimistic paths; only ever invoked under the commit mutex (the
+  /// selector is single-threaded at its costing entry points).
+  using TrackFn = std::function<StatusOr<UpdateTrack>(const TransactionType&)>;
+
+  /// Publishes the initial snapshot (epoch 0) of `db`. All pointers must
+  /// outlive the controller.
+  ConcurrencyController(const Catalog* catalog, Database* db,
+                        ViewManager* manager,
+                        std::vector<TransactionType> workload,
+                        TrackFn track_fn);
+
+  ConcurrencyController(const ConcurrencyController&) = delete;
+  ConcurrencyController& operator=(const ConcurrencyController&) = delete;
+
+  /// Pins the latest published snapshot (any thread).
+  SnapshotRef Pin() { return snapshots_.Pin(); }
+
+  uint64_t current_epoch() const { return snapshots_.current_epoch(); }
+
+  /// One optimistic commit attempt for a writer whose staged changes are
+  /// `delta` and whose snapshot is `snapshot_epoch`. Takes the commit
+  /// mutex; validates, maintains, publishes. A Status error means the
+  /// pipeline itself failed (I/O, injected fault) — the transaction was
+  /// rolled back and the writer may retry or surface the error.
+  StatusOr<CommitOutcome> Commit(const DeltaSet& delta,
+                                 uint64_t snapshot_epoch);
+
+  /// The Session's serial path: applies an already-built concrete
+  /// transaction through the same funnel (no validation — the caller read
+  /// the live committed state under this same mutex). The caller must hold
+  /// commit_mutex(). Publishes and records the commit footprint so
+  /// concurrent optimistic writers validate against serial DML too.
+  /// kConflict never occurs; kRejected carries the violated assertion.
+  StatusOr<CommitOutcome> CommitSerialLocked(const ConcreteTxn& txn,
+                                             const TransactionType& type,
+                                             const UpdateTrack& track);
+
+  /// The funnel's mutex — held by the Session around serial DML (statement
+  /// build + CommitSerialLocked) and Checkpoint.
+  std::mutex& commit_mutex() { return commit_mu_; }
+
+  /// Retained conflict-history length (tests, shell `.session` status).
+  size_t history_size() const { return tracker_.history_size(); }
+
+ private:
+  /// Shared tail of both commit paths, under commit_mu_: ApplyTransaction,
+  /// classify the outcome, publish the new epoch, record + prune the
+  /// conflict history.
+  StatusOr<CommitOutcome> ApplyAndPublish(
+      const ConcreteTxn& txn, const TransactionType& type,
+      const UpdateTrack& track,
+      const std::map<std::string, TxnFootprint::RowSet>& writes);
+
+  const Catalog* catalog_;
+  Database* db_;
+  ViewManager* manager_;
+  std::vector<TransactionType> workload_;
+  TrackFn track_fn_;
+
+  std::mutex commit_mu_;
+  SnapshotManager snapshots_;
+  ConflictTracker tracker_;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_CONCURRENCY_CONTROLLER_H_

@@ -1,0 +1,107 @@
+#include "concurrency/delta_set.h"
+
+#include "common/check.h"
+#include "concurrency/snapshot.h"
+
+namespace auxview {
+
+DeltaSet::DeltaSet() { overlay_counter_.set_enabled(false); }
+
+void DeltaSet::StageInsert(const std::string& relation, const Row& row,
+                           int64_t count) {
+  if (count == 0) return;
+  deltas_[relation].Add(row, count);
+  footprint_.AddWrite(relation, row);
+  merged_.erase(relation);
+}
+
+void DeltaSet::StageDelete(const std::string& relation, const Row& row,
+                           int64_t count) {
+  if (count == 0) return;
+  deltas_[relation].Add(row, -count);
+  footprint_.AddWrite(relation, row);
+  merged_.erase(relation);
+}
+
+void DeltaSet::StageModify(const std::string& relation, const Row& old_row,
+                           const Row& new_row, int64_t count) {
+  if (count == 0) return;
+  Relation& delta = deltas_[relation];
+  delta.Add(old_row, -count);
+  delta.Add(new_row, count);
+  footprint_.AddWrite(relation, old_row);
+  footprint_.AddWrite(relation, new_row);
+  merged_.erase(relation);
+}
+
+int64_t DeltaSet::DeltaOf(const std::string& relation, const Row& row) const {
+  auto it = deltas_.find(relation);
+  return it == deltas_.end() ? 0 : it->second.CountOf(row);
+}
+
+bool DeltaSet::Touches(const std::string& relation) const {
+  auto it = deltas_.find(relation);
+  return it != deltas_.end() && !it->second.empty();
+}
+
+const Table* DeltaSet::OverlayTable(const std::string& relation,
+                                    const Snapshot& snapshot) const {
+  const Table* base = snapshot.ResolveTable(relation);
+  auto delta_it = deltas_.find(relation);
+  if (delta_it == deltas_.end() || delta_it->second.empty()) return base;
+  auto cached = merged_.find(relation);
+  if (cached != merged_.end()) return cached->second.get();
+  if (base == nullptr) return nullptr;  // post-Prepare relations always exist
+  std::unique_ptr<Table> merged = base->Clone(&overlay_counter_);
+  // Apply positives first so a same-row delete never dips below zero when
+  // the net change is non-negative; staging invariants guarantee the final
+  // multiplicities are non-negative.
+  for (const auto& [row, count] : delta_it->second.SortedRows()) {
+    if (count > 0) {
+      const Status st = merged->Apply(row, count);
+      AUXVIEW_CHECK_MSG(st.ok(), st.ToString().c_str());
+    }
+  }
+  for (const auto& [row, count] : delta_it->second.SortedRows()) {
+    if (count < 0) {
+      const Status st = merged->Apply(row, count);
+      AUXVIEW_CHECK_MSG(st.ok(), st.ToString().c_str());
+    }
+  }
+  const Table* out = merged.get();
+  merged_.emplace(relation, std::move(merged));
+  return out;
+}
+
+ConcreteTxn DeltaSet::ToConcreteTxn() const {
+  ConcreteTxn txn;
+  for (const auto& [relation, delta] : deltas_) {
+    if (delta.empty()) continue;
+    TableUpdate update;
+    update.relation = relation;
+    for (const auto& [row, count] : delta.SortedRows()) {
+      if (count > 0) {
+        update.inserts.emplace_back(row, count);
+      } else if (count < 0) {
+        update.deletes.emplace_back(row, -count);
+      }
+    }
+    if (!update.empty()) txn.updates.push_back(std::move(update));
+  }
+  return txn;
+}
+
+bool DeltaSet::empty() const {
+  for (const auto& [relation, delta] : deltas_) {
+    if (!delta.empty()) return false;
+  }
+  return true;
+}
+
+void DeltaSet::Clear() {
+  deltas_.clear();
+  footprint_.Clear();
+  merged_.clear();
+}
+
+}  // namespace auxview

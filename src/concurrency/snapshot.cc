@@ -1,0 +1,113 @@
+#include "concurrency/snapshot.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace auxview {
+
+namespace {
+
+obs::Gauge* PinsGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("concurrency.snapshot_pins");
+  return g;
+}
+
+}  // namespace
+
+SnapshotRef::SnapshotRef(SnapshotRef&& other) noexcept
+    : manager_(other.manager_), snapshot_(std::move(other.snapshot_)) {
+  other.manager_ = nullptr;
+  other.snapshot_.reset();
+}
+
+SnapshotRef& SnapshotRef::operator=(SnapshotRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = other.manager_;
+    snapshot_ = std::move(other.snapshot_);
+    other.manager_ = nullptr;
+    other.snapshot_.reset();
+  }
+  return *this;
+}
+
+SnapshotRef::~SnapshotRef() { Release(); }
+
+void SnapshotRef::Release() {
+  if (manager_ != nullptr && snapshot_ != nullptr) {
+    manager_->Unpin(snapshot_->epoch());
+  }
+  manager_ = nullptr;
+  snapshot_.reset();
+}
+
+SnapshotManager::SnapshotManager() {
+  snapshot_counter_.set_enabled(false);
+  current_ = std::make_shared<const Snapshot>(
+      0, std::map<std::string, std::shared_ptr<const Table>>{});
+}
+
+void SnapshotManager::PublishAll(const Database& db) {
+  std::map<std::string, std::shared_ptr<const Table>> tables;
+  for (const std::string& name : db.TableNames()) {
+    tables.emplace(name, db.FindTable(name)->Clone(&snapshot_counter_));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = std::make_shared<const Snapshot>(current_->epoch(),
+                                              std::move(tables));
+}
+
+uint64_t SnapshotManager::Publish(const Database& db,
+                                  const std::vector<std::string>& touched) {
+  // Start from the previous epoch's versions; only touched tables pay for a
+  // clone. Reading `db` here is safe: Publish runs under the commit lock, so
+  // no commit is mutating the tables concurrently.
+  std::map<std::string, std::shared_ptr<const Table>> tables;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& name : current_->TableNames()) {
+      tables.emplace(name, current_->TableVersion(name));
+    }
+  }
+  for (const std::string& name : touched) {
+    const Table* live = db.FindTable(name);
+    if (live == nullptr) {
+      tables.erase(name);  // dropped since the last epoch
+    } else {
+      tables[name] = live->Clone(&snapshot_counter_);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t epoch = current_->epoch() + 1;
+  current_ = std::make_shared<const Snapshot>(epoch, std::move(tables));
+  return epoch;
+}
+
+SnapshotRef SnapshotManager::Pin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_epochs_.insert(current_->epoch());
+  PinsGauge()->Add(1);
+  return SnapshotRef(this, current_);
+}
+
+uint64_t SnapshotManager::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->epoch();
+}
+
+uint64_t SnapshotManager::MinPinnedEpoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pinned_epochs_.empty()) return current_->epoch();
+  return *pinned_epochs_.begin();
+}
+
+void SnapshotManager::Unpin(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pinned_epochs_.find(epoch);
+  if (it != pinned_epochs_.end()) pinned_epochs_.erase(it);
+  PinsGauge()->Add(-1);
+}
+
+}  // namespace auxview

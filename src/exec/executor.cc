@@ -38,7 +38,7 @@ void RecordOperator(OpKind kind, const RowBatch& result) {
 }  // namespace
 
 StatusOr<RowBatch> Executor::ScanBatch(const Expr& expr) const {
-  const Table* table = db_->FindTable(expr.table());
+  const Table* table = db_->ResolveTable(expr.table());
   if (table == nullptr) {
     return Status::NotFound("scan of missing table: " + expr.table());
   }

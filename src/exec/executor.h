@@ -23,7 +23,9 @@ namespace auxview {
 /// code — the executor merely streams batches bottom-up through the tree.
 class Executor {
  public:
-  explicit Executor(const Database* db) : db_(db) {}
+  /// `source` is any table resolver: the live database, an immutable
+  /// snapshot, or a writer's snapshot-plus-delta overlay.
+  explicit Executor(const TableSource* source) : db_(source) {}
 
   /// Evaluates `expr`; every Scan leaf must name a table present in the
   /// database. The result is the coalesced bag of the root's output batch.
@@ -36,7 +38,7 @@ class Executor {
  private:
   StatusOr<RowBatch> ScanBatch(const Expr& expr) const;
 
-  const Database* db_;
+  const TableSource* db_;
 };
 
 }  // namespace auxview

@@ -178,10 +178,14 @@ Status ViewManager::CommitTransaction(
     const ConcreteTxn& txn, const std::map<GroupId, Relation>& deltas) {
   // Apply the staged deltas to the materialized views.
   const GroupId root = memo_->root();
+  for (const TableUpdate& update : txn.updates) {
+    if (!update.empty()) last_commit_tables_.push_back(update.relation);
+  }
   for (GroupId g : views_) {
     if (memo_->group(g).is_leaf) continue;
     auto it = deltas.find(g);
     if (it == deltas.end() || it->second.empty()) continue;
+    last_commit_tables_.push_back(MaterializedViewName(g));
     Table* table = db_->FindTable(MaterializedViewName(g));
     if (table == nullptr) {
       return Status::Internal("materialized view table missing for N" +
@@ -236,6 +240,7 @@ Status ViewManager::ApplyTransaction(const ConcreteTxn& txn,
   obs::ScopedTimer timer(timing);
   ScopedIoDelta io_delta(db_->counter(), io_hist);
   aborted_assertion_.clear();
+  last_commit_tables_.clear();
 
   // Phase 1 (compute): every delta query and the assertion verdict run
   // against the pre-update state. Nothing has been mutated, so a failure
@@ -265,6 +270,7 @@ Status ViewManager::ApplyTransaction(const ConcreteTxn& txn,
   }
   if (!committed.ok()) {
     rollbacks->Add(1);
+    last_commit_tables_.clear();
     AUXVIEW_RETURN_IF_ERROR(undo.RollBack());
     // Compensate the already-durable record. Best-effort: if even the abort
     // append fails, recovery would replay a transaction whose effects
@@ -289,6 +295,7 @@ Status ViewManager::ApplyTransactionByRecompute(const ConcreteTxn& txn,
   obs::ScopedTimer timer(timing);
   ScopedIoDelta io_delta(db_->counter(), io_hist);
   aborted_assertion_.clear();
+  last_commit_tables_.clear();
   // Write-ahead, as in ApplyTransaction.
   WriteAheadLog* wal = db_->wal();
   uint64_t lsn = 0;
@@ -313,6 +320,7 @@ Status ViewManager::ApplyTransactionByRecompute(const ConcreteTxn& txn,
             return Status::NotFound("updated base table missing: " +
                                     update.relation);
           }
+          if (!update.empty()) last_commit_tables_.push_back(update.relation);
           AUXVIEW_FAILPOINT("maintain.apply_base");
           for (const auto& [row, count] : update.inserts) {
             AUXVIEW_RETURN_IF_ERROR(table->Insert(row, count));
@@ -349,6 +357,7 @@ Status ViewManager::ApplyTransactionByRecompute(const ConcreteTxn& txn,
           return Status::Internal("materialized view table missing for N" +
                                   std::to_string(g));
         }
+        last_commit_tables_.push_back(MaterializedViewName(g));
         AUXVIEW_FAILPOINT("maintain.apply_view_delta");
         // Rewrite the table in place.
         ScopedCountingDisabled guard(&db_->counter());
@@ -367,6 +376,7 @@ Status ViewManager::ApplyTransactionByRecompute(const ConcreteTxn& txn,
     }();
   }
   if (!committed.ok()) {
+    last_commit_tables_.clear();
     AUXVIEW_RETURN_IF_ERROR(undo.RollBack());
     // Rolled-back views are current again, but cached fetches taken between
     // the base update and the rollback are not.

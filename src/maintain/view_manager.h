@@ -45,6 +45,15 @@ class ViewManager {
   /// when it committed or failed for another reason).
   const std::string& aborted_assertion() const { return aborted_assertion_; }
 
+  /// Stored-table names the most recent successful Apply* call mutated:
+  /// the updated base relations plus every materialized view whose delta was
+  /// non-empty. The concurrency layer republishes exactly these tables'
+  /// snapshot versions after a commit (src/concurrency/snapshot.h); all
+  /// other versions are shared with the previous epoch.
+  const std::vector<std::string>& last_commit_tables() const {
+    return last_commit_tables_;
+  }
+
   /// Applies a concrete transaction atomically, in two phases. Phase 1
   /// (compute) poses every delta query and the assertion verdict against
   /// the pre-update state without mutating anything. Phase 2 (commit)
@@ -113,6 +122,7 @@ class ViewManager {
   std::map<GroupId, std::vector<std::string>> index_attrs_;
   std::map<GroupId, std::string> assertions_;
   std::string aborted_assertion_;
+  std::vector<std::string> last_commit_tables_;
 };
 
 }  // namespace auxview

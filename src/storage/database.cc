@@ -13,7 +13,7 @@ StatusOr<Table*> Database::CreateTable(TableDef def) {
     return Status::AlreadyExists("table already exists: " + def.name);
   }
   const std::string name = def.name;
-  auto table = std::make_unique<Table>(std::move(def), &counter_);
+  auto table = std::make_unique<Table>(std::move(def), &counter_, label_);
   Table* raw = table.get();
   tables_.emplace(name, std::move(table));
   return raw;

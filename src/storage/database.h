@@ -18,14 +18,26 @@ struct DatabaseOptions;
 struct WalRecovery;
 class WriteAheadLog;
 
+/// Read-only table lookup. The executor resolves Scan leaves through this
+/// interface, so a query can run against the live database, an immutable
+/// snapshot, or a writer's snapshot-plus-delta overlay (src/concurrency/)
+/// with the same operator code.
+class TableSource {
+ public:
+  virtual ~TableSource() = default;
+
+  /// The table serving reads of `name`; nullptr when absent.
+  virtual const Table* ResolveTable(const std::string& name) const = 0;
+};
+
 /// A collection of stored relations sharing one page-I/O counter. Holds both
 /// base relations and materialized views (views are stored tables whose
 /// definitions live in the view manager). Optionally backed by a durable
 /// write-ahead log (see storage/wal/wal.h).
-class Database {
+class Database : public TableSource {
  public:
   Database();
-  ~Database();
+  ~Database() override;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -39,11 +51,23 @@ class Database {
   Table* FindTable(const std::string& name);
   const Table* FindTable(const std::string& name) const;
 
+  const Table* ResolveTable(const std::string& name) const override {
+    return FindTable(name);
+  }
+
   bool HasTable(const std::string& name) const {
     return FindTable(name) != nullptr;
   }
 
   std::vector<std::string> TableNames() const;
+
+  /// Metric scope label. A process hosting several databases labels each one
+  /// so per-relation counters stay distinguishable: an unlabeled database
+  /// charges `storage.rel.<table>.*`, a labeled one
+  /// `storage.rel.<label>.<table>.*` (docs/OBSERVABILITY.md). Must be set
+  /// before the first CreateTable; tables created earlier keep their names.
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
 
   PageCounter& counter() { return counter_; }
   const PageCounter& counter() const { return counter_; }
@@ -73,6 +97,7 @@ class Database {
 
  private:
   PageCounter counter_;
+  std::string label_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::unique_ptr<WriteAheadLog> wal_;
 };

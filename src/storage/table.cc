@@ -8,13 +8,16 @@
 
 namespace auxview {
 
-Table::Table(TableDef def, PageCounter* counter)
-    : def_(std::move(def)), counter_(counter) {
+Table::Table(TableDef def, PageCounter* counter,
+             const std::string& metric_scope)
+    : def_(std::move(def)), metric_scope_(metric_scope), counter_(counter) {
   AUXVIEW_CHECK(counter_ != nullptr);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-  rel_page_reads_ = reg.GetCounter("storage.rel." + def_.name + ".page_reads");
-  rel_page_writes_ =
-      reg.GetCounter("storage.rel." + def_.name + ".page_writes");
+  const std::string scoped =
+      "storage.rel." +
+      (metric_scope_.empty() ? "" : metric_scope_ + ".") + def_.name;
+  rel_page_reads_ = reg.GetCounter(scoped + ".page_reads");
+  rel_page_writes_ = reg.GetCounter(scoped + ".page_writes");
   auto add_index = [&](const std::vector<std::string>& attrs) {
     if (attrs.empty()) return;
     // Skip duplicates (primary key may also be listed as an index).
@@ -32,6 +35,17 @@ Table::Table(TableDef def, PageCounter* counter)
   };
   add_index(def_.primary_key);
   for (const IndexDef& idx : def_.indexes) add_index(idx.attrs);
+}
+
+std::unique_ptr<Table> Table::Clone(PageCounter* counter) const {
+  // The constructor rebuilds empty index states from the def; copying the
+  // populated maps afterwards avoids re-inserting (and re-charging) every
+  // row. The clone is a pure value copy: no undo log, no shared state.
+  auto clone = std::make_unique<Table>(def_, counter, metric_scope_);
+  clone->rows_ = rows_;
+  clone->total_count_ = total_count_;
+  clone->indexes_ = indexes_;
+  return clone;
 }
 
 Row Table::ProjectKey(const IndexState& idx, const Row& row) const {

@@ -33,11 +33,21 @@ struct CountedRow {
 /// tuple touched.
 class Table {
  public:
-  /// `counter` must outlive the table; may not be null.
-  Table(TableDef def, PageCounter* counter);
+  /// `counter` must outlive the table; may not be null. A non-empty
+  /// `metric_scope` labels this table's per-relation counters as
+  /// `storage.rel.<scope>.<name>.*` — the per-database scoping a process
+  /// hosting several databases needs (docs/OBSERVABILITY.md).
+  Table(TableDef def, PageCounter* counter, const std::string& metric_scope = "");
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
+
+  /// An independent deep copy — rows, multiplicities and every hash index —
+  /// charged to `counter` (typically a permanently disabled one: snapshot
+  /// versions serve uncharged reads). The clone carries no undo log and
+  /// shares nothing with the original, so it is safe to read from other
+  /// threads while the original keeps mutating.
+  std::unique_ptr<Table> Clone(PageCounter* counter) const;
 
   const TableDef& def() const { return def_; }
   const Schema& schema() const { return def_.schema; }
@@ -172,6 +182,7 @@ class Table {
                                     const Row& key) const;
 
   TableDef def_;
+  std::string metric_scope_;
   PageCounter* counter_;
   UndoLog* undo_log_ = nullptr;
   obs::Counter* rel_page_reads_;   // storage.rel.<name>.page_reads

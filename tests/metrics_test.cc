@@ -304,5 +304,39 @@ TEST(StorageMetricsTest, TableChargesGlobalAndPerRelationCounters) {
   EXPECT_EQ(rel_writes->value() - rel_before, 2);
 }
 
+TEST(StorageMetricsTest, LabeledDatabaseScopesPerRelationCounters) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter* labeled =
+      reg.GetCounter("storage.rel.mirror.ScopedT.page_writes");
+  obs::Counter* unlabeled = reg.GetCounter("storage.rel.ScopedT.page_writes");
+  const int64_t labeled_before = labeled->value();
+  const int64_t unlabeled_before = unlabeled->value();
+
+  TableDef def;
+  def.name = "ScopedT";
+  def.schema =
+      Schema::Create({{"k", ValueType::kString}, {"v", ValueType::kInt64}})
+          .value();
+  def.primary_key = {"k"};
+
+  // Two databases, same schema: the labeled one charges
+  // storage.rel.<label>.<table>.*, never aliasing the unlabeled names
+  // (docs/OBSERVABILITY.md per-database scoping).
+  Database mirror;
+  mirror.set_label("mirror");
+  auto mt = mirror.CreateTable(def);
+  ASSERT_TRUE(mt.ok());
+  ASSERT_TRUE((*mt)->Insert({Value::String("a"), Value::Int64(1)}).ok());
+  EXPECT_EQ(labeled->value() - labeled_before, 2);
+  EXPECT_EQ(unlabeled->value(), unlabeled_before);
+
+  Database plain;
+  auto pt = plain.CreateTable(def);
+  ASSERT_TRUE(pt.ok());
+  ASSERT_TRUE((*pt)->Insert({Value::String("a"), Value::Int64(1)}).ok());
+  EXPECT_EQ(unlabeled->value() - unlabeled_before, 2);
+  EXPECT_EQ(labeled->value() - labeled_before, 2);
+}
+
 }  // namespace
 }  // namespace auxview

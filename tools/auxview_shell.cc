@@ -15,8 +15,13 @@
 //
 // Dot-commands: .prepare [strategy], .workload <modify|insert|delete>
 // <relation> [attr] [weight], .plan, .check, .io, .consistency, .wal,
-// .checkpoint, .recover, .help, .quit. Statements may span lines; they run
-// at ';'.
+// .checkpoint, .recover, .session, .commit, .abort, .retry, .help, .quit.
+// Statements may span lines; they run at ';'.
+//
+// After .prepare, `.session open` starts a concurrent session: statements
+// stage privately against a pinned snapshot until .commit, which runs
+// first-committer-wins validation (docs/SHELL.md has a two-session
+// conflict demo).
 //
 // Interactive sessions get an in-process line-history buffer (Up/Down
 // recall, backspace editing) with no readline dependency; piped input
@@ -24,6 +29,8 @@
 
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -197,6 +204,14 @@ void PrintHelp() {
       "  .checkpoint    write a checkpoint and truncate the log prefix\n"
       "  .recover       replay the attached log's durable state (run the\n"
       "      same DDL and .workload lines first, instead of reloading data)\n"
+      "  .session open [name]   open a concurrent session (after .prepare)\n"
+      "      and switch to it; statements now stage privately until .commit\n"
+      "  .session switch <name|main>   route statements to another session\n"
+      "  .session close [name]  close a session (dropping staged changes)\n"
+      "  .session       list open sessions (snapshot epoch, staged state)\n"
+      "  .commit        optimistic commit of the current session's staging\n"
+      "  .abort         drop the current session's staged changes\n"
+      "  .retry         drop staged changes, repin, count a retry\n"
       "  .help .quit\n"
       "(docs/SHELL.md documents every command in detail)\n");
 }
@@ -217,8 +232,9 @@ class Shell {
     std::string buffer;
     std::string line;
     while (true) {
-      if (!reader_.ReadLine(buffer.empty() ? "auxview> " : "    ...> ",
-                            &line)) {
+      const std::string prompt =
+          active_.empty() ? "auxview> " : active_ + "> ";
+      if (!reader_.ReadLine(buffer.empty() ? prompt : "    ...> ", &line)) {
         break;
       }
       if (buffer.empty() && !line.empty() &&
@@ -235,8 +251,14 @@ class Shell {
   }
 
  private:
+  TxnSession* ActiveTxn() {
+    auto it = txn_sessions_.find(active_);
+    return it == txn_sessions_.end() ? nullptr : it->second.get();
+  }
+
   void RunSql(const std::string& sql) {
-    auto result = session_.Execute(sql);
+    TxnSession* txn = ActiveTxn();
+    auto result = txn != nullptr ? txn->Execute(sql) : session_.Execute(sql);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       return;
@@ -251,8 +273,14 @@ class Shell {
         std::printf("ok\n");
         break;
       case ExecResult::Kind::kDml:
-        std::printf("ok, %lld row(s)\n",
-                    static_cast<long long>(result->affected));
+        if (txn != nullptr) {
+          std::printf("staged, %lld row(s) (uncommitted; .commit to "
+                      "publish)\n",
+                      static_cast<long long>(result->affected));
+        } else {
+          std::printf("ok, %lld row(s)\n",
+                      static_cast<long long>(result->affected));
+        }
         break;
       case ExecResult::Kind::kRows: {
         std::printf("[%s]\n", result->rows->schema().ToString().c_str());
@@ -433,15 +461,140 @@ class Shell {
     } else if (cmd == ".reset-io") {
       session_.db().counter().Reset();
       std::printf("ok\n");
+    } else if (cmd == ".session") {
+      SessionCommand(words);
+    } else if (cmd == ".commit") {
+      TxnSession* txn = ActiveTxn();
+      if (txn == nullptr) {
+        std::printf("no concurrent session active (.session open)\n");
+        return true;
+      }
+      auto outcome = txn->Commit();
+      if (!outcome.ok()) {
+        std::printf("error: %s\n", outcome.status().ToString().c_str());
+        return true;
+      }
+      switch (outcome->kind) {
+        case CommitOutcome::Kind::kCommitted:
+          std::printf("committed at epoch %llu\n",
+                      static_cast<unsigned long long>(outcome->epoch));
+          break;
+        case CommitOutcome::Kind::kConflict:
+          std::printf("CONFLICT: %s\n"
+                      "staged changes kept — .retry for a fresh snapshot "
+                      "(then re-run), or .abort to drop them\n",
+                      outcome->detail.c_str());
+          break;
+        case CommitOutcome::Kind::kRejected:
+          std::printf("REJECTED: assertion %s would be violated "
+                      "(staged changes dropped)\n",
+                      outcome->detail.c_str());
+          break;
+      }
+    } else if (cmd == ".abort") {
+      TxnSession* txn = ActiveTxn();
+      if (txn == nullptr) {
+        std::printf("no concurrent session active (.session open)\n");
+        return true;
+      }
+      txn->Abort();
+      std::printf("aborted; fresh snapshot at epoch %llu\n",
+                  static_cast<unsigned long long>(txn->snapshot_epoch()));
+    } else if (cmd == ".retry") {
+      TxnSession* txn = ActiveTxn();
+      if (txn == nullptr) {
+        std::printf("no concurrent session active (.session open)\n");
+        return true;
+      }
+      txn->Restart();
+      std::printf("retrying on snapshot epoch %llu — re-run your "
+                  "statements, then .commit\n",
+                  static_cast<unsigned long long>(txn->snapshot_epoch()));
     } else {
       std::printf("unknown command %s (.help for help)\n", cmd.c_str());
     }
     return true;
   }
 
+  void SessionCommand(const std::vector<std::string>& words) {
+    const std::string sub = words.size() > 1 ? words[1] : "list";
+    if (sub == "list") {
+      std::printf("%c main (serial, owning session)\n",
+                  active_.empty() ? '*' : ' ');
+      for (const auto& [name, txn] : txn_sessions_) {
+        std::printf("%c %s (snapshot epoch %llu%s)\n",
+                    name == active_ ? '*' : ' ', name.c_str(),
+                    static_cast<unsigned long long>(txn->snapshot_epoch()),
+                    txn->dirty() ? ", staged changes" : "");
+      }
+    } else if (sub == "open") {
+      if (!session_.prepared()) {
+        std::printf(".session open requires .prepare first\n");
+        return;
+      }
+      const std::string name =
+          words.size() > 2 ? words[2] : "s" + std::to_string(++session_seq_);
+      if (name == "main" || txn_sessions_.count(name) > 0) {
+        std::printf("session %s already exists\n", name.c_str());
+        return;
+      }
+      Status enabled = session_.EnableConcurrency();
+      if (!enabled.ok()) {
+        std::printf("error: %s\n", enabled.ToString().c_str());
+        return;
+      }
+      auto txn = session_.OpenSession();
+      if (!txn.ok()) {
+        std::printf("error: %s\n", txn.status().ToString().c_str());
+        return;
+      }
+      std::printf("session %s open at snapshot epoch %llu\n", name.c_str(),
+                  static_cast<unsigned long long>((*txn)->snapshot_epoch()));
+      txn_sessions_[name] = std::move(*txn);
+      active_ = name;
+    } else if (sub == "switch") {
+      if (words.size() < 3) {
+        std::printf("usage: .session switch <name|main>\n");
+        return;
+      }
+      const std::string& name = words[2];
+      if (name == "main") {
+        active_.clear();
+        std::printf("now on main (serial session)\n");
+      } else if (txn_sessions_.count(name) > 0) {
+        active_ = name;
+        std::printf("now on %s (snapshot epoch %llu)\n", name.c_str(),
+                    static_cast<unsigned long long>(
+                        txn_sessions_[name]->snapshot_epoch()));
+      } else {
+        std::printf("no such session: %s\n", name.c_str());
+      }
+    } else if (sub == "close") {
+      const std::string name = words.size() > 2 ? words[2] : active_;
+      auto it = txn_sessions_.find(name);
+      if (name.empty() || it == txn_sessions_.end()) {
+        std::printf("no such session%s%s\n", name.empty() ? "" : ": ",
+                    name.c_str());
+        return;
+      }
+      if (it->second->dirty()) {
+        std::printf("dropping staged changes of %s\n", name.c_str());
+      }
+      txn_sessions_.erase(it);
+      if (active_ == name) active_.clear();
+      std::printf("session %s closed\n", name.c_str());
+    } else {
+      std::printf("usage: .session [open [name] | switch <name|main> | "
+                  "close [name] | list]\n");
+    }
+  }
+
   LineReader reader_;
   Session session_;
   std::vector<TransactionType> workload_;
+  std::map<std::string, std::unique_ptr<TxnSession>> txn_sessions_;
+  std::string active_;  // "" = the serial owning session
+  int session_seq_ = 0;
 };
 
 }  // namespace

@@ -41,6 +41,18 @@ KNOWN_WAL_COUNTERS = {
     "wal.truncated_tail",
 }
 
+# The concurrency-layer metric family (docs/CONCURRENCY.md,
+# docs/OBSERVABILITY.md). Same closed-namespace rule as wal.*:
+# concurrency.snapshot_pins is a gauge, the rest are counters.
+KNOWN_CONCURRENCY_COUNTERS = {
+    "concurrency.commits",
+    "concurrency.conflicts",
+    "concurrency.retries",
+}
+KNOWN_CONCURRENCY_GAUGES = {
+    "concurrency.snapshot_pins",
+}
+
 
 def check(path):
     errors = []
@@ -95,10 +107,26 @@ def check(path):
                 errors.append(
                     f"{path}: unknown wal.* counter '{name}' (update "
                     f"KNOWN_WAL_COUNTERS and docs/DURABILITY.md together)")
+            if (name.startswith("concurrency.")
+                    and name not in KNOWN_CONCURRENCY_COUNTERS):
+                errors.append(
+                    f"{path}: unknown concurrency.* counter '{name}' "
+                    f"(update KNOWN_CONCURRENCY_COUNTERS and "
+                    f"docs/CONCURRENCY.md together)")
 
     for key in ("gauges", "histograms"):
         if not isinstance(doc["metrics"].get(key), dict):
             errors.append(f"{path}: metrics.{key} missing")
+
+    gauges = doc["metrics"].get("gauges")
+    if isinstance(gauges, dict):
+        for name in gauges:
+            if (name.startswith("concurrency.")
+                    and name not in KNOWN_CONCURRENCY_GAUGES):
+                errors.append(
+                    f"{path}: unknown concurrency.* gauge '{name}' "
+                    f"(update KNOWN_CONCURRENCY_GAUGES and "
+                    f"docs/CONCURRENCY.md together)")
 
     return errors
 

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validates cross-references in the repo's markdown documentation.
+
+Usage: tools/check_doc_links.py [repo_root]
+
+Scans README.md, DESIGN.md, ROADMAP.md and docs/*.md for:
+
+  1. Relative markdown links `[text](path)` — the target file must exist
+     (anchors `#...` are stripped; absolute URLs are skipped).
+  2. Inline-code path references like `src/concurrency/snapshot.h`,
+     `tools/check_bench_json.py`, `docs/CONCURRENCY.md` or `tests/foo.cc`
+     — the file or directory must exist, so renames can't silently strand
+     the docs.
+
+Exits non-zero with one message per broken reference, so CI can gate on
+it. Stdlib only — no third-party dependencies.
+"""
+
+import os
+import re
+import sys
+
+DOC_FILES = ["README.md", "DESIGN.md", "ROADMAP.md"]
+DOC_GLOB_DIR = "docs"
+
+# [text](target) — excludes images' inner brackets well enough for our docs.
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# `src/foo/bar.h`, `tools/x.py`, `docs/Y.md`, `tests/z.cc`, `benchmarks/...`
+# inside inline code spans. Trailing punctuation like `:123` (line anchors)
+# is allowed and stripped.
+CODE_PATH = re.compile(
+    r"`((?:src|tools|docs|tests|benchmarks)/[A-Za-z0-9_./\-]+)`")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def doc_files(root):
+    files = [p for p in DOC_FILES if os.path.isfile(os.path.join(root, p))]
+    docs_dir = os.path.join(root, DOC_GLOB_DIR)
+    if os.path.isdir(docs_dir):
+        files.extend(
+            os.path.join(DOC_GLOB_DIR, name)
+            for name in sorted(os.listdir(docs_dir))
+            if name.endswith(".md"))
+    return files
+
+
+def strip_code_blocks(text):
+    """Removes fenced code blocks: shell transcripts legitimately mention
+    paths that don't exist (scratch dirs, generated files)."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def check_file(root, rel):
+    errors = []
+    path = os.path.join(root, rel)
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    text = strip_code_blocks(raw)
+    base = os.path.dirname(path)
+
+    for n, line in enumerate(text.splitlines(), start=1):
+        for m in MD_LINK.finditer(line):
+            target = m.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}:{n}: broken link '{m.group(1)}'")
+        for m in CODE_PATH.finditer(line):
+            target = re.sub(r":\d+.*$", "", m.group(1)).rstrip(".")
+            # Repo-root-relative regardless of which doc mentions it. A
+            # reference to a built binary (`tools/crash_soak`) resolves via
+            # its source file.
+            resolved = os.path.join(root, target)
+            if not (os.path.exists(resolved)
+                    or os.path.exists(resolved + ".cc")):
+                errors.append(f"{rel}:{n}: dangling path reference "
+                              f"'{m.group(1)}'")
+    return errors
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    files = doc_files(root)
+    if not files:
+        print(f"no documentation files found under {root}", file=sys.stderr)
+        return 2
+    all_errors = []
+    for rel in files:
+        all_errors.extend(check_file(root, rel))
+    for err in all_errors:
+        print(err, file=sys.stderr)
+    if not all_errors:
+        print(f"ok: {len(files)} doc file(s), all references resolve")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
