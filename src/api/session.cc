@@ -41,6 +41,13 @@ void Session::DeclareWorkload(std::vector<TransactionType> txns) {
   workload_ = std::move(txns);
 }
 
+void Session::SetMaintainThreads(int threads) {
+  options_.maintain.threads = threads < 1 ? 1 : threads;
+  if (manager_ != nullptr) {
+    manager_->set_maintain_threads(options_.maintain.threads);
+  }
+}
+
 StatusOr<ExecResult> Session::Execute(const std::string& sql) {
   AUXVIEW_RETURN_IF_ERROR(wal_status_);
   AUXVIEW_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseSql(sql));

@@ -160,6 +160,14 @@ class Session {
   Catalog& catalog() { return catalog_; }
   const PageCounter& counter() const { return db_.counter(); }
 
+  /// Sets the delta-propagation worker count (>= 1; 1 = sequential).
+  /// Applies to the live ViewManager when prepared and to any manager a
+  /// later Prepare/Recover constructs. Results and charged costs are
+  /// bit-identical for every value (docs/CONCURRENCY.md). The shell's
+  /// .threads command lands here.
+  void SetMaintainThreads(int threads);
+  int maintain_threads() const { return options_.maintain.threads; }
+
  private:
   StatusOr<ExecResult> ExecuteOne(const Statement& stmt);
   StatusOr<ExecResult> ExecuteSelect(const SelectQuery& query);

@@ -1,0 +1,125 @@
+#include "common/worker_pool.h"
+
+#include <utility>
+
+#include "common/failpoint.h"
+#include "obs/metrics.h"
+
+namespace auxview {
+
+namespace {
+
+obs::Counter* TasksSpawnedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("maintain.pool.tasks_spawned");
+  return c;
+}
+
+obs::Histogram* WorkerUsHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "maintain.pool.worker_us", obs::Histogram::DefaultTimeBoundsUs());
+  return h;
+}
+
+}  // namespace
+
+WorkerPool& WorkerPool::Shared() {
+  static WorkerPool* pool = new WorkerPool();  // intentionally leaked
+  return *pool;
+}
+
+WorkerPool::~WorkerPool() { Resize(0); }
+
+void WorkerPool::Resize(int workers) {
+  if (workers < 0) workers = 0;
+  std::vector<std::thread> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<size_t>(workers) == workers_.size()) return;
+    stopping_ = true;
+    old.swap(workers_);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : old) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+int WorkerPool::workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void WorkerPool::ExecuteTask(Job* job, size_t index,
+                             std::unique_lock<std::mutex>& lock) {
+  lock.unlock();
+  TasksSpawnedCounter()->Add(1);
+  Status status;
+  {
+    obs::ScopedTimer timer(WorkerUsHistogram());
+    status = FailpointRegistry::Global().Check("pool.task.fail");
+    if (status.ok()) status = (*job->tasks)[index]();
+  }
+  lock.lock();
+  if (!status.ok() && (!job->failed || index < job->first_error_index)) {
+    job->failed = true;
+    job->first_error_index = index;
+    job->first_error = status;
+  }
+  ++job->done;
+  if (job->done == job->tasks->size()) job->done_cv.notify_all();
+}
+
+void WorkerPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+    if (stopping_) return;
+    Job* job = jobs_.front();
+    const size_t index = job->next++;
+    if (job->next >= job->tasks->size()) jobs_.pop_front();
+    ExecuteTask(job, index, lock);
+  }
+}
+
+Status WorkerPool::RunAll(std::vector<std::function<Status()>> tasks,
+                          int parallelism) {
+  if (tasks.empty()) return Status::Ok();
+  Job job;
+  job.tasks = &tasks;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (parallelism <= 1 || workers_.empty()) {
+    // Inline path: index order, first error stops (same error as the
+    // parallel path would pick — the lowest failing index).
+    for (size_t i = 0; i < tasks.size() && !job.failed; ++i) {
+      ExecuteTask(&job, i, lock);
+    }
+    return job.failed ? job.first_error : Status::Ok();
+  }
+  jobs_.push_back(&job);
+  work_cv_.notify_all();
+  // Help with our *own* job only (see the class comment for why stealing
+  // another job's tasks could deadlock), then wait for the stragglers.
+  while (job.next < tasks.size()) {
+    const size_t index = job.next++;
+    if (job.next >= tasks.size()) {
+      for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+        if (*it == &job) {
+          jobs_.erase(it);
+          break;
+        }
+      }
+    }
+    ExecuteTask(&job, index, lock);
+  }
+  job.done_cv.wait(lock, [&job, &tasks] { return job.done == tasks.size(); });
+  return job.failed ? job.first_error : Status::Ok();
+}
+
+}  // namespace auxview

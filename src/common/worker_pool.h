@@ -1,0 +1,97 @@
+#ifndef AUXVIEW_COMMON_WORKER_POOL_H_
+#define AUXVIEW_COMMON_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace auxview {
+
+/// A shared pool of background workers for intra-transaction parallelism:
+/// delta propagation fans one transaction's update track out across
+/// independent equivalence nodes (topological waves), and the batch kernels
+/// fan a large RowBatch out across hash partitions. Both go through RunAll.
+///
+/// Design constraints (docs/CONCURRENCY.md, "Intra-transaction
+/// parallelism"):
+///  - Results must be bit-identical for every worker count, so the pool
+///    never influences *what* runs — only *where*. Task sets, their order
+///    of submission and the error chosen on failure (lowest task index) are
+///    all decided by the caller.
+///  - A caller waiting for its own submission executes its *own* unclaimed
+///    tasks ("help with your own job only"). A waiting thread must never
+///    steal another job's task: a stolen delta-node task could block on a
+///    fetch whose owner is the stealer itself, which deadlocks. Partition
+///    subtasks never block, so nested RunAll calls (a kernel partitioning
+///    inside a wave task) always make progress through self-help even when
+///    every background worker is busy.
+///  - Every task execution passes the `pool.task.fail` failpoint, including
+///    the inline (0-worker / parallelism 1) path, so the fault-injection
+///    sweep covers mid-propagation worker faults deterministically.
+///
+/// Metrics: maintain.pool.tasks_spawned counts task executions,
+/// maintain.pool.worker_us observes per-task wall time (docs/OBSERVABILITY.md).
+class WorkerPool {
+ public:
+  /// The process-wide pool used by delta propagation and the partitioned
+  /// kernels. Starts with zero background workers (fully inline).
+  static WorkerPool& Shared();
+
+  WorkerPool() = default;
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Sets the number of background workers (>= 0). Callers configure
+  /// `threads` total parallelism as `Resize(threads - 1)`: the submitting
+  /// thread is the extra worker. Must not run concurrently with RunAll.
+  void Resize(int workers);
+  int workers() const;
+
+  /// Runs every task to completion and returns Ok, or — when any tasks
+  /// failed — the error of the failing task with the lowest index
+  /// (deterministic for every worker count). With `parallelism <= 1` or no
+  /// background workers the tasks run inline on the calling thread, in
+  /// index order, stopping at the first error; otherwise background workers
+  /// claim tasks in index order while the caller works through the rest.
+  /// Parallelism above 1 is not throttled further: the effective width is
+  /// min(tasks, workers + 1).
+  Status RunAll(std::vector<std::function<Status()>> tasks,
+                int parallelism = 1 << 20);
+
+ private:
+  /// One RunAll invocation: tasks, claim cursor and completion accounting.
+  struct Job {
+    std::vector<std::function<Status()>>* tasks = nullptr;
+    size_t next = 0;  // next unclaimed task index
+    size_t done = 0;
+    bool failed = false;
+    size_t first_error_index = 0;
+    Status first_error;
+    std::condition_variable done_cv;
+  };
+
+  /// Runs task `index` of `job` (failpoint + metrics + error recording).
+  /// `lock` is held on entry and exit, released around the task body.
+  void ExecuteTask(Job* job, size_t index, std::unique_lock<std::mutex>& lock);
+
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  /// Jobs that still have unclaimed tasks, in submission order.
+  std::deque<Job*> jobs_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace auxview
+
+#endif  // AUXVIEW_COMMON_WORKER_POOL_H_

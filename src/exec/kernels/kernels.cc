@@ -1,8 +1,11 @@
 #include "exec/kernels/kernels.h"
 
+#include <atomic>
+#include <functional>
 #include <utility>
 
 #include "common/check.h"
+#include "common/worker_pool.h"
 #include "obs/metrics.h"
 
 namespace auxview {
@@ -55,55 +58,99 @@ struct GroupState {
   std::vector<int64_t> nonnull_count;  // per-agg count of non-null args
 };
 
-}  // namespace
+// ---- Partitioned-execution configuration (see kernels.h) -------------------
 
-std::vector<int> ResolveColumns(const Schema& schema,
-                                const std::vector<std::string>& attrs) {
-  std::vector<int> cols;
-  cols.reserve(attrs.size());
-  for (const std::string& a : attrs) {
-    const int i = schema.IndexOf(a);
-    AUXVIEW_CHECK_MSG(i >= 0, ("kernel attr missing from schema: " + a).c_str());
-    cols.push_back(i);
+std::atomic<int64_t> g_partition_min_rows{0};
+std::atomic<int> g_partition_count{4};
+
+obs::Counter* PartitionsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("maintain.pool.partitions");
+  return c;
+}
+
+/// Should a kernel with `rows` input entries partition? A pure function of
+/// the configuration and the input, never the pool size.
+bool ShouldPartition(int64_t rows) {
+  const int64_t min_rows = g_partition_min_rows.load(std::memory_order_relaxed);
+  return min_rows > 0 && rows >= min_rows &&
+         g_partition_count.load(std::memory_order_relaxed) > 1;
+}
+
+/// Splits into contiguous chunks of near-equal entry counts; concatenating
+/// the outputs in partition order is entry-for-entry identical to running
+/// the kernel unpartitioned (filter/project are entry-local).
+std::vector<RowBatch> SplitChunks(const RowBatch& input, int p) {
+  std::vector<RowBatch> parts;
+  parts.reserve(static_cast<size_t>(p));
+  const int64_t n = input.num_rows();
+  for (int i = 0; i < p; ++i) {
+    const int64_t begin = n * i / p;
+    const int64_t end = n * (i + 1) / p;
+    RowBatch part(input.schema());
+    part.Reserve(end - begin);
+    for (int64_t j = begin; j < end; ++j) {
+      part.Append(input.row(j), input.count(j));
+    }
+    parts.push_back(std::move(part));
   }
-  return cols;
+  return parts;
 }
 
-HashIndex::HashIndex(const RowBatch* batch, std::vector<int> key_cols)
-    : batch_(batch), key_cols_(std::move(key_cols)) {
-  map_.reserve(static_cast<size_t>(batch_->num_rows()));
-  for (int64_t i = 0; i < batch_->num_rows(); ++i) {
-    const RowRef row = batch_->row(i);
-    Row key;
-    key.reserve(key_cols_.size());
-    for (int c : key_cols_) key.push_back(row[c]);
-    map_[std::move(key)].push_back(i);
+/// Splits by hash of the `key_cols` projection: rows with equal keys land in
+/// the same partition and keep their relative order.
+std::vector<RowBatch> SplitByHash(const RowBatch& input,
+                                  const std::vector<int>& key_cols, int p) {
+  std::vector<RowBatch> parts(static_cast<size_t>(p), RowBatch(input.schema()));
+  const RowHash hasher;
+  Row key;
+  for (int64_t i = 0; i < input.num_rows(); ++i) {
+    const RowRef row = input.row(i);
+    key.clear();
+    key.reserve(key_cols.size());
+    for (int c : key_cols) key.push_back(row[c]);
+    parts[hasher(key) % static_cast<size_t>(p)].Append(row, input.count(i));
   }
+  return parts;
 }
 
-const std::vector<int64_t>* HashIndex::Probe(const Row& key) const {
-  auto it = map_.find(key);
-  return it == map_.end() ? nullptr : &it->second;
+/// Runs `fn` over every partition on the shared pool and concatenates the
+/// outputs by partition index (the deterministic merge).
+StatusOr<RowBatch> RunPartitions(
+    const Expr& expr, const std::vector<RowBatch>& parts,
+    const std::function<StatusOr<RowBatch>(const Expr&, const RowBatch&)>& fn) {
+  std::vector<RowBatch> outs(parts.size(), RowBatch(expr.output_schema()));
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    tasks.push_back([&expr, &parts, &outs, &fn, i]() -> Status {
+      AUXVIEW_ASSIGN_OR_RETURN(outs[i], fn(expr, parts[i]));
+      return Status::Ok();
+    });
+  }
+  PartitionsCounter()->Add(static_cast<int64_t>(parts.size()));
+  AUXVIEW_RETURN_IF_ERROR(WorkerPool::Shared().RunAll(std::move(tasks)));
+  int64_t total = 0;
+  for (const RowBatch& o : outs) total += o.num_rows();
+  RowBatch merged(expr.output_schema());
+  merged.Reserve(total);
+  for (const RowBatch& o : outs) merged.AppendBatch(o);
+  return merged;
 }
 
-StatusOr<RowBatch> Filter(const Expr& expr, const RowBatch& input) {
-  static const KernelMetrics metrics = KernelMetrics::Resolve("filter");
+StatusOr<RowBatch> FilterSeq(const Expr& expr, const RowBatch& input) {
   RowBatch out(expr.output_schema());
-  KernelScope scope(metrics);
   const Schema& schema = input.schema();
   for (int64_t i = 0; i < input.num_rows(); ++i) {
     const Row row = input.RowAt(i);
     AUXVIEW_ASSIGN_OR_RETURN(Value v, expr.predicate()->Eval(row, schema));
     if (!v.is_null() && v.boolean()) out.Append(input.row(i), input.count(i));
   }
-  metrics.rows->Add(out.num_rows());
   return out;
 }
 
-StatusOr<RowBatch> Project(const Expr& expr, const RowBatch& input) {
-  static const KernelMetrics metrics = KernelMetrics::Resolve("project");
+StatusOr<RowBatch> ProjectSeq(const Expr& expr, const RowBatch& input) {
   RowBatch out(expr.output_schema());
-  KernelScope scope(metrics);
   out.Reserve(input.num_rows());
   const Schema& schema = input.schema();
   Row projected;
@@ -117,15 +164,12 @@ StatusOr<RowBatch> Project(const Expr& expr, const RowBatch& input) {
     }
     out.Append(projected, input.count(i));
   }
-  metrics.rows->Add(out.num_rows());
   return out;
 }
 
-StatusOr<RowBatch> HashJoin(const Expr& expr, const RowBatch& left,
-                            const RowBatch& right) {
-  static const KernelMetrics metrics = KernelMetrics::Resolve("hash_join");
+StatusOr<RowBatch> HashJoinSeq(const Expr& expr, const RowBatch& left,
+                               const RowBatch& right) {
   RowBatch out(expr.output_schema());
-  KernelScope scope(metrics);
   const std::vector<int> l_key_cols =
       ResolveColumns(left.schema(), expr.join_attrs());
   const std::vector<int> r_key_cols =
@@ -157,17 +201,14 @@ StatusOr<RowBatch> HashJoin(const Expr& expr, const RowBatch& left,
                        left.count(i) * right.count(j));
     }
   }
-  metrics.rows->Add(out.num_rows());
   return out;
 }
 
-StatusOr<RowBatch> GroupedAggregate(const Expr& expr, const RowBatch& input) {
-  static const KernelMetrics metrics = KernelMetrics::Resolve("aggregate");
+StatusOr<RowBatch> GroupedAggregateSeq(const Expr& expr,
+                                       const RowBatch& input) {
   RowBatch out(expr.output_schema());
-  KernelScope scope(metrics);
   const Schema& schema = input.schema();
-  const std::vector<int> group_cols =
-      ResolveColumns(schema, expr.group_by());
+  const std::vector<int> group_cols = ResolveColumns(schema, expr.group_by());
   const size_t num_aggs = expr.aggs().size();
   std::unordered_map<Row, GroupState, RowHash, RowEq> groups;
   for (int64_t i = 0; i < input.num_rows(); ++i) {
@@ -254,14 +295,11 @@ StatusOr<RowBatch> GroupedAggregate(const Expr& expr, const RowBatch& input) {
     }
     out.Append(row, 1);
   }
-  metrics.rows->Add(out.num_rows());
   return out;
 }
 
-StatusOr<RowBatch> DupElim(const Expr& expr, const RowBatch& input) {
-  static const KernelMetrics metrics = KernelMetrics::Resolve("dup_elim");
+StatusOr<RowBatch> DupElimSeq(const Expr& expr, const RowBatch& input) {
   RowBatch out(expr.output_schema());
-  KernelScope scope(metrics);
   // Coalesce first: a batch may carry the same row in several entries
   // (including +n/-n pairs that cancel), and dup-elim is defined on the
   // coalesced bag.
@@ -279,6 +317,164 @@ StatusOr<RowBatch> DupElim(const Expr& expr, const RowBatch& input) {
           "DupElim over a relation with negative multiplicities");
     }
     if (total > 0) out.Append(*row, 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+void SetPartitionMinRows(int64_t min_rows) {
+  g_partition_min_rows.store(min_rows < 0 ? 0 : min_rows,
+                             std::memory_order_relaxed);
+}
+
+int64_t PartitionMinRows() {
+  return g_partition_min_rows.load(std::memory_order_relaxed);
+}
+
+void SetPartitionCount(int count) {
+  g_partition_count.store(count < 1 ? 1 : count, std::memory_order_relaxed);
+}
+
+int PartitionCount() {
+  return g_partition_count.load(std::memory_order_relaxed);
+}
+
+std::vector<int> ResolveColumns(const Schema& schema,
+                                const std::vector<std::string>& attrs) {
+  std::vector<int> cols;
+  cols.reserve(attrs.size());
+  for (const std::string& a : attrs) {
+    const int i = schema.IndexOf(a);
+    AUXVIEW_CHECK_MSG(i >= 0, ("kernel attr missing from schema: " + a).c_str());
+    cols.push_back(i);
+  }
+  return cols;
+}
+
+HashIndex::HashIndex(const RowBatch* batch, std::vector<int> key_cols)
+    : batch_(batch), key_cols_(std::move(key_cols)) {
+  map_.reserve(static_cast<size_t>(batch_->num_rows()));
+  for (int64_t i = 0; i < batch_->num_rows(); ++i) {
+    const RowRef row = batch_->row(i);
+    Row key;
+    key.reserve(key_cols_.size());
+    for (int c : key_cols_) key.push_back(row[c]);
+    map_[std::move(key)].push_back(i);
+  }
+}
+
+const std::vector<int64_t>* HashIndex::Probe(const Row& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+StatusOr<RowBatch> Filter(const Expr& expr, const RowBatch& input) {
+  static const KernelMetrics metrics = KernelMetrics::Resolve("filter");
+  KernelScope scope(metrics);
+  RowBatch out(expr.output_schema());
+  if (ShouldPartition(input.num_rows())) {
+    AUXVIEW_ASSIGN_OR_RETURN(
+        out, RunPartitions(expr, SplitChunks(input, PartitionCount()),
+                           &FilterSeq));
+  } else {
+    AUXVIEW_ASSIGN_OR_RETURN(out, FilterSeq(expr, input));
+  }
+  metrics.rows->Add(out.num_rows());
+  return out;
+}
+
+StatusOr<RowBatch> Project(const Expr& expr, const RowBatch& input) {
+  static const KernelMetrics metrics = KernelMetrics::Resolve("project");
+  KernelScope scope(metrics);
+  RowBatch out(expr.output_schema());
+  if (ShouldPartition(input.num_rows())) {
+    AUXVIEW_ASSIGN_OR_RETURN(
+        out, RunPartitions(expr, SplitChunks(input, PartitionCount()),
+                           &ProjectSeq));
+  } else {
+    AUXVIEW_ASSIGN_OR_RETURN(out, ProjectSeq(expr, input));
+  }
+  metrics.rows->Add(out.num_rows());
+  return out;
+}
+
+StatusOr<RowBatch> HashJoin(const Expr& expr, const RowBatch& left,
+                            const RowBatch& right) {
+  static const KernelMetrics metrics = KernelMetrics::Resolve("hash_join");
+  KernelScope scope(metrics);
+  RowBatch out(expr.output_schema());
+  // Co-partition both sides by join-key hash: matching rows share a
+  // partition, so the partitioned join computes exactly the unpartitioned
+  // result set. Cross joins (no join attrs) stay sequential.
+  if (!expr.join_attrs().empty() &&
+      (ShouldPartition(left.num_rows()) || ShouldPartition(right.num_rows()))) {
+    const int p = PartitionCount();
+    const std::vector<RowBatch> l_parts = SplitByHash(
+        left, ResolveColumns(left.schema(), expr.join_attrs()), p);
+    const std::vector<RowBatch> r_parts = SplitByHash(
+        right, ResolveColumns(right.schema(), expr.join_attrs()), p);
+    std::vector<RowBatch> outs(static_cast<size_t>(p),
+                               RowBatch(expr.output_schema()));
+    std::vector<std::function<Status()>> tasks;
+    tasks.reserve(static_cast<size_t>(p));
+    for (int i = 0; i < p; ++i) {
+      tasks.push_back([&expr, &l_parts, &r_parts, &outs, i]() -> Status {
+        AUXVIEW_ASSIGN_OR_RETURN(
+            outs[static_cast<size_t>(i)],
+            HashJoinSeq(expr, l_parts[static_cast<size_t>(i)],
+                        r_parts[static_cast<size_t>(i)]));
+        return Status::Ok();
+      });
+    }
+    PartitionsCounter()->Add(p);
+    AUXVIEW_RETURN_IF_ERROR(WorkerPool::Shared().RunAll(std::move(tasks)));
+    for (const RowBatch& o : outs) out.AppendBatch(o);
+  } else {
+    AUXVIEW_ASSIGN_OR_RETURN(out, HashJoinSeq(expr, left, right));
+  }
+  metrics.rows->Add(out.num_rows());
+  return out;
+}
+
+StatusOr<RowBatch> GroupedAggregate(const Expr& expr, const RowBatch& input) {
+  static const KernelMetrics metrics = KernelMetrics::Resolve("aggregate");
+  KernelScope scope(metrics);
+  RowBatch out(expr.output_schema());
+  // Partition by group-key hash: a group's rows stay together and in order,
+  // so every group accumulates exactly as it would unpartitioned. A global
+  // aggregate (no group-by) is one group and stays sequential.
+  if (!expr.group_by().empty() && ShouldPartition(input.num_rows())) {
+    const std::vector<int> group_cols =
+        ResolveColumns(input.schema(), expr.group_by());
+    AUXVIEW_ASSIGN_OR_RETURN(
+        out, RunPartitions(expr,
+                           SplitByHash(input, group_cols, PartitionCount()),
+                           &GroupedAggregateSeq));
+  } else {
+    AUXVIEW_ASSIGN_OR_RETURN(out, GroupedAggregateSeq(expr, input));
+  }
+  metrics.rows->Add(out.num_rows());
+  return out;
+}
+
+StatusOr<RowBatch> DupElim(const Expr& expr, const RowBatch& input) {
+  static const KernelMetrics metrics = KernelMetrics::Resolve("dup_elim");
+  KernelScope scope(metrics);
+  RowBatch out(expr.output_schema());
+  // Partition by whole-row hash: all copies of a row share a partition, so
+  // per-row totals (and the negative-total check) are complete per
+  // partition.
+  if (input.width() > 0 && ShouldPartition(input.num_rows())) {
+    std::vector<int> all_cols;
+    all_cols.reserve(static_cast<size_t>(input.width()));
+    for (int c = 0; c < input.width(); ++c) all_cols.push_back(c);
+    AUXVIEW_ASSIGN_OR_RETURN(
+        out, RunPartitions(expr,
+                           SplitByHash(input, all_cols, PartitionCount()),
+                           &DupElimSeq));
+  } else {
+    AUXVIEW_ASSIGN_OR_RETURN(out, DupElimSeq(expr, input));
   }
   metrics.rows->Add(out.num_rows());
   return out;

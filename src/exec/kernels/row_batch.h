@@ -2,9 +2,11 @@
 #define AUXVIEW_EXEC_KERNELS_ROW_BATCH_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/schema.h"
+#include "common/check.h"
 #include "common/value.h"
 #include "exec/relation.h"
 
@@ -92,6 +94,36 @@ class RowBatch {
     values_.insert(values_.end(), left.data, left.data + left.size);
     for (int c : right_cols) values_.push_back(right[c]);
     counts_.push_back(count);
+  }
+
+  /// Appends every entry of `other`, in order. Schemas must have the same
+  /// width (batch-native delta propagation concatenates aligned batches).
+  void AppendBatch(const RowBatch& other) {
+    AUXVIEW_CHECK_MSG(other.width_ == width_,
+                      "AppendBatch across mismatched widths");
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+    counts_.insert(counts_.end(), other.counts_.begin(), other.counts_.end());
+  }
+
+  /// Coalesced copy: one entry per distinct row with multiplicities summed
+  /// (zero totals dropped — Relation semantics), in first-appearance order.
+  /// Unlike ToRelation, the result stays a batch and the entry order is a
+  /// deterministic function of this batch's entry order, which keeps
+  /// batch-native delta tracks bit-identical across worker counts.
+  RowBatch Coalesced() const {
+    std::unordered_map<Row, int64_t, RowHash, RowEq> totals;
+    std::vector<const Row*> order;  // first-appearance order
+    totals.reserve(static_cast<size_t>(num_rows()));
+    order.reserve(static_cast<size_t>(num_rows()));
+    for (int64_t i = 0; i < num_rows(); ++i) {
+      auto [it, inserted] = totals.try_emplace(RowAt(i), 0);
+      it->second += counts_[i];
+      if (inserted) order.push_back(&it->first);
+    }
+    RowBatch out(schema_);
+    out.Reserve(static_cast<int64_t>(order.size()));
+    for (const Row* row : order) out.Append(*row, totals.at(*row));
+    return out;
   }
 
   /// Batch from a coalesced Relation; entry order follows the relation's

@@ -1,11 +1,14 @@
 #include "maintain/delta_engine.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "common/worker_pool.h"
 #include "exec/kernels/kernels.h"
 #include "exec/kernels/row_batch.h"
 #include "obs/metrics.h"
@@ -50,8 +53,9 @@ Relation FilterByKey(const Relation& rel, const std::vector<std::string>& attrs,
 }
 
 /// Runs a unary operator kernel over a coalesced relation: batch in, batch
-/// out, coalesce back. Entry order is the relation's iteration order, so
-/// accumulation order matches the former row-at-a-time code.
+/// out, coalesce back. Survives only at fetch/materialization boundaries
+/// (FetchUncached push-down, the aggregate query path) — track-internal
+/// deltas stay RowBatch end to end.
 StatusOr<Relation> ApplyUnaryKernel(const Expr& op, const Relation& in) {
   AUXVIEW_ASSIGN_OR_RETURN(RowBatch out,
                            kernels::ApplyUnary(op, RowBatch::FromRelation(in)));
@@ -77,6 +81,20 @@ obs::Gauge* FetchCacheGauge() {
   return gauge;
 }
 
+/// Entries merged away at batch coalesce points (leaf seeds and per-node
+/// attach): in_entries - out_entries summed over every Coalesced() call.
+obs::Counter* CoalesceRowsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("maintain.pool.coalesce_rows");
+  return c;
+}
+
+obs::Counter* WavesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("maintain.pool.waves");
+  return c;
+}
+
 }  // namespace
 
 std::string MaterializedViewName(GroupId g) {
@@ -84,7 +102,10 @@ std::string MaterializedViewName(GroupId g) {
 }
 
 void DeltaEngine::ClearFetchCache() {
+  std::lock_guard<std::mutex> lock(fetch_mu_);
   fetch_cache_.clear();
+  fetch_pending_.clear();
+  fetch_error_ = Status::Ok();
   FetchCacheGauge()->Set(0);
 }
 
@@ -97,6 +118,11 @@ DeltaEngine::DeltaEngine(const Memo* memo, const Catalog* catalog,
       fds_(memo, catalog),
       delta_(memo, catalog, &stats_),
       coster_(memo, catalog, &stats_, &fds_, IoCostModel()) {}
+
+void DeltaEngine::set_threads(int threads) {
+  threads_ = threads < 1 ? 1 : threads;
+  WorkerPool::Shared().Resize(threads_ - 1);
+}
 
 StatusOr<Relation> DeltaEngine::AlignRelation(const Relation& rel,
                                               const Schema& schema) {
@@ -120,18 +146,51 @@ StatusOr<Relation> DeltaEngine::AlignRelation(const Relation& rel,
   return out;
 }
 
-StatusOr<Relation> DeltaEngine::LeafDeltaRelation(
-    const MemoGroup& grp, const TableUpdate& update) const {
-  Relation out(grp.schema);
-  for (const auto& [row, count] : update.inserts) out.Add(row, count);
-  for (const auto& [row, count] : update.deletes) out.Add(row, -count);
+StatusOr<RowBatch> DeltaEngine::AlignBatch(const RowBatch& batch,
+                                           const Schema& schema) {
+  if (batch.schema() == schema) return batch;
+  std::vector<int> mapping;
+  for (const Column& c : schema.columns()) {
+    const int i = batch.schema().IndexOf(c.name);
+    if (i < 0) {
+      return Status::Internal("cannot align batch: missing column " + c.name);
+    }
+    mapping.push_back(i);
+  }
+  RowBatch out(schema);
+  out.Reserve(batch.num_rows());
+  Row aligned;
+  for (int64_t r = 0; r < batch.num_rows(); ++r) {
+    const RowRef row = batch.row(r);
+    aligned.clear();
+    aligned.reserve(mapping.size());
+    for (int i : mapping) aligned.push_back(row[i]);
+    out.Append(aligned, batch.count(r));
+  }
+  return out;
+}
+
+StatusOr<RowBatch> DeltaEngine::LeafDeltaBatch(const MemoGroup& grp,
+                                               const TableUpdate& update) const {
+  RowBatch out(grp.schema);
+  for (const auto& [row, count] : update.inserts) out.Append(row, count);
+  for (const auto& [row, count] : update.deletes) out.Append(row, -count);
   for (const auto& [old_row, new_row] : update.modifies) {
     const Table* table = db_->FindTable(grp.table);
     const int64_t mult = table != nullptr ? table->CountOf(old_row) : 1;
-    out.Add(old_row, -std::max<int64_t>(mult, 1));
-    out.Add(new_row, std::max<int64_t>(mult, 1));
+    out.Append(old_row, -std::max<int64_t>(mult, 1));
+    out.Append(new_row, std::max<int64_t>(mult, 1));
   }
-  return out;
+  RowBatch coalesced = out.Coalesced();
+  CoalesceRowsCounter()->Add(out.num_rows() - coalesced.num_rows());
+  return coalesced;
+}
+
+const RowBatch& DeltaEngine::DeltaBatchOf(GroupId g, ApplyContext& ctx) const {
+  auto it = ctx.deltas.find(memo_->Find(g));
+  AUXVIEW_CHECK_MSG(it != ctx.deltas.end(),
+                    "delta dependency missing: wave scheduling bug");
+  return it->second;
 }
 
 StatusOr<std::map<GroupId, Relation>> DeltaEngine::ComputeDeltas(
@@ -157,12 +216,153 @@ StatusOr<std::map<GroupId, Relation>> DeltaEngine::ComputeDeltas(
   for (GroupId g : marked) marked_canon.insert(memo_->Find(g));
   ctx.marked = &marked_canon;
   ctx.affected = delta_.AffectedGroups(type);
+
+  // ---- Phase A (sequential): plan the track DAG. Walks exactly the
+  // closure the former lazy recursion visited (join children only when
+  // affected; every other input unconditionally), seeds leaf and
+  // unaffected-group deltas, preinserts one ctx.deltas entry per node (wave
+  // tasks assign mapped values only — the map never changes shape while
+  // waves run), and precomputes the per-aggregate branch decisions through
+  // the memoizing (single-threaded) static-delta analyses.
+  std::set<GroupId> visited;
+  std::vector<GroupId> node_order;  // post-order: inputs before consumers
+  std::map<GroupId, std::vector<GroupId>> deps;  // affected non-leaf inputs
+  std::function<Status(GroupId)> visit = [&](GroupId g) -> Status {
+    g = memo_->Find(g);
+    if (!visited.insert(g).second) return Status::Ok();
+    const MemoGroup& grp = memo_->group(g);
+    if (grp.is_leaf) {
+      RowBatch seed(grp.schema);
+      const TableUpdate* update = ctx.txn->FindUpdate(grp.table);
+      if (update != nullptr) {
+        AUXVIEW_ASSIGN_OR_RETURN(seed, LeafDeltaBatch(grp, *update));
+      }
+      ctx.deltas.emplace(g, std::move(seed));
+      return Status::Ok();
+    }
+    if (ctx.affected.count(g) == 0) {
+      ctx.deltas.emplace(g, RowBatch(grp.schema));
+      return Status::Ok();
+    }
+    auto choice_it = ctx.track->choice.find(g);
+    if (choice_it == ctx.track->choice.end()) {
+      return Status::Internal("affected group off-track: N" +
+                              std::to_string(g));
+    }
+    const MemoExpr& e = memo_->expr(choice_it->second);
+    std::vector<GroupId> children;
+    switch (e.kind()) {
+      case OpKind::kScan:
+        return Status::Internal("scan operation node off a leaf group");
+      case OpKind::kSelect:
+      case OpKind::kProject:
+      case OpKind::kAggregate:
+      case OpKind::kDupElim:
+        children.push_back(memo_->Find(e.inputs[0]));
+        break;
+      case OpKind::kJoin: {
+        const GroupId left = memo_->Find(e.inputs[0]);
+        const GroupId right = memo_->Find(e.inputs[1]);
+        if (ctx.affected.count(left) > 0) children.push_back(left);
+        if (ctx.affected.count(right) > 0) children.push_back(right);
+        break;
+      }
+    }
+    std::vector<GroupId> my_deps;
+    for (GroupId c : children) {
+      AUXVIEW_RETURN_IF_ERROR(visit(c));
+      if (!memo_->group(c).is_leaf && ctx.affected.count(c) > 0) {
+        my_deps.push_back(c);
+      }
+    }
+    if (e.kind() == OpKind::kAggregate) {
+      const GroupId input = memo_->Find(e.inputs[0]);
+      AUXVIEW_ASSIGN_OR_RETURN(DeltaInfo child_static,
+                               StaticDeltaOf(input, ctx));
+      AggPlan plan;
+      plan.materialized = ctx.marked->count(g) > 0;
+      plan.complete = child_static.CompleteWithin(ToSet(e.op->group_by()));
+      plan.needs_query =
+          delta_.AggregateNeedsQuery(e, child_static, plan.materialized);
+      ctx.agg_plans[g] = plan;
+    }
+    deps[g] = std::move(my_deps);
+    node_order.push_back(g);
+    ctx.deltas.emplace(g, RowBatch(grp.schema));
+    return Status::Ok();
+  };
   for (const auto& [g, eid] : track.choice) {
     (void)eid;
-    AUXVIEW_RETURN_IF_ERROR(DeltaOf(g, ctx).status());
+    AUXVIEW_RETURN_IF_ERROR(visit(g));
   }
+
+  // Wave assignment: a node runs one wave after its latest-finishing input.
+  // Within a wave, tasks are ordered by ascending group id — a pure
+  // function of the track, so the task list (and therefore the error chosen
+  // on failure) is identical for every thread count.
+  std::map<GroupId, size_t> wave_of;
+  std::vector<std::vector<GroupId>> waves;
+  for (GroupId g : node_order) {
+    size_t w = 0;
+    for (GroupId d : deps[g]) w = std::max(w, wave_of[d] + 1);
+    wave_of[g] = w;
+    if (waves.size() <= w) waves.resize(w + 1);
+    waves[w].push_back(g);
+  }
+  for (std::vector<GroupId>& wave : waves) {
+    std::sort(wave.begin(), wave.end());
+  }
+
+  // ---- Phase B: run the waves. Tasks of one wave only read deltas
+  // finished in earlier waves (or seeded), so they are independent.
+  for (const std::vector<GroupId>& wave : waves) {
+    WavesCounter()->Add(1);
+    std::vector<std::function<Status()>> tasks;
+    tasks.reserve(wave.size());
+    for (GroupId g : wave) {
+      tasks.push_back([this, g, &ctx] { return ComputeNode(g, ctx); });
+    }
+    AUXVIEW_RETURN_IF_ERROR(
+        WorkerPool::Shared().RunAll(std::move(tasks), threads_));
+  }
+
   deltas_out->Add(static_cast<int64_t>(ctx.deltas.size()));
-  return std::move(ctx.deltas);
+  // The attach point: coalesced batches become the Relations the commit
+  // path applies (batch-native until here).
+  std::map<GroupId, Relation> result;
+  for (const auto& [g, batch] : ctx.deltas) {
+    result.emplace(g, batch.ToRelation());
+  }
+  return result;
+}
+
+Status DeltaEngine::ComputeNode(GroupId g, ApplyContext& ctx) {
+  const MemoGroup& grp = memo_->group(g);
+  auto choice_it = ctx.track->choice.find(g);
+  AUXVIEW_CHECK(choice_it != ctx.track->choice.end());
+  const MemoExpr& e = memo_->expr(choice_it->second);
+  StatusOr<RowBatch> natural = [&]() -> StatusOr<RowBatch> {
+    switch (e.kind()) {
+      case OpKind::kScan:
+        return Status::Internal("scan operation node off a leaf group");
+      case OpKind::kSelect:
+      case OpKind::kProject:
+        return kernels::ApplyUnary(*e.op, DeltaBatchOf(e.inputs[0], ctx));
+      case OpKind::kJoin:
+        return JoinDelta(e, ctx);
+      case OpKind::kAggregate:
+        return AggregateDelta(e, ctx);
+      case OpKind::kDupElim:
+        return DupElimDelta(e, ctx);
+    }
+    return Status::Internal("unhandled op kind");
+  }();
+  AUXVIEW_RETURN_IF_ERROR(natural.status());
+  AUXVIEW_ASSIGN_OR_RETURN(RowBatch aligned, AlignBatch(*natural, grp.schema));
+  RowBatch coalesced = aligned.Coalesced();
+  CoalesceRowsCounter()->Add(aligned.num_rows() - coalesced.num_rows());
+  ctx.deltas.find(g)->second = std::move(coalesced);
+  return Status::Ok();
 }
 
 StatusOr<DeltaInfo> DeltaEngine::StaticDeltaOf(GroupId g, ApplyContext& ctx) {
@@ -198,50 +398,7 @@ StatusOr<DeltaInfo> DeltaEngine::StaticDeltaOf(GroupId g, ApplyContext& ctx) {
   return info;
 }
 
-StatusOr<Relation> DeltaEngine::DeltaOf(GroupId g, ApplyContext& ctx) {
-  g = memo_->Find(g);
-  auto it = ctx.deltas.find(g);
-  if (it != ctx.deltas.end()) return it->second;
-  const MemoGroup& grp = memo_->group(g);
-  Relation delta(grp.schema);
-  if (grp.is_leaf) {
-    const TableUpdate* update = ctx.txn->FindUpdate(grp.table);
-    if (update != nullptr) {
-      AUXVIEW_ASSIGN_OR_RETURN(delta, LeafDeltaRelation(grp, *update));
-    }
-  } else if (ctx.affected.count(g) > 0) {
-    auto choice_it = ctx.track->choice.find(g);
-    if (choice_it == ctx.track->choice.end()) {
-      return Status::Internal("affected group off-track: N" +
-                              std::to_string(g));
-    }
-    const MemoExpr& e = memo_->expr(choice_it->second);
-    StatusOr<Relation> natural = [&]() -> StatusOr<Relation> {
-      switch (e.kind()) {
-        case OpKind::kScan:
-          return Status::Internal("scan operation node off a leaf group");
-        case OpKind::kSelect:
-        case OpKind::kProject: {
-          AUXVIEW_ASSIGN_OR_RETURN(Relation in, DeltaOf(e.inputs[0], ctx));
-          return ApplyUnaryKernel(*e.op, in);
-        }
-        case OpKind::kJoin:
-          return JoinDelta(e, ctx);
-        case OpKind::kAggregate:
-          return AggregateDelta(e, ctx);
-        case OpKind::kDupElim:
-          return DupElimDelta(e, ctx);
-      }
-      return Status::Internal("unhandled op kind");
-    }();
-    AUXVIEW_RETURN_IF_ERROR(natural.status());
-    AUXVIEW_ASSIGN_OR_RETURN(delta, AlignRelation(*natural, grp.schema));
-  }
-  ctx.deltas[g] = delta;
-  return delta;
-}
-
-StatusOr<Relation> DeltaEngine::JoinDelta(const MemoExpr& e,
+StatusOr<RowBatch> DeltaEngine::JoinDelta(const MemoExpr& e,
                                           ApplyContext& ctx) {
   const GroupId left = memo_->Find(e.inputs[0]);
   const GroupId right = memo_->Find(e.inputs[1]);
@@ -249,77 +406,82 @@ StatusOr<Relation> DeltaEngine::JoinDelta(const MemoExpr& e,
   const bool r_aff = ctx.affected.count(right) > 0;
   const std::vector<std::string>& s = e.op->join_attrs();
 
-  Relation out(e.natural_schema);
+  RowBatch out(e.natural_schema);
 
   // Distinct join keys of a delta, fetched as one batch: a single probe-plan
   // resolution (or push-down plan choice) serves every key, then the delta
-  // joins its whole partner set through one hash build.
-  auto fetch_partners = [&](const Relation& delta,
-                            GroupId other) -> StatusOr<Relation> {
-    Relation partners(memo_->group(other).schema);
+  // joins its whole partner set through one hash build. Partner rows of
+  // distinct keys are disjoint, so the partner batch is coalesced by
+  // construction and appended in probe-key order (deterministic).
+  auto fetch_partners = [&](const RowBatch& delta,
+                            GroupId other) -> StatusOr<RowBatch> {
     std::set<std::string> seen;
     std::vector<Row> probe_keys;
-    for (const auto& [row, count] : delta.rows()) {
-      (void)count;
-      Row key = ProjectRow(row, delta.schema(), s);
+    for (int64_t i = 0; i < delta.num_rows(); ++i) {
+      Row key = ProjectRow(delta.RowAt(i), delta.schema(), s);
       if (!seen.insert(RowToString(key)).second) continue;
       probe_keys.push_back(std::move(key));
     }
     AUXVIEW_ASSIGN_OR_RETURN(
         std::vector<Relation> matches,
         FetchMatchingBatch(other, s, probe_keys, *ctx.marked));
-    for (const Relation& m : matches) partners.AddAll(m);
+    RowBatch partners(memo_->group(other).schema);
+    for (const Relation& m : matches) {
+      for (const auto& [row, count] : m.rows()) partners.Append(row, count);
+    }
     return partners;
   };
 
   if (l_aff) {
-    AUXVIEW_ASSIGN_OR_RETURN(Relation dl, DeltaOf(left, ctx));
-    AUXVIEW_ASSIGN_OR_RETURN(Relation partners, fetch_partners(dl, right));
-    AUXVIEW_ASSIGN_OR_RETURN(Relation term,
-                             ApplyJoinKernel(*e.op, dl, partners));
-    out.AddAll(term);
+    const RowBatch& dl = DeltaBatchOf(left, ctx);
+    AUXVIEW_ASSIGN_OR_RETURN(RowBatch partners, fetch_partners(dl, right));
+    AUXVIEW_ASSIGN_OR_RETURN(RowBatch term,
+                             kernels::HashJoin(*e.op, dl, partners));
+    out.AppendBatch(term);
   }
   if (r_aff) {
-    AUXVIEW_ASSIGN_OR_RETURN(Relation dr, DeltaOf(right, ctx));
-    AUXVIEW_ASSIGN_OR_RETURN(Relation partners, fetch_partners(dr, left));
-    AUXVIEW_ASSIGN_OR_RETURN(Relation term,
-                             ApplyJoinKernel(*e.op, partners, dr));
-    out.AddAll(term);
+    const RowBatch& dr = DeltaBatchOf(right, ctx);
+    AUXVIEW_ASSIGN_OR_RETURN(RowBatch partners, fetch_partners(dr, left));
+    AUXVIEW_ASSIGN_OR_RETURN(RowBatch term,
+                             kernels::HashJoin(*e.op, partners, dr));
+    out.AppendBatch(term);
   }
   if (l_aff && r_aff) {
-    AUXVIEW_ASSIGN_OR_RETURN(Relation dl, DeltaOf(left, ctx));
-    AUXVIEW_ASSIGN_OR_RETURN(Relation dr, DeltaOf(right, ctx));
-    AUXVIEW_ASSIGN_OR_RETURN(Relation term, ApplyJoinKernel(*e.op, dl, dr));
-    out.AddAll(term);
+    AUXVIEW_ASSIGN_OR_RETURN(
+        RowBatch term, kernels::HashJoin(*e.op, DeltaBatchOf(left, ctx),
+                                         DeltaBatchOf(right, ctx)));
+    out.AppendBatch(term);
   }
   return out;
 }
 
-StatusOr<Relation> DeltaEngine::AggregateDelta(const MemoExpr& e,
+StatusOr<RowBatch> DeltaEngine::AggregateDelta(const MemoExpr& e,
                                                ApplyContext& ctx) {
   const GroupId g = memo_->Find(e.group);
   const GroupId input = memo_->Find(e.inputs[0]);
-  AUXVIEW_ASSIGN_OR_RETURN(Relation dc, DeltaOf(input, ctx));
-  AUXVIEW_ASSIGN_OR_RETURN(DeltaInfo child_static, StaticDeltaOf(input, ctx));
+  const RowBatch& dc = DeltaBatchOf(input, ctx);
+  const AggPlan plan = ctx.agg_plans.at(g);
   const std::vector<std::string>& group_by = e.op->group_by();
-  const bool materialized = ctx.marked->count(g) > 0;
-  const bool complete = child_static.CompleteWithin(ToSet(group_by));
-  const bool needs_query =
-      delta_.AggregateNeedsQuery(e, child_static, materialized);
+  const bool materialized = plan.materialized;
+  const bool complete = plan.complete;
+  const bool needs_query = plan.needs_query;
 
-  // Partition the child delta by group key.
+  // Partition the child delta by group key (std::map: deterministic order
+  // independent of the batch's entry order). Each group's sub-batch keeps
+  // the delta's entry order.
   const Schema& child_schema = dc.schema();
-  std::map<std::string, std::pair<Row, Relation>> per_key;
-  for (const auto& [row, count] : dc.rows()) {
+  std::map<std::string, std::pair<Row, RowBatch>> per_key;
+  for (int64_t i = 0; i < dc.num_rows(); ++i) {
+    const Row row = dc.RowAt(i);
     Row key = ProjectRow(row, child_schema, group_by);
     const std::string key_str = RowToString(key);
     auto [it, inserted] =
-        per_key.try_emplace(key_str, key, Relation(child_schema));
-    it->second.second.Add(row, count);
+        per_key.try_emplace(key_str, key, RowBatch(child_schema));
+    it->second.second.Append(row, dc.count(i));
   }
 
-  Relation out_natural(e.natural_schema);
-  Relation out_canonical(memo_->group(g).schema);
+  RowBatch out_natural(e.natural_schema);
+  RowBatch out_canonical(memo_->group(g).schema);
 
   const Schema& view_schema = memo_->group(g).schema;
   const Table* view_table =
@@ -342,9 +504,10 @@ StatusOr<Relation> DeltaEngine::AggregateDelta(const MemoExpr& e,
         return Status::Internal("materialized view table missing for N" +
                                 std::to_string(g));
       }
-      // These reads are part of the update cost, so they are not charged.
-      ScopedCountingDisabled guard(&db_->counter());
-      view_rows = view_table->LookupBatch(group_by, group_keys);
+      // These reads are part of the update cost, so they are not charged
+      // (the uncharged probe replaces the sequential code's
+      // ScopedCountingDisabled, which would leak across worker tasks).
+      view_rows = view_table->LookupBatchUncharged(group_by, group_keys);
     } else {
       AUXVIEW_ASSIGN_OR_RETURN(
           old_contents,
@@ -356,22 +519,25 @@ StatusOr<Relation> DeltaEngine::AggregateDelta(const MemoExpr& e,
   for (auto& [key_str, entry] : per_key) {
     (void)key_str;
     const Row& key = entry.first;
-    const Relation& sub = entry.second;
+    const RowBatch& sub = entry.second;
     if (complete) {
-      Relation old_content(child_schema);
-      Relation new_content(child_schema);
-      for (const auto& [row, count] : sub.rows()) {
-        if (count < 0) old_content.Add(row, -count);
-        if (count > 0) new_content.Add(row, count);
+      // The delta covers the whole group: aggregate old and new content
+      // directly from the sign-split sub-batch (entry order preserved).
+      RowBatch old_content(child_schema);
+      RowBatch new_content(child_schema);
+      for (int64_t i = 0; i < sub.num_rows(); ++i) {
+        const int64_t count = sub.count(i);
+        if (count < 0) old_content.Append(sub.row(i), -count);
+        if (count > 0) new_content.Append(sub.row(i), count);
       }
-      AUXVIEW_ASSIGN_OR_RETURN(Relation old_rows,
-                               ApplyUnaryKernel(*e.op, old_content));
-      AUXVIEW_ASSIGN_OR_RETURN(Relation new_rows,
-                               ApplyUnaryKernel(*e.op, new_content));
-      for (const auto& [row, count] : old_rows.rows()) {
-        out_natural.Add(row, -count);
+      AUXVIEW_ASSIGN_OR_RETURN(RowBatch old_rows,
+                               kernels::GroupedAggregate(*e.op, old_content));
+      AUXVIEW_ASSIGN_OR_RETURN(RowBatch new_rows,
+                               kernels::GroupedAggregate(*e.op, new_content));
+      for (int64_t i = 0; i < old_rows.num_rows(); ++i) {
+        out_natural.Append(old_rows.row(i), -old_rows.count(i));
       }
-      out_natural.AddAll(new_rows);
+      out_natural.AppendBatch(new_rows);
     } else if (!needs_query && materialized) {
       // Self-maintenance: the old group row came from the batched
       // (uncharged) view probe above; derive the new row algebraically.
@@ -405,11 +571,12 @@ StatusOr<Relation> DeltaEngine::AggregateDelta(const MemoExpr& e,
             bool all_int = old_val.is_null() ||
                            old_val.type() == ValueType::kInt64;
             bool any = false;
-            for (const auto& [row, count] : sub.rows()) {
+            for (int64_t i = 0; i < sub.num_rows(); ++i) {
+              const Row row = sub.RowAt(i);
               AUXVIEW_ASSIGN_OR_RETURN(Value v,
                                        agg.arg->Eval(row, child_schema));
               if (v.is_null()) continue;
-              delta_sum += v.AsDouble() * static_cast<double>(count);
+              delta_sum += v.AsDouble() * static_cast<double>(sub.count(i));
               if (v.type() != ValueType::kInt64) all_int = false;
               any = true;
             }
@@ -426,13 +593,14 @@ StatusOr<Relation> DeltaEngine::AggregateDelta(const MemoExpr& e,
           }
           case AggFunc::kCount: {
             int64_t delta_count = 0;
-            for (const auto& [row, count] : sub.rows()) {
+            for (int64_t i = 0; i < sub.num_rows(); ++i) {
               if (agg.arg != nullptr) {
+                const Row row = sub.RowAt(i);
                 AUXVIEW_ASSIGN_OR_RETURN(Value v,
                                          agg.arg->Eval(row, child_schema));
                 if (v.is_null()) continue;
               }
-              delta_count += count;
+              delta_count += sub.count(i);
             }
             const int64_t base = old_val.is_null() ? 0 : old_val.int64();
             const int64_t next = base + delta_count;
@@ -447,11 +615,12 @@ StatusOr<Relation> DeltaEngine::AggregateDelta(const MemoExpr& e,
           case AggFunc::kMax: {
             // Statically guaranteed: insert-only deltas.
             Value best = old_val;
-            for (const auto& [row, count] : sub.rows()) {
-              if (count <= 0) {
+            for (int64_t i = 0; i < sub.num_rows(); ++i) {
+              if (sub.count(i) <= 0) {
                 return Status::Internal(
                     "non-insert delta reached MIN/MAX self-maintenance");
               }
+              const Row row = sub.RowAt(i);
               AUXVIEW_ASSIGN_OR_RETURN(Value v,
                                        agg.arg->Eval(row, child_schema));
               if (v.is_null()) continue;
@@ -470,61 +639,60 @@ StatusOr<Relation> DeltaEngine::AggregateDelta(const MemoExpr& e,
         }
       }
       (void)new_total_count;
-      if (have_old) out_canonical.Add(old_row, -1);
-      if (!group_becomes_empty) out_canonical.Add(new_row, 1);
+      if (have_old) out_canonical.Append(old_row, -1);
+      if (!group_becomes_empty) out_canonical.Append(new_row, 1);
     } else {
       // Query path: the group's current contents came from the batched
-      // prefetch above.
+      // prefetch above (a fetch boundary, so Relation interop is expected
+      // here).
       const Relation& old_content = old_contents[key_idx];
       Relation new_content = old_content;
-      new_content.AddAll(sub);
+      sub.AccumulateInto(&new_content);
       AUXVIEW_ASSIGN_OR_RETURN(Relation old_rows,
                                ApplyUnaryKernel(*e.op, old_content));
       AUXVIEW_ASSIGN_OR_RETURN(Relation new_rows,
                                ApplyUnaryKernel(*e.op, new_content));
       for (const auto& [row, count] : old_rows.rows()) {
-        out_natural.Add(row, -count);
+        out_natural.Append(row, -count);
       }
-      out_natural.AddAll(new_rows);
+      for (const auto& [row, count] : new_rows.rows()) {
+        out_natural.Append(row, count);
+      }
     }
     ++key_idx;
   }
 
-  AUXVIEW_ASSIGN_OR_RETURN(Relation aligned,
-                           AlignRelation(out_natural, out_canonical.schema()));
-  out_canonical.AddAll(aligned);
+  AUXVIEW_ASSIGN_OR_RETURN(RowBatch aligned,
+                           AlignBatch(out_natural, out_canonical.schema()));
+  out_canonical.AppendBatch(aligned);
   return out_canonical;
 }
 
-StatusOr<Relation> DeltaEngine::DupElimDelta(const MemoExpr& e,
+StatusOr<RowBatch> DeltaEngine::DupElimDelta(const MemoExpr& e,
                                              ApplyContext& ctx) {
   const GroupId input = memo_->Find(e.inputs[0]);
-  AUXVIEW_ASSIGN_OR_RETURN(Relation dc, DeltaOf(input, ctx));
-  Relation out(e.natural_schema);
+  const RowBatch& dc = DeltaBatchOf(input, ctx);
+  RowBatch out(e.natural_schema);
   const std::vector<std::string> attrs = SchemaAttrList(dc.schema());
-  // One batched probe for every delta row's prior multiplicity (delta rows
-  // are distinct, so the batch is too).
+  // One batched probe for every delta row's prior multiplicity (the node
+  // batch is coalesced, so its entries are distinct rows).
   std::vector<Row> probe_rows;
-  std::vector<int64_t> probe_counts;
-  probe_rows.reserve(dc.distinct_rows());
-  for (const auto& [row, count] : dc.rows()) {
-    probe_rows.push_back(row);
-    probe_counts.push_back(count);
-  }
+  probe_rows.reserve(static_cast<size_t>(dc.num_rows()));
+  for (int64_t i = 0; i < dc.num_rows(); ++i) probe_rows.push_back(dc.RowAt(i));
   AUXVIEW_ASSIGN_OR_RETURN(
       std::vector<Relation> existing_per_row,
       FetchMatchingBatch(input, attrs, probe_rows, *ctx.marked));
   for (size_t i = 0; i < probe_rows.size(); ++i) {
     const Row& row = probe_rows[i];
-    const int64_t count = probe_counts[i];
+    const int64_t count = dc.count(static_cast<int64_t>(i));
     const int64_t old_mult = existing_per_row[i].CountOf(row);
     const int64_t new_mult = old_mult + count;
     if (new_mult < 0) {
       return Status::FailedPrecondition(
           "delta drives a multiplicity negative in DupElim");
     }
-    if (old_mult > 0 && new_mult == 0) out.Add(row, -1);
-    if (old_mult == 0 && new_mult > 0) out.Add(row, 1);
+    if (old_mult > 0 && new_mult == 0) out.Append(row, -1);
+    if (old_mult == 0 && new_mult > 0) out.Append(row, 1);
   }
   return out;
 }
@@ -547,39 +715,78 @@ StatusOr<std::vector<Relation>> DeltaEngine::FetchMatchingBatch(
   g = memo_->Find(g);
   const std::string prefix =
       "N" + std::to_string(g) + "|" + Join(attrs, ",") + "|";
-  // Distinct uncached keys, in first-appearance order. A repeated key counts
-  // as a hit — the per-key sequence would have cached it by its second
-  // occurrence — so the cache counters match that sequence exactly.
+  // Claim phase. Distinct unclaimed keys, in first-appearance order: a key
+  // already cached — or pending, whether claimed by this call or a
+  // concurrent one — counts as a hit, so the cache counters match the
+  // equivalent per-key sequence exactly (the total charge is one fetch per
+  // distinct key regardless of scheduling).
   std::vector<std::string> cache_keys;
   cache_keys.reserve(keys.size());
   std::vector<Row> miss_keys;
   std::vector<std::string> miss_cache_keys;
-  std::set<std::string> pending;
-  for (const Row& key : keys) {
-    std::string ck = prefix + RowToString(key);
-    if (fetch_cache_.count(ck) > 0 || pending.count(ck) > 0) {
-      cache_hits->Add(1);
-    } else {
-      cache_misses->Add(1);
-      AUXVIEW_FAILPOINT("maintain.fetch");
-      pending.insert(ck);
-      miss_keys.push_back(key);
-      miss_cache_keys.push_back(ck);
+  {
+    std::unique_lock<std::mutex> lock(fetch_mu_);
+    if (!fetch_error_.ok()) return fetch_error_;
+    for (const Row& key : keys) {
+      std::string ck = prefix + RowToString(key);
+      if (fetch_cache_.count(ck) > 0 || fetch_pending_.count(ck) > 0) {
+        cache_hits->Add(1);
+      } else {
+        cache_misses->Add(1);
+        Status fp = FailpointRegistry::Global().Check("maintain.fetch");
+        if (!fp.ok()) {
+          if (fetch_error_.ok()) fetch_error_ = fp;
+          for (const std::string& claimed : miss_cache_keys) {
+            fetch_pending_.erase(claimed);
+          }
+          fetch_cv_.notify_all();
+          return fp;
+        }
+        fetch_pending_.insert(ck);
+        miss_keys.push_back(key);
+        miss_cache_keys.push_back(ck);
+      }
+      cache_keys.push_back(std::move(ck));
     }
-    cache_keys.push_back(std::move(ck));
   }
+  // Fetch phase (no lock held): this thread owns its claimed keys; other
+  // threads needing them wait on fetch_cv_ below.
   if (!miss_keys.empty()) {
-    AUXVIEW_ASSIGN_OR_RETURN(std::vector<Relation> fetched,
-                             FetchUncached(g, attrs, miss_keys, marked));
-    AUXVIEW_CHECK(fetched.size() == miss_keys.size());
-    for (size_t i = 0; i < fetched.size(); ++i) {
-      fetch_cache_[miss_cache_keys[i]] = std::move(fetched[i]);
-      FetchCacheGauge()->Set(static_cast<int64_t>(fetch_cache_.size()));
+    StatusOr<std::vector<Relation>> fetched =
+        FetchUncached(g, attrs, miss_keys, marked);
+    std::unique_lock<std::mutex> lock(fetch_mu_);
+    if (!fetched.ok()) {
+      if (fetch_error_.ok()) fetch_error_ = fetched.status();
+      for (const std::string& claimed : miss_cache_keys) {
+        fetch_pending_.erase(claimed);
+      }
+      fetch_cv_.notify_all();
+      return fetched.status();
     }
+    AUXVIEW_CHECK(fetched->size() == miss_keys.size());
+    for (size_t i = 0; i < fetched->size(); ++i) {
+      fetch_cache_[miss_cache_keys[i]] = std::move((*fetched)[i]);
+      fetch_pending_.erase(miss_cache_keys[i]);
+    }
+    FetchCacheGauge()->Set(static_cast<int64_t>(fetch_cache_.size()));
+    fetch_cv_.notify_all();
   }
+  // Collect phase: wait for any keys a concurrent fetch still owns. This
+  // cannot deadlock — by now this call owns no pending keys, and an owner
+  // mid-FetchUncached only ever waits on strictly lower memo groups.
   std::vector<Relation> results;
   results.reserve(keys.size());
-  for (const std::string& ck : cache_keys) results.push_back(fetch_cache_.at(ck));
+  {
+    std::unique_lock<std::mutex> lock(fetch_mu_);
+    for (const std::string& ck : cache_keys) {
+      fetch_cv_.wait(lock, [this, &ck] {
+        return fetch_cache_.count(ck) > 0 || !fetch_error_.ok();
+      });
+      auto it = fetch_cache_.find(ck);
+      if (it == fetch_cache_.end()) return fetch_error_;
+      results.push_back(it->second);
+    }
+  }
   return results;
 }
 
@@ -631,17 +838,22 @@ StatusOr<std::vector<Relation>> DeltaEngine::FetchUncached(
 
   // Unmaterialized: follow the cheapest plan (same choice as the estimator).
   // The plan cost depends on the probe attrs, never the key value, so one
-  // choice serves the whole batch.
-  std::set<GroupId> marked_set(marked.begin(), marked.end());
+  // choice serves the whole batch. The coster (and the stats/FD analyses it
+  // reads) memoizes mutably, so the choice is serialized; the lock is
+  // released before any push-down recursion.
   int best_eid = -1;
-  double best_cost = std::numeric_limits<double>::infinity();
-  for (int eid : grp.exprs) {
-    const MemoExpr& cand = memo_->expr(eid);
-    if (cand.dead) continue;
-    const double cost = coster_.PlanLookupCost(cand, attrs, 1, marked_set);
-    if (cost < best_cost) {
-      best_cost = cost;
-      best_eid = eid;
+  {
+    std::lock_guard<std::mutex> plan_lock(plan_mu_);
+    std::set<GroupId> marked_set(marked.begin(), marked.end());
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int eid : grp.exprs) {
+      const MemoExpr& cand = memo_->expr(eid);
+      if (cand.dead) continue;
+      const double cost = coster_.PlanLookupCost(cand, attrs, 1, marked_set);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_eid = eid;
+      }
     }
   }
   if (best_eid < 0) {

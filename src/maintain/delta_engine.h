@@ -1,12 +1,16 @@
 #ifndef AUXVIEW_MAINTAIN_DELTA_ENGINE_H_
 #define AUXVIEW_MAINTAIN_DELTA_ENGINE_H_
 
+#include <condition_variable>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "cost/query_cost.h"
 #include "delta/analysis.h"
+#include "exec/kernels/row_batch.h"
 #include "exec/relation.h"
 #include "maintain/concrete.h"
 #include "optimizer/track.h"
@@ -23,9 +27,22 @@ std::string MaterializedViewName(GroupId g);
 /// real (I/O-charged) queries on base relations and materialized views — and
 /// returns the per-group deltas. Queries see the pre-update database state;
 /// the caller applies the deltas afterwards.
+///
+/// Propagation is batch-native and (optionally) parallel: deltas stay in
+/// RowBatch form across the whole track and the track DAG is scheduled in
+/// topological waves on WorkerPool::Shared() when `set_threads` asks for
+/// more than one worker. Results, table fingerprints and charged page I/O
+/// are bit-identical for every thread count (docs/CONCURRENCY.md,
+/// "Intra-transaction parallelism").
 class DeltaEngine {
  public:
   DeltaEngine(const Memo* memo, const Catalog* catalog, Database* db);
+
+  /// Total propagation workers (>= 1; 1 = sequential). Resizes the shared
+  /// pool to threads - 1 background workers (the applying thread is the
+  /// extra one). Call between transactions only.
+  void set_threads(int threads);
+  int threads() const { return threads_; }
 
   /// Computes deltas for every group assigned on `track` (plus affected
   /// leaves), for the concrete transaction `txn` of declared type `type`.
@@ -63,6 +80,14 @@ class DeltaEngine {
   void ClearFetchCache();
 
  private:
+  /// The key-independent branch decisions of one aggregate node, precomputed
+  /// sequentially (the memoizing static-delta analyses are not thread-safe).
+  struct AggPlan {
+    bool materialized = false;
+    bool complete = false;
+    bool needs_query = false;
+  };
+
   struct ApplyContext {
     const ConcreteTxn* txn = nullptr;
     const TransactionType* type = nullptr;
@@ -70,7 +95,12 @@ class DeltaEngine {
     const ViewSet* marked = nullptr;
     std::set<GroupId> affected;
     std::map<GroupId, DeltaInfo> static_deltas;
-    std::map<GroupId, Relation> deltas;
+    std::map<GroupId, AggPlan> agg_plans;
+    /// Per-node coalesced delta batches (canonical group schema). Every
+    /// entry is inserted sequentially before the waves run; a wave task
+    /// assigns only its own node's mapped value, and tasks read only values
+    /// finished in earlier waves — so no lock is needed on this map.
+    std::map<GroupId, RowBatch> deltas;
   };
 
   /// Computes the distinct, uncached `keys` of FetchMatchingBatch: direct
@@ -80,17 +110,26 @@ class DeltaEngine {
       GroupId g, const std::vector<std::string>& attrs,
       const std::vector<Row>& keys, const ViewSet& marked);
 
-  StatusOr<Relation> DeltaOf(GroupId g, ApplyContext& ctx);
-  StatusOr<Relation> LeafDeltaRelation(const MemoGroup& grp,
-                                       const TableUpdate& update) const;
-  StatusOr<Relation> JoinDelta(const MemoExpr& e, ApplyContext& ctx);
-  StatusOr<Relation> AggregateDelta(const MemoExpr& e, ApplyContext& ctx);
-  StatusOr<Relation> DupElimDelta(const MemoExpr& e, ApplyContext& ctx);
+  /// One wave task: computes node `g`'s delta from its (already finished)
+  /// inputs and assigns the coalesced, aligned batch into ctx.deltas.
+  Status ComputeNode(GroupId g, ApplyContext& ctx);
+  /// The finished delta batch of `g` (must have been computed in an earlier
+  /// wave or seeded — leaves and unaffected groups).
+  const RowBatch& DeltaBatchOf(GroupId g, ApplyContext& ctx) const;
+  StatusOr<RowBatch> LeafDeltaBatch(const MemoGroup& grp,
+                                    const TableUpdate& update) const;
+  StatusOr<RowBatch> JoinDelta(const MemoExpr& e, ApplyContext& ctx);
+  StatusOr<RowBatch> AggregateDelta(const MemoExpr& e, ApplyContext& ctx);
+  StatusOr<RowBatch> DupElimDelta(const MemoExpr& e, ApplyContext& ctx);
   StatusOr<DeltaInfo> StaticDeltaOf(GroupId g, ApplyContext& ctx);
 
   /// Aligns `rel` to `schema` (reorder/drop columns by name, summing counts).
   static StatusOr<Relation> AlignRelation(const Relation& rel,
                                           const Schema& schema);
+  /// Aligns a batch to `schema` by per-entry column remap, preserving entry
+  /// order (the batch-native counterpart of AlignRelation).
+  static StatusOr<RowBatch> AlignBatch(const RowBatch& batch,
+                                       const Schema& schema);
 
   const Memo* memo_;
   const Catalog* catalog_;
@@ -99,9 +138,23 @@ class DeltaEngine {
   FdAnalysis fds_;
   DeltaAnalysis delta_;
   QueryCoster coster_;
+  int threads_ = 1;
   /// Per-ComputeDeltas query-result cache (pre-update state is immutable
-  /// while deltas are computed, so caching is sound).
+  /// while deltas are computed, so caching is sound). Guarded by fetch_mu_
+  /// together with the in-flight key set: the first requester of a key
+  /// counts the miss and fetches outside the lock; concurrent requesters
+  /// count a hit and wait on fetch_cv_. Waiting is deadlock-free because a
+  /// fetch only ever waits on keys of strictly lower memo groups (push-down
+  /// recursion descends the DAG). An owner's failure is recorded sticky in
+  /// fetch_error_ so waiters wake with the same error instead of hanging.
+  mutable std::mutex fetch_mu_;
+  std::condition_variable fetch_cv_;
   std::map<std::string, Relation> fetch_cache_;
+  std::set<std::string> fetch_pending_;
+  Status fetch_error_;
+  /// Serializes the push-down plan choice: QueryCoster and the analyses it
+  /// reads memoize internally and are not thread-safe.
+  std::mutex plan_mu_;
 };
 
 /// Applies a signed delta to a stored table, pairing matched -old/+new rows

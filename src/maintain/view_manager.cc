@@ -50,7 +50,9 @@ ViewManager::ViewManager(const Memo* memo, const Catalog* catalog,
       catalog_(catalog),
       db_(db),
       options_(options),
-      engine_(memo, catalog, db) {}
+      engine_(memo, catalog, db) {
+  engine_.set_threads(options_.threads);
+}
 
 namespace {
 

@@ -15,10 +15,10 @@ PageCounter::PageCounter() {
 }
 
 void PageCounter::Reset() {
-  index_reads_ = 0;
-  index_writes_ = 0;
-  tuple_reads_ = 0;
-  tuple_writes_ = 0;
+  index_reads_.store(0, std::memory_order_relaxed);
+  index_writes_.store(0, std::memory_order_relaxed);
+  tuple_reads_.store(0, std::memory_order_relaxed);
+  tuple_writes_.store(0, std::memory_order_relaxed);
 }
 
 std::string PageCounter::ToString() const {
@@ -27,10 +27,10 @@ std::string PageCounter::ToString() const {
                 "io{total=%lld, index_r=%lld, index_w=%lld, tuple_r=%lld, "
                 "tuple_w=%lld}",
                 static_cast<long long>(total()),
-                static_cast<long long>(index_reads_),
-                static_cast<long long>(index_writes_),
-                static_cast<long long>(tuple_reads_),
-                static_cast<long long>(tuple_writes_));
+                static_cast<long long>(index_reads()),
+                static_cast<long long>(index_writes()),
+                static_cast<long long>(tuple_reads()),
+                static_cast<long long>(tuple_writes()));
   return buf;
 }
 

@@ -1,6 +1,7 @@
 #ifndef AUXVIEW_STORAGE_PAGE_COUNTER_H_
 #define AUXVIEW_STORAGE_PAGE_COUNTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -30,50 +31,65 @@ class PageCounter {
   void Reset();
 
   /// Suspends charging (bulk loads, view materialization, test oracles).
-  void set_enabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  /// Scope-based toggling is inherently sequential: parallel propagation
+  /// paths that must skip charging use the *Uncharged storage entry points
+  /// instead of flipping this shared flag.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   void AddIndexRead(int64_t n = 1) {
-    if (!enabled_) return;
-    index_reads_ += n;
+    if (!enabled()) return;
+    index_reads_.fetch_add(n, std::memory_order_relaxed);
     m_index_reads_->Add(n);
     m_page_reads_->Add(n);
   }
   void AddIndexWrite(int64_t n = 1) {
-    if (!enabled_) return;
-    index_writes_ += n;
+    if (!enabled()) return;
+    index_writes_.fetch_add(n, std::memory_order_relaxed);
     m_index_writes_->Add(n);
     m_page_writes_->Add(n);
   }
   void AddTupleRead(int64_t n = 1) {
-    if (!enabled_) return;
-    tuple_reads_ += n;
+    if (!enabled()) return;
+    tuple_reads_.fetch_add(n, std::memory_order_relaxed);
     m_tuple_reads_->Add(n);
     m_page_reads_->Add(n);
   }
   void AddTupleWrite(int64_t n = 1) {
-    if (!enabled_) return;
-    tuple_writes_ += n;
+    if (!enabled()) return;
+    tuple_writes_.fetch_add(n, std::memory_order_relaxed);
     m_tuple_writes_->Add(n);
     m_page_writes_->Add(n);
   }
 
-  int64_t index_reads() const { return index_reads_; }
-  int64_t index_writes() const { return index_writes_; }
-  int64_t tuple_reads() const { return tuple_reads_; }
-  int64_t tuple_writes() const { return tuple_writes_; }
+  int64_t index_reads() const {
+    return index_reads_.load(std::memory_order_relaxed);
+  }
+  int64_t index_writes() const {
+    return index_writes_.load(std::memory_order_relaxed);
+  }
+  int64_t tuple_reads() const {
+    return tuple_reads_.load(std::memory_order_relaxed);
+  }
+  int64_t tuple_writes() const {
+    return tuple_writes_.load(std::memory_order_relaxed);
+  }
   int64_t total() const {
-    return index_reads_ + index_writes_ + tuple_reads_ + tuple_writes_;
+    return index_reads() + index_writes() + tuple_reads() + tuple_writes();
   }
 
   std::string ToString() const;
 
  private:
-  bool enabled_ = true;
-  int64_t index_reads_ = 0;
-  int64_t index_writes_ = 0;
-  int64_t tuple_reads_ = 0;
-  int64_t tuple_writes_ = 0;
+  /// Relaxed atomics: charges come from every propagation worker; totals are
+  /// order-independent sums, so bit-identity across thread counts holds.
+  std::atomic<bool> enabled_{true};
+  std::atomic<int64_t> index_reads_{0};
+  std::atomic<int64_t> index_writes_{0};
+  std::atomic<int64_t> tuple_reads_{0};
+  std::atomic<int64_t> tuple_writes_{0};
   // Global mirrors (never null; resolved once in the constructor).
   obs::Counter* m_index_reads_;
   obs::Counter* m_index_writes_;

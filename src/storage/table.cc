@@ -259,11 +259,11 @@ Table::ResolvedProbe Table::ResolveProbe(
 }
 
 std::vector<CountedRow> Table::ProbeOnce(const ResolvedProbe& probe,
-                                         const Row& key) const {
+                                         const Row& key, bool charged) const {
   std::vector<CountedRow> out;
   if (probe.index != nullptr) {
     const IndexState* idx = probe.index;
-    ChargeIndexRead(1);
+    if (charged) ChargeIndexRead(1);
     Row ordered_key(idx->attrs.size());
     for (size_t i = 0; i < idx->attrs.size(); ++i) {
       ordered_key[i] = key[static_cast<size_t>(probe.key_positions[i])];
@@ -272,7 +272,7 @@ std::vector<CountedRow> Table::ProbeOnce(const ResolvedProbe& probe,
     if (it != idx->map.end()) {
       for (const Row& row : it->second) {
         const int64_t count = CountOf(row);
-        ChargeTupleRead(count);
+        if (charged) ChargeTupleRead(count);
         bool match = true;
         for (size_t i = 0; i < probe.residual_cols.size(); ++i) {
           if (row[static_cast<size_t>(probe.residual_cols[i])] !=
@@ -287,7 +287,7 @@ std::vector<CountedRow> Table::ProbeOnce(const ResolvedProbe& probe,
     return out;
   }
   for (const auto& [row, count] : rows_) {
-    ChargeTupleRead(count);
+    if (charged) ChargeTupleRead(count);
     bool match = true;
     for (size_t i = 0; i < probe.scan_cols.size(); ++i) {
       if (row[static_cast<size_t>(probe.scan_cols[i])] != key[i]) {
@@ -313,6 +313,19 @@ std::vector<std::vector<CountedRow>> Table::LookupBatch(
   if (keys.empty()) return out;
   const ResolvedProbe probe = ResolveProbe(attrs);
   for (const Row& key : keys) out.push_back(ProbeOnce(probe, key));
+  return out;
+}
+
+std::vector<std::vector<CountedRow>> Table::LookupBatchUncharged(
+    const std::vector<std::string>& attrs,
+    const std::vector<Row>& keys) const {
+  std::vector<std::vector<CountedRow>> out;
+  out.reserve(keys.size());
+  if (keys.empty()) return out;
+  const ResolvedProbe probe = ResolveProbe(attrs);
+  for (const Row& key : keys) {
+    out.push_back(ProbeOnce(probe, key, /*charged=*/false));
+  }
   return out;
 }
 

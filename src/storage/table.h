@@ -104,6 +104,15 @@ class Table {
       const std::vector<std::string>& attrs,
       const std::vector<Row>& keys) const;
 
+  /// LookupBatch without any cost-model charging (neither the shared
+  /// PageCounter nor this relation's storage.rel.* mirrors). The parallel
+  /// delta engine uses this where the sequential code wrapped a lookup in
+  /// ScopedCountingDisabled: flipping the shared enabled flag from inside a
+  /// worker task would leak into concurrent tasks' charges.
+  std::vector<std::vector<CountedRow>> LookupBatchUncharged(
+      const std::vector<std::string>& attrs,
+      const std::vector<Row>& keys) const;
+
   /// True if a hash index exists on exactly `attrs`.
   bool HasIndexOn(const std::vector<std::string>& attrs) const;
 
@@ -177,9 +186,11 @@ class Table {
     std::vector<int> scan_cols;
   };
   ResolvedProbe ResolveProbe(const std::vector<std::string>& attrs) const;
-  /// One charged probe through a resolved plan (the Lookup cost model).
-  std::vector<CountedRow> ProbeOnce(const ResolvedProbe& probe,
-                                    const Row& key) const;
+  /// One probe through a resolved plan; `charged` applies the Lookup cost
+  /// model (false skips both the PageCounter and the storage.rel.* mirrors,
+  /// exactly like probing under ScopedCountingDisabled).
+  std::vector<CountedRow> ProbeOnce(const ResolvedProbe& probe, const Row& key,
+                                    bool charged = true) const;
 
   TableDef def_;
   std::string metric_scope_;

@@ -194,6 +194,8 @@ void PrintHelp() {
       "  .consistency   verify maintained views against recomputation\n"
       "  .io            show the page-I/O counter\n"
       "  .reset-io      reset the page-I/O counter\n"
+      "  .threads [N]   show or set delta-propagation workers (results and\n"
+      "      charged costs are identical for every N; wall clock differs)\n"
       "  .metrics       dump the live metrics snapshot (\\metrics works too)\n"
       "  .fail          list failpoints (armed state, hits, triggers)\n"
       "  .fail <name> <N|pP>   arm: abort at the Nth hit / with probability P\n"
@@ -376,6 +378,23 @@ class Shell {
       std::printf("%s\n", st.ok() ? "consistent" : st.ToString().c_str());
     } else if (cmd == ".io") {
       std::printf("%s\n", session_.counter().ToString().c_str());
+    } else if (cmd == ".threads") {
+      if (words.size() == 1) {
+        std::printf("maintain threads: %d\n", session_.maintain_threads());
+      } else {
+        int n = 0;
+        try {
+          n = std::stoi(words[1]);
+        } catch (...) {
+          n = 0;
+        }
+        if (n < 1) {
+          std::printf("usage: .threads [N]   (N >= 1)\n");
+          return true;
+        }
+        session_.SetMaintainThreads(n);
+        std::printf("maintain threads: %d\n", session_.maintain_threads());
+      }
     } else if (cmd == ".metrics") {
       const obs::MetricsSnapshot snapshot =
           obs::MetricsRegistry::Global().Snapshot();

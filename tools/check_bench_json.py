@@ -53,6 +53,19 @@ KNOWN_CONCURRENCY_GAUGES = {
     "concurrency.snapshot_pins",
 }
 
+# The parallel-propagation worker-pool family (docs/OBSERVABILITY.md,
+# docs/CONCURRENCY.md "Intra-transaction parallelism"). Closed namespace
+# like wal.* — maintain.pool.worker_us is a histogram, the rest counters.
+KNOWN_POOL_COUNTERS = {
+    "maintain.pool.tasks_spawned",
+    "maintain.pool.waves",
+    "maintain.pool.partitions",
+    "maintain.pool.coalesce_rows",
+}
+KNOWN_POOL_HISTOGRAMS = {
+    "maintain.pool.worker_us",
+}
+
 
 def check(path):
     errors = []
@@ -113,6 +126,12 @@ def check(path):
                     f"{path}: unknown concurrency.* counter '{name}' "
                     f"(update KNOWN_CONCURRENCY_COUNTERS and "
                     f"docs/CONCURRENCY.md together)")
+            if (name.startswith("maintain.pool.")
+                    and name not in KNOWN_POOL_COUNTERS):
+                errors.append(
+                    f"{path}: unknown maintain.pool.* counter '{name}' "
+                    f"(update KNOWN_POOL_COUNTERS and "
+                    f"docs/OBSERVABILITY.md together)")
 
     for key in ("gauges", "histograms"):
         if not isinstance(doc["metrics"].get(key), dict):
@@ -127,6 +146,20 @@ def check(path):
                     f"{path}: unknown concurrency.* gauge '{name}' "
                     f"(update KNOWN_CONCURRENCY_GAUGES and "
                     f"docs/CONCURRENCY.md together)")
+            if name.startswith("maintain.pool."):
+                errors.append(
+                    f"{path}: unexpected maintain.pool.* gauge '{name}' "
+                    f"(the pool family has no gauges)")
+
+    histograms = doc["metrics"].get("histograms")
+    if isinstance(histograms, dict):
+        for name in histograms:
+            if (name.startswith("maintain.pool.")
+                    and name not in KNOWN_POOL_HISTOGRAMS):
+                errors.append(
+                    f"{path}: unknown maintain.pool.* histogram '{name}' "
+                    f"(update KNOWN_POOL_HISTOGRAMS and "
+                    f"docs/OBSERVABILITY.md together)")
 
     return errors
 
