@@ -12,6 +12,7 @@
 #include "exec/kernels/kernels.h"
 #include "exec/kernels/row_batch.h"
 #include "obs/metrics.h"
+#include "storage/sharded_table.h"
 
 namespace auxview {
 
@@ -95,6 +96,56 @@ obs::Counter* WavesCounter() {
   return c;
 }
 
+// The closed maintain.shard.* namespace (docs/SHARDING.md,
+// docs/OBSERVABILITY.md): per-transaction classification verdicts plus the
+// sharded-vs-fallback routing decision.
+obs::Counter* ShardClassCounter(TrackLocality locality) {
+  static obs::Counter* sm = obs::MetricsRegistry::Global().GetCounter(
+      "maintain.shard.class_self_maintainable");
+  static obs::Counter* kl = obs::MetricsRegistry::Global().GetCounter(
+      "maintain.shard.class_key_local");
+  static obs::Counter* cs = obs::MetricsRegistry::Global().GetCounter(
+      "maintain.shard.class_cross_shard");
+  switch (locality) {
+    case TrackLocality::kSelfMaintainable:
+      return sm;
+    case TrackLocality::kKeyLocal:
+      return kl;
+    case TrackLocality::kCrossShard:
+      return cs;
+  }
+  return cs;
+}
+
+obs::Counter* ShardedTxnsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("maintain.shard.sharded_txns");
+  return c;
+}
+
+obs::Counter* FallbackTxnsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("maintain.shard.fallback_txns");
+  return c;
+}
+
+/// RAII arm/disarm of DeltaEngine::forbid_base_fetch_.
+class ScopedForbidBaseFetch {
+ public:
+  ScopedForbidBaseFetch(std::atomic<bool>* flag, bool engage)
+      : flag_(engage ? flag : nullptr) {
+    if (flag_ != nullptr) flag_->store(true, std::memory_order_relaxed);
+  }
+  ~ScopedForbidBaseFetch() {
+    if (flag_ != nullptr) flag_->store(false, std::memory_order_relaxed);
+  }
+  ScopedForbidBaseFetch(const ScopedForbidBaseFetch&) = delete;
+  ScopedForbidBaseFetch& operator=(const ScopedForbidBaseFetch&) = delete;
+
+ private:
+  std::atomic<bool>* flag_;
+};
+
 }  // namespace
 
 std::string MaterializedViewName(GroupId g) {
@@ -122,6 +173,25 @@ DeltaEngine::DeltaEngine(const Memo* memo, const Catalog* catalog,
 void DeltaEngine::set_threads(int threads) {
   threads_ = threads < 1 ? 1 : threads;
   WorkerPool::Shared().Resize(threads_ - 1);
+}
+
+StatusOr<const TrackLocalityReport*> DeltaEngine::ClassifyTrack(
+    const TransactionType& type, const UpdateTrack& track,
+    const ViewSet& marked) {
+  std::string key = type.name + "#";
+  for (const auto& [g, eid] : track.choice) {
+    key += std::to_string(g) + ":" + std::to_string(eid) + ",";
+  }
+  key += "#";
+  for (GroupId g : marked) key += std::to_string(g) + ",";
+  auto it = locality_cache_.find(key);
+  if (it == locality_cache_.end()) {
+    LocalityClassifier classifier(memo_, catalog_, &delta_);
+    AUXVIEW_ASSIGN_OR_RETURN(TrackLocalityReport report,
+                             classifier.Classify(track, marked, type));
+    it = locality_cache_.emplace(key, std::move(report)).first;
+  }
+  return &it->second;
 }
 
 StatusOr<Relation> DeltaEngine::AlignRelation(const Relation& rel,
@@ -312,6 +382,112 @@ StatusOr<std::map<GroupId, Relation>> DeltaEngine::ComputeDeltas(
   for (std::vector<GroupId>& wave : waves) {
     std::sort(wave.begin(), wave.end());
   }
+
+  // Adaptive partitioning threshold: track an EWMA of the transaction's
+  // total leaf-delta rows and let kernels partition only batches at least
+  // that large (small floor avoids partitioning trivial deltas). The
+  // threshold never changes results, only where parallel kernels engage.
+  if (adaptive_partitioning_) {
+    int64_t seed_rows = 0;
+    for (const auto& [g, batch] : ctx.deltas) {
+      if (memo_->group(g).is_leaf) seed_rows += batch.num_rows();
+    }
+    batch_rows_ewma_ +=
+        0.25 * (static_cast<double>(seed_rows) - batch_rows_ewma_);
+    kernels::SetPartitionMinRows(
+        std::max<int64_t>(16, static_cast<int64_t>(batch_rows_ewma_ + 0.5)));
+  }
+
+  // ---- Locality classification (docs/SHARDING.md). Every transaction
+  // validates the strongest verdict at runtime: while a self-maintainable
+  // track computes, any base-relation fetch is a CHECK failure. A sharded
+  // database additionally runs decomposable, non-cross-shard tracks
+  // independently per shard.
+  AUXVIEW_ASSIGN_OR_RETURN(const TrackLocalityReport* locality,
+                           ClassifyTrack(type, track, marked_canon));
+  ShardClassCounter(locality->locality)->Add(1);
+  ScopedForbidBaseFetch forbid_guard(
+      &forbid_base_fetch_,
+      locality->locality == TrackLocality::kSelfMaintainable);
+  const int shards = db_->shard_count();
+  const bool per_shard = shards > 1 && locality->decomposable &&
+                         locality->locality != TrackLocality::kCrossShard;
+
+  if (per_shard) {
+    AUXVIEW_FAILPOINT("shard.route.fail");
+    ShardedTxnsCounter()->Add(1);
+    // One context per shard: shared plan state, private delta maps. Updated
+    // leaves' seed batches are partitioned row-wise by the same hash the
+    // storage router uses (a modify's -old/+new rows may land in different
+    // shards; that is plain bag semantics — the classifier's alignment
+    // condition keeps whole aggregate groups, distinct rows and join
+    // matches inside one shard).
+    std::vector<ApplyContext> shard_ctx(static_cast<size_t>(shards));
+    for (ApplyContext& sc : shard_ctx) {
+      sc.txn = ctx.txn;
+      sc.type = ctx.type;
+      sc.track = ctx.track;
+      sc.marked = ctx.marked;
+      sc.affected = ctx.affected;
+      sc.static_deltas = ctx.static_deltas;
+      sc.agg_plans = ctx.agg_plans;
+    }
+    for (const auto& [g, batch] : ctx.deltas) {
+      for (ApplyContext& sc : shard_ctx) {
+        sc.deltas.emplace(g, RowBatch(batch.schema()));
+      }
+      const MemoGroup& grp = memo_->group(g);
+      if (!grp.is_leaf || batch.num_rows() == 0) continue;
+      const TableDef* def = catalog_->FindTable(grp.table);
+      if (def == nullptr) {
+        return Status::NotFound("relation missing from catalog: " + grp.table);
+      }
+      std::vector<int> cols;
+      cols.reserve(def->shard_key.size());
+      for (const std::string& a : def->shard_key) {
+        const int c = grp.schema.IndexOf(a);
+        AUXVIEW_CHECK_MSG(c >= 0, "shard key attr missing from leaf schema");
+        cols.push_back(c);
+      }
+      Row key;
+      for (int64_t i = 0; i < batch.num_rows(); ++i) {
+        const Row row = batch.RowAt(i);
+        key.clear();
+        for (int c : cols) key.push_back(row[static_cast<size_t>(c)]);
+        const size_t s = static_cast<size_t>(ShardIndexFor(key, shards));
+        shard_ctx[s].deltas.find(g)->second.Append(row, batch.count(i));
+      }
+    }
+    // Same wave schedule, (node x shard) tasks. Fetches of all shards share
+    // the engine cache, so every distinct key is still fetched — and
+    // charged — exactly once, as on the global path.
+    for (const std::vector<GroupId>& wave : waves) {
+      WavesCounter()->Add(1);
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(wave.size() * static_cast<size_t>(shards));
+      for (GroupId g : wave) {
+        for (ApplyContext& sc : shard_ctx) {
+          tasks.push_back([this, g, &sc] { return ComputeNode(g, sc); });
+        }
+      }
+      AUXVIEW_RETURN_IF_ERROR(
+          WorkerPool::Shared().RunAll(std::move(tasks), threads_));
+    }
+    deltas_out->Add(static_cast<int64_t>(ctx.deltas.size()));
+    // Merge: a node's delta is the bag sum of its per-shard deltas
+    // (Relation is order-canonical, so the merge order cannot show).
+    std::map<GroupId, Relation> result;
+    for (const auto& [g, batch] : ctx.deltas) {
+      (void)batch;
+      Relation merged(memo_->group(g).schema);
+      for (const ApplyContext& sc : shard_ctx) {
+        merged.AddAll(sc.deltas.find(g)->second.ToRelation());
+      }
+      result.emplace(g, std::move(merged));
+    }
+    return result;
+  }
+  if (shards > 1) FallbackTxnsCounter()->Add(1);
 
   // ---- Phase B: run the waves. Tasks of one wave only read deltas
   // finished in earlier waves (or seeded), so they are independent.
@@ -801,6 +977,11 @@ StatusOr<std::vector<Relation>> DeltaEngine::FetchUncached(
   // plan resolves once and every key goes through Table::LookupBatch.
   const Table* table = nullptr;
   if (grp.is_leaf) {
+    // The classifier's strongest verdict, proven at runtime: a track labeled
+    // self-maintainable must never reach a base relation.
+    AUXVIEW_CHECK_MSG(
+        !forbid_base_fetch_.load(std::memory_order_relaxed),
+        "self-maintainable track fetched a base relation");
     table = db_->FindTable(grp.table);
     if (table == nullptr) {
       return Status::NotFound("missing base table: " + grp.table);
@@ -1037,8 +1218,12 @@ Status ApplyDeltaToTable(Table* table, const Relation& delta,
     const int i = table->schema().IndexOf(a);
     if (i >= 0) key_cols.push_back(i);
   }
+  // Iterate in sorted row order: Relation hashes rows, and the -n/+n
+  // pairing below is first-match, so bucketing from raw iteration order
+  // would make the chosen modify pairs — and their charges — depend on how
+  // the delta was assembled (e.g. merged per shard vs computed globally).
   std::map<std::string, std::vector<std::pair<Row, int64_t>>> buckets;
-  for (const auto& [row, count] : aligned.rows()) {
+  for (const auto& [row, count] : aligned.SortedRows()) {
     Row key;
     for (int c : key_cols) key.push_back(row[c]);
     buckets[RowToString(key)].emplace_back(row, count);

@@ -1,6 +1,7 @@
 #ifndef AUXVIEW_MAINTAIN_DELTA_ENGINE_H_
 #define AUXVIEW_MAINTAIN_DELTA_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <mutex>
@@ -10,6 +11,7 @@
 
 #include "cost/query_cost.h"
 #include "delta/analysis.h"
+#include "delta/locality.h"
 #include "exec/kernels/row_batch.h"
 #include "exec/relation.h"
 #include "maintain/concrete.h"
@@ -43,6 +45,13 @@ class DeltaEngine {
   /// extra one). Call between transactions only.
   void set_threads(int threads);
   int threads() const { return threads_; }
+
+  /// Adapts the kernels' partitioning threshold to an EWMA of observed leaf
+  /// delta sizes (MaintainOptions::adaptive_partitioning). Thresholds never
+  /// affect results — partition assignment is a pure function of the batch —
+  /// only where the parallel kernels kick in.
+  void set_adaptive_partitioning(bool on) { adaptive_partitioning_ = on; }
+  bool adaptive_partitioning() const { return adaptive_partitioning_; }
 
   /// Computes deltas for every group assigned on `track` (plus affected
   /// leaves), for the concrete transaction `txn` of declared type `type`.
@@ -110,6 +119,12 @@ class DeltaEngine {
       GroupId g, const std::vector<std::string>& attrs,
       const std::vector<Row>& keys, const ViewSet& marked);
 
+  /// The memoized locality verdict for (type, track, marked) — classified
+  /// once, validated on every transaction by the base-fetch assertion.
+  StatusOr<const TrackLocalityReport*> ClassifyTrack(
+      const TransactionType& type, const UpdateTrack& track,
+      const ViewSet& marked);
+
   /// One wave task: computes node `g`'s delta from its (already finished)
   /// inputs and assigns the coalesced, aligned batch into ctx.deltas.
   Status ComputeNode(GroupId g, ApplyContext& ctx);
@@ -139,6 +154,16 @@ class DeltaEngine {
   DeltaAnalysis delta_;
   QueryCoster coster_;
   int threads_ = 1;
+  bool adaptive_partitioning_ = false;
+  /// EWMA of total leaf-delta rows per ComputeDeltas (adaptive threshold).
+  double batch_rows_ewma_ = 0;
+  /// Locality verdicts keyed by (type name, track choice, marked set).
+  std::map<std::string, TrackLocalityReport> locality_cache_;
+  /// Armed while computing deltas of a track classified self-maintainable:
+  /// a base-relation fetch under this flag is a CHECK failure, so the
+  /// classifier's strongest verdict is re-proven on every transaction it is
+  /// claimed for (read by wave workers, hence atomic).
+  std::atomic<bool> forbid_base_fetch_{false};
   /// Per-ComputeDeltas query-result cache (pre-update state is immutable
   /// while deltas are computed, so caching is sound). Guarded by fetch_mu_
   /// together with the in-flight key set: the first requester of a key

@@ -23,6 +23,11 @@ struct MaintainOptions {
   /// fingerprints and charged costs are bit-identical for every value
   /// (docs/CONCURRENCY.md, "Intra-transaction parallelism").
   int threads = 1;
+  /// Adapt the parallel kernels' partitioning threshold to an EWMA of
+  /// observed transaction delta sizes instead of the static default.
+  /// Thresholds steer only where parallel kernels engage — results,
+  /// fingerprints and charged costs are unaffected.
+  bool adaptive_partitioning = false;
 };
 
 /// Materializes a chosen view set and incrementally maintains it across
@@ -106,6 +111,14 @@ class ViewManager {
     engine_.set_threads(options_.threads);
   }
   int maintain_threads() const { return options_.threads; }
+
+  /// Toggles adaptive kernel-partitioning thresholds between transactions
+  /// (mirrors MaintainOptions::adaptive_partitioning).
+  void set_adaptive_partitioning(bool on) {
+    options_.adaptive_partitioning = on;
+    engine_.set_adaptive_partitioning(on);
+  }
+  bool adaptive_partitioning() const { return options_.adaptive_partitioning; }
 
   /// Opts in to group-level rollback of optimizer state: with a mutable
   /// catalog attached, an aborted transaction also restores any statistics

@@ -9,13 +9,18 @@
 namespace auxview {
 
 Table::Table(TableDef def, PageCounter* counter,
-             const std::string& metric_scope)
-    : def_(std::move(def)), metric_scope_(metric_scope), counter_(counter) {
+             const std::string& metric_scope,
+             const std::string& metric_suffix)
+    : def_(std::move(def)),
+      metric_scope_(metric_scope),
+      metric_suffix_(metric_suffix),
+      counter_(counter) {
   AUXVIEW_CHECK(counter_ != nullptr);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   const std::string scoped =
       "storage.rel." +
-      (metric_scope_.empty() ? "" : metric_scope_ + ".") + def_.name;
+      (metric_scope_.empty() ? "" : metric_scope_ + ".") + def_.name +
+      (metric_suffix_.empty() ? "" : "." + metric_suffix_);
   rel_page_reads_ = reg.GetCounter(scoped + ".page_reads");
   rel_page_writes_ = reg.GetCounter(scoped + ".page_writes");
   auto add_index = [&](const std::vector<std::string>& attrs) {
@@ -41,7 +46,8 @@ std::unique_ptr<Table> Table::Clone(PageCounter* counter) const {
   // The constructor rebuilds empty index states from the def; copying the
   // populated maps afterwards avoids re-inserting (and re-charging) every
   // row. The clone is a pure value copy: no undo log, no shared state.
-  auto clone = std::make_unique<Table>(def_, counter, metric_scope_);
+  auto clone =
+      std::make_unique<Table>(def_, counter, metric_scope_, metric_suffix_);
   clone->rows_ = rows_;
   clone->total_count_ = total_count_;
   clone->indexes_ = indexes_;
@@ -75,6 +81,10 @@ void Table::IndexErase(const Row& row) {
 }
 
 Status Table::Apply(const Row& row, int64_t count) {
+  return ApplyInternal(row, count, /*charged=*/true);
+}
+
+Status Table::ApplyInternal(const Row& row, int64_t count, bool charged) {
   if (count == 0) return Status::Ok();
   AUXVIEW_FAILPOINT("storage.table.apply");
   if (static_cast<int>(row.size()) != def_.schema.num_columns()) {
@@ -93,12 +103,14 @@ Status Table::Apply(const Row& row, int64_t count) {
   // (read; write only when the index contents change, which they do for
   // inserts/deletes of a distinct row).
   const int64_t tuples = count > 0 ? count : -count;
-  ChargeIndexRead(static_cast<int64_t>(indexes_.size()));
-  if (count > 0) {
-    ChargeTupleWrite(tuples);
-  } else {
-    ChargeTupleRead(tuples);
-    ChargeTupleWrite(tuples);
+  if (charged) {
+    ChargeIndexRead(static_cast<int64_t>(indexes_.size()));
+    if (count > 0) {
+      ChargeTupleWrite(tuples);
+    } else {
+      ChargeTupleRead(tuples);
+      ChargeTupleWrite(tuples);
+    }
   }
   // The structural update below is all-or-nothing: the failpoint sits
   // before the first mutation, so a triggered fault leaves the table (rows
@@ -106,10 +118,10 @@ Status Table::Apply(const Row& row, int64_t count) {
   AUXVIEW_FAILPOINT("storage.table.index_update");
   if (old == 0 && next > 0) {
     IndexInsert(row);
-    ChargeIndexWrite(static_cast<int64_t>(indexes_.size()));
+    if (charged) ChargeIndexWrite(static_cast<int64_t>(indexes_.size()));
   } else if (old > 0 && next == 0) {
     IndexErase(row);
-    ChargeIndexWrite(static_cast<int64_t>(indexes_.size()));
+    if (charged) ChargeIndexWrite(static_cast<int64_t>(indexes_.size()));
   }
   if (next == 0) {
     rows_.erase(it);
@@ -259,7 +271,8 @@ Table::ResolvedProbe Table::ResolveProbe(
 }
 
 std::vector<CountedRow> Table::ProbeOnce(const ResolvedProbe& probe,
-                                         const Row& key, bool charged) const {
+                                         const Row& key, bool charged,
+                                         int64_t* tuples_scanned) const {
   std::vector<CountedRow> out;
   if (probe.index != nullptr) {
     const IndexState* idx = probe.index;
@@ -273,6 +286,7 @@ std::vector<CountedRow> Table::ProbeOnce(const ResolvedProbe& probe,
       for (const Row& row : it->second) {
         const int64_t count = CountOf(row);
         if (charged) ChargeTupleRead(count);
+        if (tuples_scanned != nullptr) *tuples_scanned += count;
         bool match = true;
         for (size_t i = 0; i < probe.residual_cols.size(); ++i) {
           if (row[static_cast<size_t>(probe.residual_cols[i])] !=
@@ -288,6 +302,7 @@ std::vector<CountedRow> Table::ProbeOnce(const ResolvedProbe& probe,
   }
   for (const auto& [row, count] : rows_) {
     if (charged) ChargeTupleRead(count);
+    if (tuples_scanned != nullptr) *tuples_scanned += count;
     bool match = true;
     for (size_t i = 0; i < probe.scan_cols.size(); ++i) {
       if (row[static_cast<size_t>(probe.scan_cols[i])] != key[i]) {

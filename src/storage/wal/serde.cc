@@ -226,6 +226,8 @@ void EncodeTableDef(ByteWriter* w, const TableDef& def) {
     w->U32(static_cast<uint32_t>(idx.attrs.size()));
     for (const std::string& attr : idx.attrs) w->Str(attr);
   }
+  w->U32(static_cast<uint32_t>(def.shard_key.size()));
+  for (const std::string& attr : def.shard_key) w->Str(attr);
   EncodeStats(w, def.stats);
 }
 
@@ -254,6 +256,10 @@ StatusOr<TableDef> DecodeTableDef(ByteReader* r) {
       idx.attrs.push_back(r->Str());
     }
     def.indexes.push_back(std::move(idx));
+  }
+  const uint32_t n_shard = r->U32();
+  for (uint32_t i = 0; i < n_shard && r->ok(); ++i) {
+    def.shard_key.push_back(r->Str());
   }
   def.stats = DecodeStats(r);
   if (!r->ok()) return Status::Internal("wal: malformed table def");

@@ -33,7 +33,8 @@ constexpr uint8_t kTypeTxn = 1;
 constexpr uint8_t kTypeAbort = 2;
 
 constexpr uint32_t kCheckpointMagic = 0x314B4341u;  // "ACK1" little-endian
-constexpr uint32_t kCheckpointVersion = 1;
+// v2: TableDef payloads carry the hash-sharding key.
+constexpr uint32_t kCheckpointVersion = 2;
 
 constexpr char kCheckpointName[] = "checkpoint";
 constexpr char kCheckpointTmpName[] = "checkpoint.tmp";

@@ -66,6 +66,18 @@ KNOWN_POOL_HISTOGRAMS = {
     "maintain.pool.worker_us",
 }
 
+# The shard-routing family (docs/SHARDING.md, docs/OBSERVABILITY.md).
+# Closed namespace like wal.*: the class_* counters record the locality
+# classifier's verdict per transaction, sharded/fallback record which
+# execution path the transaction took. All counters, no gauges/histograms.
+KNOWN_SHARD_COUNTERS = {
+    "maintain.shard.class_self_maintainable",
+    "maintain.shard.class_key_local",
+    "maintain.shard.class_cross_shard",
+    "maintain.shard.sharded_txns",
+    "maintain.shard.fallback_txns",
+}
+
 
 def check(path):
     errors = []
@@ -132,6 +144,12 @@ def check(path):
                     f"{path}: unknown maintain.pool.* counter '{name}' "
                     f"(update KNOWN_POOL_COUNTERS and "
                     f"docs/OBSERVABILITY.md together)")
+            if (name.startswith("maintain.shard.")
+                    and name not in KNOWN_SHARD_COUNTERS):
+                errors.append(
+                    f"{path}: unknown maintain.shard.* counter '{name}' "
+                    f"(update KNOWN_SHARD_COUNTERS and "
+                    f"docs/SHARDING.md together)")
 
     for key in ("gauges", "histograms"):
         if not isinstance(doc["metrics"].get(key), dict):
@@ -150,6 +168,10 @@ def check(path):
                 errors.append(
                     f"{path}: unexpected maintain.pool.* gauge '{name}' "
                     f"(the pool family has no gauges)")
+            if name.startswith("maintain.shard."):
+                errors.append(
+                    f"{path}: unexpected maintain.shard.* gauge '{name}' "
+                    f"(the shard family has no gauges)")
 
     histograms = doc["metrics"].get("histograms")
     if isinstance(histograms, dict):
@@ -160,6 +182,10 @@ def check(path):
                     f"{path}: unknown maintain.pool.* histogram '{name}' "
                     f"(update KNOWN_POOL_HISTOGRAMS and "
                     f"docs/OBSERVABILITY.md together)")
+            if name.startswith("maintain.shard."):
+                errors.append(
+                    f"{path}: unexpected maintain.shard.* histogram "
+                    f"'{name}' (the shard family has no histograms)")
 
     return errors
 
